@@ -1,0 +1,82 @@
+// Command imdview is a terminal visualizer for a running SPICE
+// simulation: it connects to an IMD endpoint (see `spice -imd`), renders a
+// one-line summary per frame (step, time, leading-bead height, strand
+// extent), and can optionally steer an atom toward a target with the
+// synthetic haptic controller.
+//
+// Usage:
+//
+//	imdview -addr localhost:9777
+//	imdview -addr localhost:9777 -steer 0 -target -20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+
+	"spice/internal/imd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imdview: ")
+	var (
+		addr   = flag.String("addr", "localhost:9777", "IMD endpoint")
+		steer  = flag.Int("steer", -1, "atom index to steer (-1 = passive)")
+		target = flag.Float64("target", 0, "target z for the steered atom, Å")
+		every  = flag.Int("every", 10, "print every Nth frame")
+	)
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	client, err := imd.Connect(conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected: %d atoms\n", client.NAtoms)
+
+	var haptic *imd.Haptic
+	if *steer >= 0 {
+		haptic = imd.NewHaptic(*steer, *target, 1)
+		fmt.Printf("steering atom %d toward z=%g Å\n", *steer, *target)
+	}
+	client.OnFrame = func(step int64, t float64, coords []float32) *imd.Message {
+		if client.FramesSeen%*every == 1 || *every <= 1 {
+			printFrame(step, t, coords)
+		}
+		if haptic != nil {
+			return haptic.OnFrame(step, t, coords)
+		}
+		return nil
+	}
+	if err := client.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session ended")
+	if haptic != nil {
+		fmt.Printf("peak haptic force: %.1f pN\n", haptic.PeakForcePN())
+	}
+}
+
+func printFrame(step int64, t float64, coords []float32) {
+	n := len(coords) / 3
+	if n == 0 {
+		return
+	}
+	leadZ := float64(coords[2])
+	minZ, maxZ := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		z := float64(coords[3*i+2])
+		minZ = math.Min(minZ, z)
+		maxZ = math.Max(maxZ, z)
+	}
+	fmt.Printf("step %8d  t %8.2f ps  lead z %7.2f Å  span [%7.2f, %7.2f] Å\n",
+		step, t, leadZ, minZ, maxZ)
+}

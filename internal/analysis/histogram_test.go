@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spice/internal/xrand"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.NBins() != 10 || h.BinWidth() != 1 {
+		t.Fatalf("NBins=%d width=%v", h.NBins(), h.BinWidth())
+	}
+	h.Add(0.5)
+	h.Add(9.999)
+	h.Add(-1)  // under
+	h.Add(10)  // over (Hi is exclusive)
+	h.Add(5.0) // bin 5
+	if h.Counts[0] != 1 || h.Counts[9] != 1 || h.Counts[5] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Fatalf("outliers = %v, %v", under, over)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %v", h.Total())
+	}
+}
+
+func TestHistogramBinCenters(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	want := []float64{1, 3, 5, 7, 9}
+	for i, w := range want {
+		if got := h.BinCenter(i); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("center %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestHistogramBinIndexProperty(t *testing.T) {
+	h := NewHistogram(-5, 5, 37)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		i, ok := h.BinIndex(x)
+		if x < -5 || x >= 5 {
+			return !ok
+		}
+		if !ok || i < 0 || i >= 37 {
+			return false
+		}
+		// x must lie inside bin i's interval.
+		lo := -5 + float64(i)*h.BinWidth()
+		return x >= lo-1e-9 && x < lo+h.BinWidth()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramWeightedMean(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.AddWeighted(2.5, 1, 10)
+	h.AddWeighted(2.7, 3, 20)
+	m, ok := h.MeanIn(2)
+	if !ok {
+		t.Fatal("bin 2 should be non-empty")
+	}
+	if want := (10.0 + 3*20) / 4; math.Abs(m-want) > 1e-12 {
+		t.Fatalf("weighted mean = %v, want %v", m, want)
+	}
+	if _, ok := h.MeanIn(0); ok {
+		t.Fatal("empty bin should report !ok")
+	}
+}
+
+func TestHistogramNormalize(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%4)/4 + 0.1)
+	}
+	dens, err := h.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := 0.0
+	for _, d := range dens {
+		integral += d * h.BinWidth()
+	}
+	if math.Abs(integral-1) > 1e-12 {
+		t.Fatalf("density integrates to %v", integral)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if _, err := empty.Normalize(); err == nil {
+		t.Fatal("normalizing empty histogram should error")
+	}
+}
+
+func TestHistogramUniformEntropy(t *testing.T) {
+	h := NewHistogram(0, 1, 8)
+	rng := xrand.New(8)
+	for i := 0; i < 100000; i++ {
+		h.Add(rng.Float64())
+	}
+	// Uniform over 8 bins: entropy ~ ln 8.
+	if got, want := h.Entropy(), math.Log(8); math.Abs(got-want) > 0.01 {
+		t.Fatalf("entropy = %v, want ~%v", got, want)
+	}
+}
+
+func TestHistogramPanicsOnBadSpec(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(2, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram spec did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"testing"
+
+	"spice/internal/federation"
+)
+
+func TestSimulateWithFailuresZeroRateMatchesBaseline(t *testing.T) {
+	spec := PaperSpec()
+	cm := PaperCostModel()
+	base, err := Simulate(federation.SPICEFederation(), spec, cm, true, federation.JobConstraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFail, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+		FailureModel{PFail: 0, Seed: 1}, federation.JobConstraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noFail.Failures != 0 || noFail.WastedCPUHours != 0 {
+		t.Fatalf("phantom failures: %+v", noFail)
+	}
+	if len(noFail.Placements) != len(base.Placements) {
+		t.Fatalf("placements %d vs %d", len(noFail.Placements), len(base.Placements))
+	}
+	// Useful CPU-hours identical (same job set completed).
+	if noFail.TotalCPUHours != base.TotalCPUHours {
+		t.Fatalf("CPU-hours %v vs %v", noFail.TotalCPUHours, base.TotalCPUHours)
+	}
+}
+
+func TestSimulateWithFailuresDisrupts(t *testing.T) {
+	spec := PaperSpec()
+	cm := PaperCostModel()
+	clean, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+		FailureModel{PFail: 0, Seed: 2}, federation.JobConstraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+		FailureModel{PFail: 0.25, Seed: 2}, federation.JobConstraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.Failures == 0 {
+		t.Fatal("25% failure rate produced no failures over 72 jobs")
+	}
+	if flaky.WastedCPUHours <= 0 {
+		t.Fatal("failures wasted no cycles")
+	}
+	if flaky.MakespanHours <= clean.MakespanHours {
+		t.Fatalf("failures should lengthen the campaign: %v vs %v",
+			flaky.MakespanHours, clean.MakespanHours)
+	}
+	// All 72 logical jobs still complete.
+	if len(flaky.Placements) != 72 {
+		t.Fatalf("completed placements = %d", len(flaky.Placements))
+	}
+}
+
+func TestSimulateWithFailuresExcludesFlakyMachine(t *testing.T) {
+	spec := PaperSpec()
+	cm := PaperCostModel()
+	res, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+		FailureModel{PFail: 0.3, ExcludeFailedMachine: true, Seed: 3}, federation.JobConstraint{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no failures at 30%")
+	}
+	// Completion despite exclusions: the federation has enough sites.
+	if len(res.Placements) != 72 {
+		t.Fatalf("completed = %d", len(res.Placements))
+	}
+}
+
+func TestSimulateWithFailuresValidation(t *testing.T) {
+	spec := PaperSpec()
+	cm := PaperCostModel()
+	if _, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+		FailureModel{PFail: 1.0}, federation.JobConstraint{}); err == nil {
+		t.Fatal("PFail=1 accepted (would never terminate)")
+	}
+	if _, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+		FailureModel{PFail: -0.1}, federation.JobConstraint{}); err == nil {
+		t.Fatal("negative PFail accepted")
+	}
+}
+
+func TestSimulateWithFailuresDeterministic(t *testing.T) {
+	spec := PaperSpec()
+	cm := PaperCostModel()
+	run := func() *FailureResult {
+		r, err := SimulateWithFailures(federation.SPICEFederation(), spec, cm,
+			FailureModel{PFail: 0.2, Seed: 5}, federation.JobConstraint{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Failures != b.Failures || a.MakespanHours != b.MakespanHours || a.WastedCPUHours != b.WastedCPUHours {
+		t.Fatal("failure simulation not deterministic")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spice/internal/jarzynski"
+)
+
+// quickSweep is a fast configuration for tests: small system, short
+// pulls, high velocities.
+func quickSweep() SweepConfig {
+	cfg := PaperSweep()
+	cfg.System.Beads = 4
+	cfg.System.EquilSteps = 200
+	cfg.Kappas = []float64{100, 1000}
+	cfg.Velocities = []float64{200, 400}
+	cfg.Replicas = 2
+	cfg.Distance = 3
+	cfg.Resamples = 50
+	cfg.RefVelocity = 100
+	cfg.RefReplicas = 2
+	cfg.Seed = 11
+	return cfg
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	cfg := quickSweep()
+	cfg.Kappas = nil
+	if _, err := RunSweep(cfg); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	cfg = quickSweep()
+	cfg.Replicas = 1
+	if _, err := RunSweep(cfg); err == nil {
+		t.Fatal("single replica accepted")
+	}
+	cfg = quickSweep()
+	cfg.Distance = 0
+	if _, err := RunSweep(cfg); err == nil {
+		t.Fatal("zero distance accepted")
+	}
+	cfg = quickSweep()
+	cfg.Reference = nil
+	cfg.RefVelocity = 0
+	if _, err := RunSweep(cfg); err == nil {
+		t.Fatal("missing reference config accepted")
+	}
+}
+
+func TestRunSweepProducesAnalyzedPoints(t *testing.T) {
+	cfg := quickSweep()
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if len(res.Grid) == 0 || len(res.Reference) != len(res.Grid) {
+		t.Fatalf("grid/reference sizes: %d vs %d", len(res.Grid), len(res.Reference))
+	}
+	for _, p := range res.Points {
+		if len(p.PMF) != len(res.Grid) {
+			t.Fatalf("point %v has %d PMF values", p, len(p.PMF))
+		}
+		if p.SigmaStat <= 0 {
+			t.Fatalf("point %v has zero statistical error", p)
+		}
+		if p.SigmaSys < 0 {
+			t.Fatalf("negative systematic error")
+		}
+		if p.Samples < 2 {
+			t.Fatalf("point %v has %d samples", p, p.Samples)
+		}
+		if p.PMF[0] != 0 {
+			t.Fatal("PMF not anchored")
+		}
+		for _, v := range p.PMF {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite PMF value")
+			}
+		}
+	}
+	// Cost normalization gave faster velocities more samples.
+	var n200, n400 int
+	for _, p := range res.Points {
+		if p.VPaper == 200 {
+			n200 = p.Samples
+		}
+		if p.VPaper == 400 {
+			n400 = p.Samples
+		}
+	}
+	if n400 != 2*n200 {
+		t.Fatalf("sample scaling: v=400 has %d, v=200 has %d", n400, n200)
+	}
+	// Best is one of the points.
+	found := false
+	for _, p := range res.Points {
+		if p.KappaPaper == res.Best.KappaPaper && p.VPaper == res.Best.VPaper {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("best point not from the sweep")
+	}
+}
+
+func TestRunSweepDeterministic(t *testing.T) {
+	a, err := RunSweep(quickSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSweep(quickSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		for g := range a.Points[i].PMF {
+			if a.Points[i].PMF[g] != b.Points[i].PMF[g] {
+				t.Fatal("sweep not reproducible")
+			}
+		}
+	}
+}
+
+func TestCurveSelectors(t *testing.T) {
+	res, err := RunSweep(quickSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k100 := res.CurvesForKappa(100)
+	if len(k100) != 2 {
+		t.Fatalf("κ=100 curves = %d", len(k100))
+	}
+	for _, p := range k100 {
+		if p.KappaPaper != 100 {
+			t.Fatal("wrong κ in selection")
+		}
+	}
+	v200 := res.CurvesForVelocity(200)
+	if len(v200) != 2 {
+		t.Fatalf("v=200 curves = %d", len(v200))
+	}
+	if len(res.CurvesForKappa(9999)) != 0 {
+		t.Fatal("phantom curves")
+	}
+}
+
+func TestExternalReferenceUsed(t *testing.T) {
+	cfg := quickSweep()
+	// Grid length for Distance=3 at SampleEvery 0.25 is 13.
+	ref := make([]float64, 13)
+	for i := range ref {
+		ref[i] = float64(i)
+	}
+	cfg.Reference = ref
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if res.Reference[i] != ref[i] {
+			t.Fatal("external reference not used")
+		}
+	}
+	// A steep artificial reference should force large σ_sys everywhere.
+	for _, p := range res.Points {
+		if p.SigmaSys < 0.5 {
+			t.Fatalf("σ_sys = %v vs artificial reference", p.SigmaSys)
+		}
+	}
+}
+
+func TestRunProduction(t *testing.T) {
+	cfg := ProductionConfig{
+		System:    SystemConfig{Beads: 3, EquilSteps: 100, DT: 0.01, Temp: 300},
+		KappaPN:   100,
+		VAns:      400,
+		Replicas:  3,
+		Distance:  3,
+		Seed:      13,
+		Estimator: jarzynski.Cumulant2,
+	}
+	res, err := RunProduction(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PMF) != len(res.Grid) || len(res.SigmaStat) != len(res.Grid) {
+		t.Fatal("result shape mismatch")
+	}
+	if res.TotalSteps <= 0 {
+		t.Fatal("no steps accounted")
+	}
+	if res.PMF[0] != 0 {
+		t.Fatal("production PMF not anchored")
+	}
+	cfg.Replicas = 1
+	if _, err := RunProduction(cfg); err == nil {
+		t.Fatal("single-replica production accepted")
+	}
+}
+
+func TestDefaultSystemBuilds(t *testing.T) {
+	sc := DefaultSystem()
+	eng, atoms, err := sc.build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atoms) != 1 {
+		t.Fatalf("steered atoms = %d (paper pulls one atom)", len(atoms))
+	}
+	if eng.State().Step != int64(sc.EquilSteps) {
+		t.Fatalf("equilibration ran %d steps", eng.State().Step)
+	}
+	// The chain must extend upward from the start position.
+	pos := eng.State().Pos
+	if pos[atoms[0]].Z > pos[len(pos)-1].Z {
+		t.Fatal("lead bead should be lowest")
+	}
+	bad := sc
+	bad.Beads = 0
+	if _, _, err := bad.build(1); err == nil {
+		t.Fatal("zero-bead system accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package federation
+
+import (
+	"testing"
+)
+
+func siteByName(f *Federation, name string) *Site {
+	for _, s := range f.Sites() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestSPICEFabric(t *testing.T) {
+	fab := SPICEFabric()
+	if len(fab.Links) != 4 {
+		t.Fatalf("links = %d", len(fab.Links))
+	}
+	if _, ok := fab.Find("UCL", "NCSA"); !ok {
+		t.Fatal("UCL-NCSA circuit missing")
+	}
+	if _, ok := fab.Find("NCSA", "UCL"); !ok {
+		t.Fatal("circuit lookup should be order-insensitive")
+	}
+	if _, ok := fab.Find("UCL", "Oxford"); ok {
+		t.Fatal("phantom circuit")
+	}
+}
+
+func TestCoScheduleInteractiveHappyPath(t *testing.T) {
+	fed := SPICEFederation()
+	fab := SPICEFabric()
+	ncsa := siteByName(fed, "NCSA")
+	sess, err := CoScheduleInteractive(fab, ncsa, "UCL", 256, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Start != 0 || sess.Procs != 256 {
+		t.Fatalf("session = %+v", sess)
+	}
+	// The circuit is booked: a second simultaneous session must shift.
+	sess2, err := CoScheduleInteractive(fab, ncsa, "UCL", 256, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess2.Start < 4 {
+		t.Fatalf("second session overlaps the circuit: start %v", sess2.Start)
+	}
+	if u := sess.Link.CircuitUtilization(8); u != 1 {
+		t.Fatalf("circuit utilization = %v, want 1 over the booked horizon", u)
+	}
+}
+
+func TestCoScheduleWaitsForCompute(t *testing.T) {
+	fed := SPICEFederation()
+	fab := SPICEFabric()
+	sdsc := siteByName(fed, "SDSC")
+	// Fill SDSC for 10 h.
+	if err := sdsc.Machine.Reserve(0, 10, 512); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := CoScheduleInteractive(fab, sdsc, "UCL", 256, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Start != 10 {
+		t.Fatalf("session start = %v, want 10 (after compute drains)", sess.Start)
+	}
+}
+
+func TestCoScheduleCircuitContentionAcrossSites(t *testing.T) {
+	// Different circuits do not contend: NCSA-UCL and SDSC-UCL sessions
+	// can overlap even though both involve UCL (separate lambdas).
+	fed := SPICEFederation()
+	fab := SPICEFabric()
+	a, err := CoScheduleInteractive(fab, siteByName(fed, "NCSA"), "UCL", 128, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CoScheduleInteractive(fab, siteByName(fed, "SDSC"), "UCL", 128, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 0 || b.Start != 0 {
+		t.Fatalf("independent circuits contended: %v, %v", a.Start, b.Start)
+	}
+}
+
+func TestCoScheduleRejections(t *testing.T) {
+	fed := SPICEFederation()
+	fab := SPICEFabric()
+	// Oxford: no lightpath deployment (§V.C.2).
+	if _, err := CoScheduleInteractive(fab, siteByName(fed, "Oxford"), "UCL", 64, 1, 0); err == nil {
+		t.Fatal("lightpath-less site accepted")
+	}
+	// HPCx: hidden IP without gateways.
+	if _, err := CoScheduleInteractive(fab, siteByName(fed, "HPCx"), "UCL", 64, 1, 0); err == nil {
+		t.Fatal("unreachable site accepted")
+	}
+	// RAL: cross-site OK but no circuit provisioned and no lightpath.
+	if _, err := CoScheduleInteractive(fab, siteByName(fed, "RAL"), "UCL", 64, 1, 0); err == nil {
+		t.Fatal("circuit-less site accepted")
+	}
+	// Nil fabric.
+	if _, err := CoScheduleInteractive(nil, siteByName(fed, "NCSA"), "UCL", 64, 1, 0); err == nil {
+		t.Fatal("nil fabric accepted")
+	}
+	// Oversized compute.
+	if _, err := CoScheduleInteractive(fab, siteByName(fed, "NCSA"), "UCL", 99999, 1, 0); err == nil {
+		t.Fatal("oversized session accepted")
+	}
+}
+
+func TestCircuitUtilizationGrowsWithDemand(t *testing.T) {
+	fed := SPICEFederation()
+	fab := SPICEFabric()
+	psc := siteByName(fed, "PSC")
+	link, _ := fab.Find("UCL", "PSC")
+	if link.CircuitUtilization(24) != 0 {
+		t.Fatal("fresh circuit not idle")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := CoScheduleInteractive(fab, psc, "UCL", 256, 4, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u := link.CircuitUtilization(24); u != 0.5 {
+		t.Fatalf("utilization = %v, want 12h/24h = 0.5", u)
+	}
+}

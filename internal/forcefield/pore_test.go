@@ -1,0 +1,174 @@
+package forcefield
+
+import (
+	"math"
+	"testing"
+
+	"spice/internal/topology"
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+func testPoreField() (*PoreField, *topology.Topology) {
+	top := topology.New()
+	top.AddAtom(topology.Atom{Kind: topology.KindDNA, Mass: 325, Radius: 3})
+	pf := NewPoreField(top, topology.DefaultPore(), topology.DefaultMembrane())
+	return pf, top
+}
+
+func TestPoreFieldZeroOnAxis(t *testing.T) {
+	pf, _ := testPoreField()
+	f := make([]vec.V, 1)
+	// On the axis inside the pore there is no wall contact.
+	e := pf.AddForces([]vec.V{{Z: -20}}, f)
+	if e != 0 || f[0].Norm() != 0 {
+		t.Fatalf("on-axis energy %v force %v", e, f[0])
+	}
+}
+
+func TestPoreFieldPushesInward(t *testing.T) {
+	pf, _ := testPoreField()
+	f := make([]vec.V, 1)
+	// Deep in the barrel (radius 8, bead radius 3): r=7 penetrates by 2.
+	pos := []vec.V{{X: 7, Z: -40}}
+	e := pf.AddForces(pos, f)
+	if e <= 0 {
+		t.Fatalf("penetrating bead has zero energy")
+	}
+	if f[0].X >= 0 {
+		t.Fatalf("wall should push toward the axis, fx=%v", f[0].X)
+	}
+}
+
+func TestPoreFieldGradient(t *testing.T) {
+	pf, _ := testPoreField()
+	rng := xrand.New(4)
+	for trial := 0; trial < 30; trial++ {
+		// Random points in and around the wall region of the barrel and
+		// vestibule (avoid the exact pore-extent edges where the
+		// analytic profile is only C0).
+		z := -45 + 75*rng.Float64()
+		if math.Abs(z) < 1 || math.Abs(z-35) < 2 || math.Abs(z+50) < 2 {
+			continue
+		}
+		r := 2 + 10*rng.Float64()
+		th := 2 * math.Pi * rng.Float64()
+		pos := []vec.V{{X: r * math.Cos(th), Y: r * math.Sin(th), Z: z}}
+		checkForces(t, pf, pos, 2e-3)
+	}
+}
+
+func TestMembraneSlabExpulsion(t *testing.T) {
+	pf, _ := testPoreField()
+	f := make([]vec.V, 1)
+	// Outside the pore extent radially? No: membrane branch triggers only
+	// outside pore z-range... the default membrane [-45,-15] lies inside
+	// the pore z-range, so use a field without pore overlap.
+	pf.Pore = topology.PoreParams{VestibuleLength: 1, BarrelLength: 1,
+		VestibuleRadius: 5, ConstrictionRadius: 2, BarrelRadius: 4}
+	pf.Membrane = topology.MembraneParams{ZMin: -30, ZMax: -10}
+	// Bead inside the slab: expelled through the nearest face (upper).
+	pos := []vec.V{{X: 20, Z: -12}}
+	e := pf.AddForces(pos, f)
+	if e <= 0 {
+		t.Fatal("no slab energy")
+	}
+	if f[0].Z <= 0 {
+		t.Fatalf("should push up through near face, fz=%v", f[0].Z)
+	}
+	// Near the lower face: pushed down.
+	f2 := make([]vec.V, 1)
+	pf.AddForces([]vec.V{{X: 20, Z: -28}}, f2)
+	if f2[0].Z >= 0 {
+		t.Fatalf("should push down through near face, fz=%v", f2[0].Z)
+	}
+}
+
+func TestBulkCylinderConfinement(t *testing.T) {
+	pf, _ := testPoreField()
+	f := make([]vec.V, 1)
+	// Far above the pore, far off axis: the soft cylinder pulls back.
+	pos := []vec.V{{X: pf.BulkRadius + 5, Z: 60}}
+	e := pf.AddForces(pos, f)
+	if e <= 0 || f[0].X >= 0 {
+		t.Fatalf("bulk cylinder inactive: e=%v fx=%v", e, f[0].X)
+	}
+	// Inside the cylinder: inactive.
+	f2 := make([]vec.V, 1)
+	e2 := pf.AddForces([]vec.V{{X: 10, Z: 60}}, f2)
+	if e2 != 0 || f2[0].Norm() != 0 {
+		t.Fatal("bulk cylinder active inside radius")
+	}
+}
+
+func TestPoreFieldSkipsFixedAtoms(t *testing.T) {
+	top := topology.New()
+	top.AddAtom(topology.Atom{Kind: topology.KindWall, Mass: 1, Radius: 2, Fixed: true})
+	pf := NewPoreField(top, topology.DefaultPore(), topology.DefaultMembrane())
+	f := make([]vec.V, 1)
+	e := pf.AddForces([]vec.V{{X: 50, Z: 0}}, f)
+	if e != 0 || f[0].Norm() != 0 {
+		t.Fatal("fixed atom felt the pore field")
+	}
+}
+
+func TestBindingSitesWellAndGradient(t *testing.T) {
+	b := &BindingSites{
+		Sites: []BindingSite{{Z: -12, Depth: 1.2, Width: 4}},
+		Atoms: []int{0},
+	}
+	// Energy minimum at the well center.
+	f := make([]vec.V, 1)
+	e := b.AddForces([]vec.V{{Z: -12}}, f)
+	if math.Abs(e+1.2) > 1e-12 {
+		t.Fatalf("well depth = %v", e)
+	}
+	if math.Abs(f[0].Z) > 1e-12 {
+		t.Fatalf("force at minimum = %v", f[0].Z)
+	}
+	// Above the well: pulled down; below: pulled up.
+	f1 := make([]vec.V, 1)
+	b.AddForces([]vec.V{{Z: -8}}, f1)
+	if f1[0].Z >= 0 {
+		t.Fatalf("above well should pull down: %v", f1[0].Z)
+	}
+	f2 := make([]vec.V, 1)
+	b.AddForces([]vec.V{{Z: -16}}, f2)
+	if f2[0].Z <= 0 {
+		t.Fatalf("below well should pull up: %v", f2[0].Z)
+	}
+	// Gradient check across the well.
+	rng := xrand.New(5)
+	for trial := 0; trial < 20; trial++ {
+		pos := []vec.V{{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: -12 + 10*rng.NormFloat64()}}
+		checkForces(t, b, pos, 1e-5)
+	}
+}
+
+func TestDefaultBindingSites(t *testing.T) {
+	b := DefaultBindingSites([]int{0, 1})
+	if len(b.Sites) == 0 || len(b.Atoms) != 2 {
+		t.Fatal("default binding sites malformed")
+	}
+}
+
+func TestExternalForces(t *testing.T) {
+	x := NewExternalForces()
+	x.Set(1, vec.V{X: 2})
+	f := make([]vec.V, 3)
+	if e := x.AddForces(nil, f); e != 0 {
+		t.Fatal("external force should report zero energy")
+	}
+	if f[1].X != 2 || f[0].Norm() != 0 || f[2].Norm() != 0 {
+		t.Fatalf("forces = %v", f)
+	}
+	// Out-of-range indices are ignored.
+	x.Set(99, vec.V{X: 1})
+	x.AddForces(nil, f)
+	x.Clear()
+	f2 := make([]vec.V, 3)
+	x.AddForces(nil, f2)
+	if f2[1].Norm() != 0 {
+		t.Fatal("Clear did not remove forces")
+	}
+}

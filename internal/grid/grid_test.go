@@ -1,0 +1,229 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEarliestStartEmptyMachine(t *testing.T) {
+	m := NewMachine("m", 128)
+	start, err := m.EarliestStart(5, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 5 {
+		t.Fatalf("start = %v, want 5 (submit time)", start)
+	}
+}
+
+func TestEarliestStartTooBig(t *testing.T) {
+	m := NewMachine("m", 128)
+	if _, err := m.EarliestStart(0, 1, 256); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	if _, err := m.EarliestStart(0, 1, 0); err == nil {
+		t.Fatal("zero-proc job accepted")
+	}
+}
+
+func TestReserveAndConflict(t *testing.T) {
+	m := NewMachine("m", 100)
+	if err := m.Reserve(0, 10, 60); err != nil {
+		t.Fatal(err)
+	}
+	// 40 free: another 60 won't fit concurrently.
+	if err := m.Reserve(5, 10, 60); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	if err := m.Reserve(5, 10, 40); err != nil {
+		t.Fatalf("fitting reservation rejected: %v", err)
+	}
+	// After the first ends, plenty of room.
+	if err := m.Reserve(10, 10, 100); err == nil {
+		// 40-proc job still running until t=15.
+		t.Fatal("conflict with tail of second reservation accepted")
+	}
+	if err := m.Reserve(15, 10, 100); err != nil {
+		t.Fatalf("post-drain reservation rejected: %v", err)
+	}
+}
+
+func TestEarliestStartSkipsBusyWindow(t *testing.T) {
+	m := NewMachine("m", 100)
+	if err := m.Reserve(0, 10, 80); err != nil {
+		t.Fatal(err)
+	}
+	// 50-proc job must wait until t=10.
+	start, err := m.EarliestStart(0, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 10 {
+		t.Fatalf("start = %v, want 10", start)
+	}
+	// 20-proc job fits immediately alongside.
+	start, err = m.EarliestStart(0, 5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("small job start = %v, want 0", start)
+	}
+}
+
+func TestEarliestStartWindowSpanningTwoJobs(t *testing.T) {
+	m := NewMachine("m", 100)
+	_ = m.Reserve(0, 4, 60)
+	_ = m.Reserve(6, 4, 60)
+	// A 50-proc 10-hour job cannot fit in the t=4..6 gap; must start at 10.
+	start, err := m.EarliestStart(0, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 10 {
+		t.Fatalf("start = %v, want 10", start)
+	}
+	// A 40-proc job fits any time (60+40 = 100).
+	start, _ = m.EarliestStart(0, 10, 40)
+	if start != 0 {
+		t.Fatalf("40-proc start = %v, want 0", start)
+	}
+}
+
+func TestFCFSMonotoneStarts(t *testing.T) {
+	m := NewMachine("m", 100)
+	q := NewQueue(m, false)
+	// Big job first, then a tiny one that *could* run immediately but
+	// must not overtake under strict FCFS.
+	p1, err := q.Submit(&Job{ID: "big", Procs: 100, Hours: 10, Submit: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := q.Submit(&Job{ID: "small", Procs: 1, Hours: 1, Submit: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Start < p1.Start {
+		t.Fatalf("FCFS violated: small starts %v before big %v", p2.Start, p1.Start)
+	}
+}
+
+func TestBackfillFillsHoles(t *testing.T) {
+	mk := func(backfill bool) (Placement, Placement, Placement) {
+		m := NewMachine("m", 100)
+		q := NewQueue(m, backfill)
+		a, _ := q.Submit(&Job{ID: "a", Procs: 60, Hours: 10, Submit: 0})
+		b, _ := q.Submit(&Job{ID: "b", Procs: 60, Hours: 10, Submit: 0}) // must wait
+		c, _ := q.Submit(&Job{ID: "c", Procs: 30, Hours: 5, Submit: 0})  // fits beside a
+		return a, b, c
+	}
+	_, bNo, cNo := mk(false)
+	_, bYes, cYes := mk(true)
+	if cNo.Start < bNo.Start {
+		t.Fatal("no-backfill queue let c overtake")
+	}
+	if cYes.Start >= bYes.Start {
+		t.Fatalf("backfill did not let c fill the hole: c=%v b=%v", cYes.Start, bYes.Start)
+	}
+	if !cYes.Backfilled {
+		t.Fatal("backfilled placement not marked")
+	}
+}
+
+func TestBackfillImprovesMakespan(t *testing.T) {
+	run := func(backfill bool) float64 {
+		m := NewMachine("m", 128)
+		q := NewQueue(m, backfill)
+		var ps []Placement
+		// Alternating wide and narrow jobs create holes.
+		for i := 0; i < 20; i++ {
+			procs := 100
+			hours := 4.0
+			if i%2 == 1 {
+				procs = 20
+				hours = 2
+			}
+			p, err := q.Submit(&Job{ID: "j", Procs: procs, Hours: hours, Submit: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, p)
+		}
+		return Makespan(ps)
+	}
+	if run(true) > run(false) {
+		t.Fatalf("backfill worsened makespan: %v vs %v", run(true), run(false))
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := NewMachine("m", 100)
+	_ = m.Reserve(0, 10, 50)
+	u := m.Utilization(10)
+	if math.Abs(u-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	// Beyond horizon clipped.
+	_ = m.Reserve(5, 100, 10)
+	u2 := m.Utilization(10)
+	want := (10*50 + 5*10) / 1000.0
+	if math.Abs(u2-want) > 1e-12 {
+		t.Fatalf("clipped utilization = %v, want %v", u2, want)
+	}
+	if NewMachine("x", 0).Utilization(10) != 0 {
+		t.Fatal("zero-proc machine utilization")
+	}
+}
+
+func TestOutageBlocksPlacement(t *testing.T) {
+	m := NewMachine("m", 100)
+	m.Outage(0, 24)
+	start, err := m.EarliestStart(0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 24 {
+		t.Fatalf("job starts at %v during outage", start)
+	}
+}
+
+func TestJobHelpers(t *testing.T) {
+	j := &Job{Procs: 128, Hours: 8.125}
+	if j.CPUHours() != 1040 {
+		t.Fatalf("CPUHours = %v", j.CPUHours())
+	}
+	p := Placement{Job: &Job{Hours: 3, Submit: 2}, Start: 7}
+	if p.End() != 10 || p.WaitTime() != 5 {
+		t.Fatalf("End=%v Wait=%v", p.End(), p.WaitTime())
+	}
+}
+
+func TestMakespanAndTotals(t *testing.T) {
+	ps := []Placement{
+		{Job: &Job{Procs: 10, Hours: 5}, Start: 0},
+		{Job: &Job{Procs: 20, Hours: 2}, Start: 10},
+	}
+	if Makespan(ps) != 12 {
+		t.Fatalf("makespan = %v", Makespan(ps))
+	}
+	if TotalCPUHours(ps) != 90 {
+		t.Fatalf("cpu-hours = %v", TotalCPUHours(ps))
+	}
+	if Makespan(nil) != 0 {
+		t.Fatal("empty makespan")
+	}
+}
+
+func TestQueuePlacementsCopy(t *testing.T) {
+	m := NewMachine("m", 10)
+	q := NewQueue(m, true)
+	_, _ = q.Submit(&Job{ID: "a", Procs: 1, Hours: 1})
+	ps := q.Placements()
+	if len(ps) != 1 {
+		t.Fatalf("placements = %d", len(ps))
+	}
+	ps[0].Start = 999
+	if q.Placements()[0].Start == 999 {
+		t.Fatal("Placements returned internal slice")
+	}
+}

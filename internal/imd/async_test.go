@@ -1,0 +1,208 @@
+package imd
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"spice/internal/netsim"
+)
+
+func TestAsyncSessionFreeRuns(t *testing.T) {
+	eng := testEngine(t, 20)
+	simConn, visConn := net.Pipe()
+	defer simConn.Close()
+	defer visConn.Close()
+
+	statsCh := make(chan *Stats, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		s, err := Serve(eng, simConn, SessionConfig{Stride: 2, Frames: 20, Sync: false})
+		statsCh <- s
+		errCh <- err
+	}()
+	client, err := Connect(visConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Async client: consume frames, occasionally push a force.
+	client.OnFrame = func(int64, float64, []float32) *Message {
+		if client.FramesSeen == 5 {
+			return &Message{Type: MsgForce, Atom: 1, FZ: 1}
+		}
+		return nil
+	}
+	if err := client.Run(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	stats := <-statsCh
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != 20 {
+		t.Fatalf("frames = %d", stats.Frames)
+	}
+	if stats.Steps != 40 {
+		t.Fatalf("steps = %d", stats.Steps)
+	}
+	// In async mode the force may land after the loop drained its last
+	// messages; at least the session must complete without stalling on
+	// every frame.
+	if stats.Stall > stats.Compute*100 {
+		t.Fatalf("async session stalled excessively: %v vs %v", stats.Stall, stats.Compute)
+	}
+}
+
+func TestServeDefaults(t *testing.T) {
+	eng := testEngine(t, 21)
+	simConn, visConn := net.Pipe()
+	defer simConn.Close()
+	defer visConn.Close()
+	done := make(chan *Stats, 1)
+	go func() {
+		s, _ := Serve(eng, simConn, SessionConfig{}) // all defaults
+		done <- s
+	}()
+	client, err := Connect(visConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = client.Run()
+	s := <-done
+	if s.Frames != 1 || s.Steps != 10 {
+		t.Fatalf("defaults: frames=%d steps=%d, want 1/10", s.Frames, s.Steps)
+	}
+}
+
+func TestServeClientVanishes(t *testing.T) {
+	eng := testEngine(t, 22)
+	simConn, visConn := net.Pipe()
+	defer simConn.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Serve(eng, simConn, SessionConfig{Stride: 1, Frames: 100, Sync: true})
+		done <- err
+	}()
+	client, err := Connect(visConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read two frames, then slam the connection shut.
+	for i := 0; i < 2; i++ {
+		m, err := Read(visConn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != MsgFrame {
+			t.Fatalf("got %v", m.Type)
+		}
+		if err := Write(visConn, &Message{Type: MsgAck}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	visConn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("vanished client not reported")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server hung after client loss")
+	}
+	_ = client
+}
+
+func TestModelZeroFrames(t *testing.T) {
+	m := SimulateSession(ModelConfig{Profile: netsim.LAN, Sync: true})
+	if m.Wall != 0 || m.FPS != 0 || m.Slowdown != 1 {
+		t.Fatalf("zero-frame session stats: %+v", m)
+	}
+}
+
+func TestModelStallFractionBounds(t *testing.T) {
+	for _, p := range netsim.Profiles() {
+		for _, sync := range []bool{true, false} {
+			m := SimulateSession(ModelConfig{
+				ComputePerFrame: 100 * time.Millisecond,
+				RenderTime:      10 * time.Millisecond,
+				NAtoms:          1000,
+				Frames:          20,
+				Profile:         p,
+				Sync:            sync,
+				Seed:            5,
+			})
+			if m.StallFraction < 0 || m.StallFraction > 1 {
+				t.Fatalf("%s sync=%v: stall fraction %v", p.Name, sync, m.StallFraction)
+			}
+			if m.Slowdown < 1 {
+				t.Fatalf("%s sync=%v: slowdown %v < 1", p.Name, sync, m.Slowdown)
+			}
+			if m.Wall != m.Compute+m.Stall {
+				t.Fatal("wall != compute + stall")
+			}
+		}
+	}
+}
+
+func TestModelMoreAtomsMoreStall(t *testing.T) {
+	mk := func(atoms int) ModelStats {
+		return SimulateSession(ModelConfig{
+			ComputePerFrame: 500 * time.Millisecond,
+			RenderTime:      10 * time.Millisecond,
+			NAtoms:          atoms,
+			Frames:          50,
+			Profile:         netsim.Congested,
+			Sync:            true,
+			Seed:            6,
+		})
+	}
+	small, large := mk(1000), mk(300000)
+	if large.Stall <= small.Stall {
+		t.Fatalf("larger frames should stall more on a thin pipe: %v vs %v", large.Stall, small.Stall)
+	}
+}
+
+func TestHapticReactionCadence(t *testing.T) {
+	h := NewHaptic(0, 100, 1)
+	h.ReactionFrames = 4
+	coords := []float32{0, 0, 0}
+	var forces []float64
+	for i := 0; i < 12; i++ {
+		m := h.OnFrame(int64(i), 0, coords)
+		if m.Type != MsgForce {
+			t.Fatalf("frame %d: %v", i, m.Type)
+		}
+		forces = append(forces, m.FZ)
+	}
+	// The force only changes every ReactionFrames frames.
+	changes := 0
+	for i := 1; i < len(forces); i++ {
+		if forces[i] != forces[i-1] {
+			changes++
+		}
+	}
+	if changes > 3 {
+		t.Fatalf("force changed %d times in 12 frames with cadence 4", changes)
+	}
+}
+
+func TestHapticForceClamp(t *testing.T) {
+	h := NewHaptic(0, 1e6, 2) // absurd target: force must clamp
+	h.NoisePN = 0
+	m := h.OnFrame(0, 0, []float32{0, 0, 0})
+	if m.Type != MsgForce {
+		t.Fatal("no force emitted")
+	}
+	if h.PeakForcePN() > h.MaxForcePN+1e-9 {
+		t.Fatalf("force %v exceeds device limit %v", h.PeakForcePN(), h.MaxForcePN)
+	}
+}
+
+func TestHapticAtomOutOfFrame(t *testing.T) {
+	h := NewHaptic(5, 10, 3) // atom 5 not present in a 1-atom frame
+	m := h.OnFrame(0, 0, []float32{0, 0, 0})
+	if m.Type != MsgAck {
+		t.Fatalf("expected ack for out-of-frame atom, got %v", m.Type)
+	}
+}

@@ -1,0 +1,91 @@
+package imd
+
+import (
+	"math"
+
+	"spice/internal/units"
+	"spice/internal/xrand"
+)
+
+// Haptic is a synthetic haptic device + human operator. The paper (§II)
+// treats haptic devices "as if they were just additional computing
+// resources" inside the steering framework: the device receives frames
+// like any visualizer and sends back forces.
+//
+// The synthetic operator steers a chosen atom toward a target z with a
+// proportional controller, updating the applied force only at a human
+// reaction cadence, with motor noise — enough to exercise the same
+// protocol path a real Phantom device would.
+type Haptic struct {
+	// Atom is the steered atom index.
+	Atom int
+	// TargetZ is where the operator is trying to move the atom, Å.
+	TargetZ float64
+	// MaxForcePN caps the applied force in pN (device limit).
+	MaxForcePN float64
+	// Gain is the proportional gain in pN/Å.
+	Gain float64
+	// ReactionFrames is how many frames pass between force updates
+	// (human reaction time expressed in frame counts).
+	ReactionFrames int
+	// NoisePN is the motor-noise standard deviation in pN.
+	NoisePN float64
+
+	rng       *xrand.Source
+	lastForce float64 // pN, along z
+	frames    int
+
+	// ForceLog records the z-force (pN) sent after each frame.
+	ForceLog []float64
+}
+
+// NewHaptic returns a device steering atom toward targetZ.
+func NewHaptic(atom int, targetZ float64, seed uint64) *Haptic {
+	return &Haptic{
+		Atom:           atom,
+		TargetZ:        targetZ,
+		MaxForcePN:     300,
+		Gain:           15,
+		ReactionFrames: 5,
+		NoisePN:        8,
+		rng:            xrand.New(seed),
+	}
+}
+
+// OnFrame implements the Client.OnFrame hook.
+func (h *Haptic) OnFrame(_ int64, _ float64, coords []float32) *Message {
+	h.frames++
+	if 3*h.Atom+2 < len(coords) && (h.ReactionFrames <= 1 || h.frames%h.ReactionFrames == 1 || h.lastForce == 0) {
+		z := float64(coords[3*h.Atom+2])
+		f := h.Gain * (h.TargetZ - z)
+		f += h.NoisePN * h.rng.NormFloat64()
+		if f > h.MaxForcePN {
+			f = h.MaxForcePN
+		}
+		if f < -h.MaxForcePN {
+			f = -h.MaxForcePN
+		}
+		h.lastForce = f
+	}
+	h.ForceLog = append(h.ForceLog, h.lastForce)
+	if h.lastForce == 0 {
+		return &Message{Type: MsgAck}
+	}
+	return &Message{
+		Type: MsgForce,
+		Atom: int32(h.Atom),
+		FZ:   units.KcalMolAFromPN(h.lastForce),
+	}
+}
+
+// PeakForcePN returns the largest absolute force the operator applied —
+// the paper uses haptic exploration "to get an estimate of force values".
+func (h *Haptic) PeakForcePN() float64 {
+	peak := 0.0
+	for _, f := range h.ForceLog {
+		if a := math.Abs(f); a > peak {
+			peak = a
+		}
+	}
+	return peak
+}

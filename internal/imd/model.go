@@ -1,0 +1,92 @@
+package imd
+
+import (
+	"time"
+
+	"spice/internal/netsim"
+	"spice/internal/xrand"
+)
+
+// ModelConfig parameterizes the discrete-event session-timing model used
+// to study QoS requirements at the paper's production scale (300,000
+// atoms on 256 processors) without running a 300k-atom simulation.
+type ModelConfig struct {
+	// ComputePerFrame is the simulation time to produce one frame
+	// (Stride MD steps) on the allocated processors.
+	ComputePerFrame time.Duration
+	// RenderTime is the visualizer's per-frame processing time.
+	RenderTime time.Duration
+	// NAtoms sets the frame wire size.
+	NAtoms int
+	// Frames is the session length.
+	Frames int
+	// Profile is the network path between simulation and visualizer.
+	Profile netsim.Profile
+	// Sync selects interactive (blocking) mode.
+	Sync bool
+	// Seed drives the delay sampling.
+	Seed uint64
+}
+
+// ModelStats is the simulated session outcome.
+type ModelStats struct {
+	Wall    time.Duration
+	Compute time.Duration
+	Stall   time.Duration
+	// FPS is achieved frames per wall-clock second.
+	FPS float64
+	// StallFraction is Stall/Wall; Slowdown is Wall/Compute.
+	StallFraction float64
+	Slowdown      float64
+}
+
+// SimulateSession runs the timing model: in interactive (Sync) mode every
+// frame costs compute + frame delivery + render + force return, because
+// the simulation blocks for the user's response (the stall mechanism of
+// the paper's §II–III). In async mode delivery is pipelined with compute
+// and only serialization backpressure can stall the simulation.
+func SimulateSession(cfg ModelConfig) ModelStats {
+	rng := xrand.New(cfg.Seed + 7)
+	frameBytes := FrameBytes(cfg.NAtoms)
+	var stats ModelStats
+	for f := 0; f < cfg.Frames; f++ {
+		stats.Compute += cfg.ComputePerFrame
+		down := cfg.Profile.SampleDelay(rng, frameBytes)
+		up := cfg.Profile.SampleDelay(rng, ForceBytes)
+		if cfg.Sync {
+			stats.Stall += down + cfg.RenderTime + up
+		} else {
+			// Pipelined: the socket absorbs latency; only the part of
+			// the serialization that exceeds the compute window blocks
+			// the writer (TCP backpressure).
+			excess := down - cfg.Profile.Latency - cfg.ComputePerFrame
+			if excess > 0 {
+				stats.Stall += excess
+			}
+		}
+	}
+	stats.Wall = stats.Compute + stats.Stall
+	if stats.Wall > 0 {
+		stats.FPS = float64(cfg.Frames) / stats.Wall.Seconds()
+		stats.StallFraction = float64(stats.Stall) / float64(stats.Wall)
+	}
+	if stats.Compute > 0 {
+		stats.Slowdown = float64(stats.Wall) / float64(stats.Compute)
+	} else {
+		stats.Slowdown = 1
+	}
+	return stats
+}
+
+// PaperComputePerFrame estimates the per-frame compute time for the
+// paper's production system from its in-text cost model: 1 ns of a
+// 300,000-atom system takes 24 h on 128 processors (§I), i.e. each 1 fs
+// MD step costs 86.4 ms · (128/procs) — assuming the near-ideal scaling
+// NAMD achieves at these processor counts. A frame is stride steps.
+func PaperComputePerFrame(procs, stride int) time.Duration {
+	if procs <= 0 {
+		procs = 128
+	}
+	perStep := 86.4 * 128 / float64(procs) // ms per MD step
+	return time.Duration(perStep * float64(stride) * float64(time.Millisecond))
+}

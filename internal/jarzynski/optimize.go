@@ -1,0 +1,123 @@
+package jarzynski
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ParamPoint is the analyzed outcome of one (κ, v) parameter combination —
+// one curve of the paper's Fig. 4.
+type ParamPoint struct {
+	// KappaPaper is the spring constant in pN/Å; VPaper the pulling
+	// velocity in Å/ns (the paper's units).
+	KappaPaper float64
+	VPaper     float64
+
+	Grid []float64 // displacement grid, Å
+	PMF  []float64 // anchored free energy profile, kcal/mol
+
+	// SigmaStat is the cost-normalized statistical error (kcal/mol).
+	SigmaStat float64
+	// SigmaSys is the systematic error vs the reference profile.
+	SigmaSys float64
+	// Samples is the number of trajectories the estimate used.
+	Samples int
+}
+
+// CombinedError is the quadrature sum of statistical and systematic error.
+func (p ParamPoint) CombinedError() float64 {
+	return math.Sqrt(p.SigmaStat*p.SigmaStat + p.SigmaSys*p.SigmaSys)
+}
+
+// String implements fmt.Stringer.
+func (p ParamPoint) String() string {
+	return fmt.Sprintf("κ=%g pN/Å v=%g Å/ns (σ_stat=%.3g σ_sys=%.3g, n=%d)",
+		p.KappaPaper, p.VPaper, p.SigmaStat, p.SigmaSys, p.Samples)
+}
+
+// Optimize implements the paper's §IV parameter selection over a sweep of
+// (κ, v) combinations:
+//
+//  1. rank by combined error;
+//  2. among candidates within tol (kcal/mol) of the best combined error,
+//     prefer the slowest pulling velocity (slower pulls sample phase space
+//     more faithfully — "in general the slower the v, the more accurate
+//     the sampling");
+//  3. break remaining ties by smaller systematic error, then smaller κ.
+//
+// It returns an error for an empty sweep.
+func Optimize(points []ParamPoint, tol float64) (ParamPoint, error) {
+	if len(points) == 0 {
+		return ParamPoint{}, errors.New("jarzynski: empty parameter sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.CombinedError() < best.CombinedError() {
+			best = p
+		}
+	}
+	candidates := make([]ParamPoint, 0, len(points))
+	for _, p := range points {
+		if p.CombinedError() <= best.CombinedError()+tol {
+			candidates = append(candidates, p)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.VPaper != b.VPaper {
+			return a.VPaper < b.VPaper
+		}
+		if a.SigmaSys != b.SigmaSys {
+			return a.SigmaSys < b.SigmaSys
+		}
+		return a.KappaPaper < b.KappaPaper
+	})
+	return candidates[0], nil
+}
+
+// SpreadAcrossVelocities measures, for a fixed κ, how much the PMFs for
+// different velocities disagree: the grid-averaged standard deviation
+// across curves. Large spread at low κ is the paper's signature of the
+// SMD atoms being "almost un-coupled to the pulling atoms which results
+// in a large variation in the ... resulting PMFs for the different v
+// values".
+func SpreadAcrossVelocities(points []ParamPoint) (float64, error) {
+	if len(points) < 2 {
+		return 0, errors.New("jarzynski: need >= 2 velocity curves")
+	}
+	n := len(points[0].PMF)
+	for _, p := range points[1:] {
+		if len(p.PMF) != n {
+			return 0, errors.New("jarzynski: curves have different lengths")
+		}
+	}
+	total := 0.0
+	for g := 0; g < n; g++ {
+		mean := 0.0
+		for _, p := range points {
+			mean += p.PMF[g]
+		}
+		mean /= float64(len(points))
+		varsum := 0.0
+		for _, p := range points {
+			d := p.PMF[g] - mean
+			varsum += d * d
+		}
+		total += math.Sqrt(varsum / float64(len(points)-1))
+	}
+	return total / float64(n), nil
+}
+
+// ReductionFactor estimates the paper's §II claim that SMD-JE reduces the
+// net computational requirement by 50-100x. vanillaSteps is the MD steps a
+// brute-force equilibrium simulation of the full translocation needs;
+// smdSteps the total steps across the SMD-JE ensemble that achieved the
+// target accuracy.
+func ReductionFactor(vanillaSteps, smdSteps float64) float64 {
+	if smdSteps <= 0 {
+		return math.Inf(1)
+	}
+	return vanillaSteps / smdSteps
+}

@@ -1,0 +1,94 @@
+package jarzynski
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimizePicksLowestCombinedError(t *testing.T) {
+	points := []ParamPoint{
+		{KappaPaper: 10, VPaper: 100, SigmaStat: 0.2, SigmaSys: 3.0},
+		{KappaPaper: 100, VPaper: 12.5, SigmaStat: 0.5, SigmaSys: 0.4},
+		{KappaPaper: 1000, VPaper: 12.5, SigmaStat: 2.5, SigmaSys: 0.3},
+	}
+	best, err := Optimize(points, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.KappaPaper != 100 {
+		t.Fatalf("best = %v", best)
+	}
+}
+
+func TestOptimizePrefersSlowerVelocityOnTies(t *testing.T) {
+	// The paper's exact situation: κ=100 at v=12.5 and v=25 are
+	// statistically indistinguishable; pick v=12.5.
+	points := []ParamPoint{
+		{KappaPaper: 100, VPaper: 25, SigmaStat: 0.50, SigmaSys: 0.40},
+		{KappaPaper: 100, VPaper: 12.5, SigmaStat: 0.52, SigmaSys: 0.41},
+		{KappaPaper: 100, VPaper: 100, SigmaStat: 0.3, SigmaSys: 2.5},
+	}
+	best, err := Optimize(points, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.VPaper != 12.5 {
+		t.Fatalf("tie-break failed: %v", best)
+	}
+}
+
+func TestOptimizeEmpty(t *testing.T) {
+	if _, err := Optimize(nil, 0.1); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestCombinedError(t *testing.T) {
+	p := ParamPoint{SigmaStat: 3, SigmaSys: 4}
+	if math.Abs(p.CombinedError()-5) > 1e-12 {
+		t.Fatalf("combined = %v", p.CombinedError())
+	}
+}
+
+func TestSpreadAcrossVelocities(t *testing.T) {
+	a := ParamPoint{PMF: []float64{0, 1, 2}}
+	b := ParamPoint{PMF: []float64{0, 1, 2}}
+	s, err := SpreadAcrossVelocities([]ParamPoint{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("identical curves spread = %v", s)
+	}
+	c := ParamPoint{PMF: []float64{0, 3, 6}}
+	s2, err := SpreadAcrossVelocities([]ParamPoint{a, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 <= 0 {
+		t.Fatal("diverging curves not detected")
+	}
+	if _, err := SpreadAcrossVelocities([]ParamPoint{a}); err == nil {
+		t.Fatal("single curve accepted")
+	}
+	if _, err := SpreadAcrossVelocities([]ParamPoint{a, {PMF: []float64{0}}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestReductionFactor(t *testing.T) {
+	if got := ReductionFactor(100, 2); got != 50 {
+		t.Fatalf("reduction = %v", got)
+	}
+	if !math.IsInf(ReductionFactor(100, 0), 1) {
+		t.Fatal("zero smd steps should be +Inf")
+	}
+}
+
+func TestParamPointString(t *testing.T) {
+	p := ParamPoint{KappaPaper: 100, VPaper: 12.5, SigmaStat: 0.1, SigmaSys: 0.2, Samples: 16}
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

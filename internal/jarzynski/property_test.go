@@ -1,0 +1,240 @@
+package jarzynski
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spice/internal/trace"
+	"spice/internal/xrand"
+)
+
+// ensembleFrom builds a small ensemble from a quick-generated work matrix.
+// Rows with non-finite values are rejected by returning nil.
+func ensembleFrom(rows [][]float64) *Ensemble {
+	if len(rows) < 2 {
+		return nil
+	}
+	width := len(rows[0])
+	if width < 2 || width > 64 {
+		return nil
+	}
+	var logs []*trace.WorkLog
+	for _, r := range rows {
+		if len(r) != width {
+			return nil
+		}
+		wl := &trace.WorkLog{Kappa: 1, Velocity: 1}
+		for i, w := range r {
+			if math.IsNaN(w) || math.IsInf(w, 0) || math.Abs(w) > 100 {
+				return nil
+			}
+			wl.Samples = append(wl.Samples, trace.WorkSample{Lambda: float64(i), Z: float64(i), Work: w})
+		}
+		logs = append(logs, wl)
+	}
+	e, err := NewEnsemble(300, logs)
+	if err != nil {
+		return nil
+	}
+	return e
+}
+
+// randomRows draws an n×m work matrix from rng with bounded values. Work
+// accumulates from exactly zero at the first grid point, as in real SMD
+// logs — the anchored-profile invariants below rely on W(0) = 0.
+func randomRows(rng *xrand.Source, n, m int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, m)
+		for j := 1; j < m; j++ {
+			rows[i][j] = rows[i][j-1] + rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// TestPropertySecondLaw: for every ensemble and every grid point,
+// ⟨W⟩ ≥ ΔF_JE (Jensen's inequality).
+func TestPropertySecondLaw(t *testing.T) {
+	rng := xrand.New(101)
+	for trial := 0; trial < 200; trial++ {
+		e := ensembleFrom(randomRows(rng, 2+rng.Intn(10), 2+rng.Intn(10)))
+		if e == nil {
+			t.Fatal("generator produced invalid ensemble")
+		}
+		c1, err := e.PMF(Cumulant1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		je, err := e.PMF(Exponential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := range c1 {
+			if c1[g] < je[g]-1e-9 {
+				t.Fatalf("trial %d grid %d: <W>=%v < ΔF=%v", trial, g, c1[g], je[g])
+			}
+		}
+	}
+}
+
+// TestPropertyShiftInvariance: adding a trajectory-independent offset
+// profile to every trajectory shifts the anchored PMF by the anchored
+// offset — for every estimator.
+func TestPropertyShiftInvariance(t *testing.T) {
+	rng := xrand.New(102)
+	for trial := 0; trial < 100; trial++ {
+		n, m := 3+rng.Intn(6), 3+rng.Intn(8)
+		rows := randomRows(rng, n, m)
+		offset := make([]float64, m)
+		for j := range offset {
+			offset[j] = 5 * rng.NormFloat64()
+		}
+		shifted := make([][]float64, n)
+		for i := range rows {
+			shifted[i] = make([]float64, m)
+			for j := range rows[i] {
+				shifted[i][j] = rows[i][j] + offset[j]
+			}
+		}
+		a, b := ensembleFrom(rows), ensembleFrom(shifted)
+		if a == nil || b == nil {
+			t.Fatal("invalid ensemble")
+		}
+		for _, est := range []Estimator{Exponential, Cumulant1, Cumulant2} {
+			pa, err := a.PMF(est)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := b.PMF(est)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for g := range pa {
+				want := pa[g] + offset[g] - offset[0]
+				if math.Abs(pb[g]-want) > 1e-6 {
+					t.Fatalf("%v: shift broke at grid %d: %v vs %v", est, g, pb[g], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyPermutationInvariance: trajectory order must not matter.
+func TestPropertyPermutationInvariance(t *testing.T) {
+	rng := xrand.New(103)
+	for trial := 0; trial < 50; trial++ {
+		n, m := 4+rng.Intn(6), 3+rng.Intn(6)
+		rows := randomRows(rng, n, m)
+		perm := rng.Perm(n)
+		shuffled := make([][]float64, n)
+		for i, p := range perm {
+			shuffled[i] = rows[p]
+		}
+		a, b := ensembleFrom(rows), ensembleFrom(shuffled)
+		for _, est := range []Estimator{Exponential, Cumulant2} {
+			pa, _ := a.PMF(est)
+			pb, _ := b.PMF(est)
+			for g := range pa {
+				if math.Abs(pa[g]-pb[g]) > 1e-9 {
+					t.Fatalf("%v: permutation changed PMF", est)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyEstimatorOrderingQuick uses testing/quick to probe the
+// Exponential ≤ Cumulant1 ordering with arbitrary bounded inputs.
+func TestPropertyEstimatorOrderingQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		e := ensembleFrom(randomRows(rng, 2+rng.Intn(8), 2+rng.Intn(8)))
+		if e == nil {
+			return false
+		}
+		je, err1 := e.PMF(Exponential)
+		c1, err2 := e.PMF(Cumulant1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for g := range je {
+			if je[g] > c1[g]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStatErrorNonNegative: bootstrap errors are never negative
+// and are zero for identical trajectories.
+func TestPropertyStatErrorNonNegative(t *testing.T) {
+	rng := xrand.New(104)
+	for trial := 0; trial < 30; trial++ {
+		e := ensembleFrom(randomRows(rng, 3+rng.Intn(5), 3+rng.Intn(5)))
+		sig, err := e.StatError(Cumulant2, 50, xrand.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sig {
+			if s < 0 || math.IsNaN(s) {
+				t.Fatalf("bad σ %v", s)
+			}
+		}
+	}
+	// Identical trajectories → zero error everywhere.
+	row := []float64{0, 1, 2, 3}
+	rows := [][]float64{row, row, row, row}
+	e := ensembleFrom(rows)
+	sig, err := e.StatError(Exponential, 50, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sig {
+		if s != 0 {
+			t.Fatalf("identical trajectories have σ=%v", s)
+		}
+	}
+}
+
+// TestPropertyStitchContinuity: stitched profiles are continuous at the
+// segment boundaries by construction.
+func TestPropertyStitchContinuity(t *testing.T) {
+	rng := xrand.New(105)
+	for trial := 0; trial < 50; trial++ {
+		nseg := 2 + rng.Intn(4)
+		var segs, grids [][]float64
+		var offsets []float64
+		pos := 0.0
+		for s := 0; s < nseg; s++ {
+			pts := 3 + rng.Intn(5)
+			grid := make([]float64, pts)
+			seg := make([]float64, pts)
+			for i := range grid {
+				grid[i] = float64(i)
+				if i > 0 {
+					seg[i] = seg[i-1] + rng.NormFloat64()
+				}
+			}
+			segs = append(segs, seg)
+			grids = append(grids, grid)
+			offsets = append(offsets, pos)
+			pos += grid[pts-1]
+		}
+		grid, pmf, err := Stitch(segs, grids, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(grid); i++ {
+			if grid[i] < grid[i-1]-1e-9 {
+				t.Fatalf("stitched grid not monotone at %d", i)
+			}
+		}
+		_ = pmf
+	}
+}

@@ -1,0 +1,357 @@
+// Package md is the molecular-dynamics engine at the bottom of the SPICE
+// stack — the stand-in for NAMD in the paper's architecture. It combines a
+// topology, force-field terms, a neighbor-listed nonbonded potential and a
+// Langevin (or NVE) integrator, evaluates nonbonded forces in parallel
+// across a goroutine worker pool, and supports the checkpoint/clone
+// operations the RealityGrid steering layer relies on.
+package md
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"spice/internal/forcefield"
+	"spice/internal/integrate"
+	"spice/internal/neighbor"
+	"spice/internal/topology"
+	"spice/internal/trace"
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	Top  *topology.Topology
+	Init []vec.V // initial positions, one per atom
+
+	// Terms are the bonded/field contributions (bonds, angles, pore
+	// field, binding sites...). The engine adds nonbonded itself.
+	Terms []forcefield.Term
+	// Pair is the nonbonded potential; nil disables nonbonded forces.
+	Pair forcefield.PairPotential
+
+	Box  vec.V   // periodic box; zero components = open boundaries
+	Skin float64 // neighbor-list skin, Å (default 2)
+
+	DT    float64 // timestep, ps (default 0.01 = 10 fs)
+	Gamma float64 // Langevin friction, 1/ps (default 1)
+	Temp  float64 // K (default 300)
+	NVE   bool    // use velocity Verlet instead of Langevin
+	// GammaFor optionally makes the Langevin friction position-
+	// dependent (e.g. higher inside the pore lumen, where confined
+	// water is effectively more viscous). Ignored under NVE.
+	GammaFor func(i int, p vec.V) float64
+
+	Seed    uint64 // RNG seed (default 1)
+	Workers int    // parallel force workers (default NumCPU)
+}
+
+// Engine is a runnable simulation.
+type Engine struct {
+	cfg   Config
+	top   *topology.Topology
+	state *integrate.State
+	integ interface {
+		integrate.Integrator
+		Reprime()
+	}
+	nlist *neighbor.List
+	rng   *xrand.Source
+
+	// External receives steering forces from the IMD/steering layer.
+	External *forcefield.ExternalForces
+
+	workers int
+	buffers [][]vec.V // per-worker force accumulators
+
+	energies map[string]float64
+	mu       sync.Mutex // guards checkpoint vs step from other goroutines
+}
+
+// New validates cfg and builds an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Top == nil {
+		return nil, fmt.Errorf("md: nil topology")
+	}
+	if err := cfg.Top.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Init) != cfg.Top.N() {
+		return nil, fmt.Errorf("md: %d initial positions for %d atoms", len(cfg.Init), cfg.Top.N())
+	}
+	if cfg.DT == 0 {
+		cfg.DT = 0.01
+	}
+	if cfg.DT < 0 {
+		return nil, fmt.Errorf("md: negative timestep %g", cfg.DT)
+	}
+	if cfg.Gamma == 0 {
+		cfg.Gamma = 1
+	}
+	if cfg.Temp == 0 {
+		cfg.Temp = 300
+	}
+	if cfg.Skin == 0 {
+		cfg.Skin = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+
+	e := &Engine{
+		cfg:      cfg,
+		top:      cfg.Top,
+		rng:      xrand.New(cfg.Seed),
+		External: forcefield.NewExternalForces(),
+		workers:  cfg.Workers,
+		energies: make(map[string]float64),
+	}
+
+	n := cfg.Top.N()
+	e.state = integrate.NewState(n)
+	copy(e.state.Pos, cfg.Init)
+	for i, a := range cfg.Top.Atoms {
+		e.state.Mass[i] = a.Mass
+		e.state.Fixed[i] = a.Fixed
+	}
+	e.state.InitVelocities(cfg.Temp, e.rng)
+
+	if cfg.Pair != nil {
+		e.nlist = neighbor.NewList(cfg.Pair.Cutoff(), cfg.Skin, cfg.Box)
+		e.nlist.Exclude = func(i, j int) bool {
+			ai, aj := cfg.Top.Atoms[i], cfg.Top.Atoms[j]
+			if ai.Fixed && aj.Fixed {
+				return true // wall-wall pairs never matter
+			}
+			return cfg.Top.Excluded(i, j)
+		}
+	}
+
+	if cfg.NVE {
+		e.integ = &integrate.VelocityVerlet{DT: cfg.DT}
+	} else {
+		lg := integrate.NewLangevin(cfg.DT, cfg.Gamma, cfg.Temp, e.rng.Split())
+		lg.GammaFor = cfg.GammaFor
+		e.integ = lg
+	}
+
+	e.buffers = make([][]vec.V, e.workers)
+	for w := range e.buffers {
+		e.buffers[w] = make([]vec.V, n)
+	}
+	return e, nil
+}
+
+// State exposes the dynamical state (read it between steps only).
+func (e *Engine) State() *integrate.State { return e.state }
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() *topology.Topology { return e.top }
+
+// Temperature returns the configured thermostat temperature (K).
+func (e *Engine) Temperature() float64 { return e.cfg.Temp }
+
+// Timestep returns dt in ps.
+func (e *Engine) Timestep() float64 { return e.cfg.DT }
+
+// AddTerm appends a force-field term at runtime (used by SMD and IMD).
+func (e *Engine) AddTerm(t forcefield.Term) { e.cfg.Terms = append(e.cfg.Terms, t) }
+
+// Energies returns the per-term potential-energy breakdown from the most
+// recent force evaluation (term name -> kcal/mol).
+func (e *Engine) Energies() map[string]float64 {
+	out := make(map[string]float64, len(e.energies))
+	for k, v := range e.energies {
+		out[k] = v
+	}
+	return out
+}
+
+// forces is the integrate.ForceFunc: bonded/field terms serially (cheap),
+// nonbonded pairs across the worker pool, external steering forces last.
+func (e *Engine) forces(pos []vec.V, f []vec.V) float64 {
+	total := 0.0
+	for _, t := range e.cfg.Terms {
+		en := t.AddForces(pos, f)
+		e.energies[t.Name()] = en
+		total += en
+	}
+	if en := e.External.AddForces(pos, f); en != 0 {
+		total += en
+	}
+	if e.nlist != nil {
+		e.nlist.Update(pos)
+		en := e.nonbonded(pos, f)
+		e.energies["nonbonded"] = en
+		total += en
+	}
+	return total
+}
+
+// nonbonded evaluates the pair potential over the neighbor list in
+// parallel, with per-worker force buffers merged afterwards.
+func (e *Engine) nonbonded(pos []vec.V, f []vec.V) float64 {
+	pairs := e.nlist.Pairs
+	if len(pairs) == 0 {
+		return 0
+	}
+	nw := e.workers
+	if len(pairs) < 256 || nw == 1 {
+		return e.pairRange(pos, f, pairs)
+	}
+
+	energies := make([]float64, nw)
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := e.buffers[w]
+			for i := range buf {
+				buf[i] = vec.Zero
+			}
+			energies[w] = e.pairRange(pos, buf, pairs[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := 0.0
+	for w := 0; w < nw; w++ {
+		total += energies[w]
+		buf := e.buffers[w]
+		for i := range f {
+			f[i].AddInPlace(buf[i])
+		}
+	}
+	return total
+}
+
+func (e *Engine) pairRange(pos []vec.V, f []vec.V, pairs []neighbor.Pair) float64 {
+	atoms := e.top.Atoms
+	pot := e.cfg.Pair
+	box := e.cfg.Box
+	total := 0.0
+	for _, p := range pairs {
+		i, j := int(p.I), int(p.J)
+		d := vec.MinImage(pos[i].Sub(pos[j]), box)
+		r2 := d.Norm2()
+		en, g := pot.EnergyForce(r2, atoms[i].Charge, atoms[j].Charge, atoms[i].Radius, atoms[j].Radius)
+		if en == 0 && g == 0 {
+			continue
+		}
+		total += en
+		f[i].AddScaled(g, d)
+		f[j].AddScaled(-g, d)
+	}
+	return total
+}
+
+// Step advances the simulation by one timestep.
+func (e *Engine) Step() {
+	e.mu.Lock()
+	e.integ.Step(e.state, e.forces)
+	e.mu.Unlock()
+}
+
+// Run advances n timesteps.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunWith advances n timesteps, invoking cb after every step; cb may
+// inspect state and mutate External forces. Returning false stops early.
+func (e *Engine) RunWith(n int, cb func(step int) bool) {
+	for i := 0; i < n; i++ {
+		e.Step()
+		if cb != nil && !cb(i) {
+			return
+		}
+	}
+}
+
+// PotentialEnergy returns the potential energy from the last step.
+func (e *Engine) PotentialEnergy() float64 { return e.state.Epot }
+
+// TotalEnergy returns kinetic + potential (kcal/mol).
+func (e *Engine) TotalEnergy() float64 { return e.state.Epot + e.state.KineticEnergy() }
+
+// Checkpoint snapshots the dynamical state. Safe to call between steps.
+func (e *Engine) Checkpoint() *trace.Checkpoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := &trace.Checkpoint{
+		Step: e.state.Step,
+		Time: e.state.Time,
+		Pos:  append([]vec.V(nil), e.state.Pos...),
+		Vel:  append([]vec.V(nil), e.state.Vel...),
+		Seed: e.cfg.Seed,
+	}
+	return c
+}
+
+// Restore loads a checkpoint into the engine.
+func (e *Engine) Restore(c *trace.Checkpoint) error {
+	if len(c.Pos) != e.top.N() || len(c.Vel) != e.top.N() {
+		return fmt.Errorf("md: checkpoint has %d atoms, engine has %d", len(c.Pos), e.top.N())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	copy(e.state.Pos, c.Pos)
+	copy(e.state.Vel, c.Vel)
+	e.state.Step = c.Step
+	e.state.Time = c.Time
+	e.integ.Reprime()
+	if e.nlist != nil {
+		e.nlist.ForceRebuild(e.state.Pos)
+	}
+	return nil
+}
+
+// Clone builds a new Engine with identical configuration and current
+// state, but an independent RNG stream seeded with seed. This implements
+// the paper's "checkpoint and cloning of simulations... for verification
+// and validation tests without perturbing the original simulation".
+func (e *Engine) Clone(seed uint64) (*Engine, error) {
+	cfg := e.cfg
+	cfg.Seed = seed
+	cfg.Init = append([]vec.V(nil), e.state.Pos...)
+	// Terms added at runtime (SMD springs, IMD forces) are configuration
+	// too; the copied cfg.Terms slice already includes them.
+	clone, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ck := e.Checkpoint()
+	ck.Seed = seed
+	if err := clone.Restore(ck); err != nil {
+		return nil, err
+	}
+	copy(clone.state.Vel, e.state.Vel)
+	return clone, nil
+}
+
+// Frame returns the current positions as a trajectory frame.
+func (e *Engine) Frame() trace.Frame {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return trace.Frame{
+		Step: e.state.Step,
+		Time: e.state.Time,
+		Pos:  append([]vec.V(nil), e.state.Pos...),
+	}
+}

@@ -1,0 +1,130 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"spice/internal/topology"
+	"spice/internal/vec"
+)
+
+// freeGas builds n non-interacting beads (no terms, no pair potential).
+func freeGas(t *testing.T, n int, mass, gamma float64, seed uint64) *Engine {
+	t.Helper()
+	top := topology.New()
+	pos := make([]vec.V, n)
+	for i := 0; i < n; i++ {
+		top.AddAtom(topology.Atom{Kind: topology.KindIon, Mass: mass, Radius: 1})
+		pos[i] = vec.V{X: float64(i) * 10}
+	}
+	eng, err := New(Config{Top: top, Init: pos, Seed: seed, Gamma: gamma, DT: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestRecorderSeries(t *testing.T) {
+	eng := freeGas(t, 10, 100, 1, 1)
+	rec := NewRecorder(eng, 5, nil)
+	rec.Run(100)
+	if rec.N() != 20 {
+		t.Fatalf("samples = %d, want 20", rec.N())
+	}
+	if len(rec.Times()) != rec.N() || len(rec.Temperatures()) != rec.N() ||
+		len(rec.MSDs()) != rec.N() || len(rec.PotentialEnergies()) != rec.N() {
+		t.Fatal("series lengths disagree")
+	}
+	// Times strictly increase; MSD non-negative.
+	for i := 1; i < rec.N(); i++ {
+		if rec.Times()[i] <= rec.Times()[i-1] {
+			t.Fatal("times not increasing")
+		}
+		if rec.MSDs()[i] < 0 {
+			t.Fatal("negative MSD")
+		}
+	}
+}
+
+func TestRecorderMeanTemperature(t *testing.T) {
+	eng := freeGas(t, 200, 325, 2, 2)
+	eng.Run(500) // equilibrate
+	rec := NewRecorder(eng, 10, nil)
+	rec.Run(3000)
+	if got := rec.MeanTemperature(); math.Abs(got-300)/300 > 0.05 {
+		t.Fatalf("mean T = %v, want 300±5%%", got)
+	}
+	empty := NewRecorder(freeGas(t, 1, 1, 1, 3), 10, nil)
+	if empty.MeanTemperature() != 0 {
+		t.Fatal("empty recorder temperature")
+	}
+}
+
+func TestDiffusionMatchesEinstein(t *testing.T) {
+	// Free Langevin particles: D = kT/(mγ).
+	const mass, gamma = 325.0, 1.0
+	eng := freeGas(t, 400, mass, gamma, 4)
+	eng.Run(1000) // thermalize velocities
+	rec := NewRecorder(eng, 20, nil)
+	rec.Run(8000) // 80 ps: well past the 1/γ = 1 ps crossover
+	got, err := rec.DiffusionCoefficient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EinsteinD(300, mass, gamma)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("D = %v Å²/ps, Einstein predicts %v (±15%%)", got, want)
+	}
+}
+
+func TestDiffusionScalesWithFriction(t *testing.T) {
+	run := func(gamma float64) float64 {
+		eng := freeGas(t, 200, 100, gamma, 5)
+		eng.Run(500)
+		rec := NewRecorder(eng, 20, nil)
+		rec.Run(6000)
+		d, err := rec.DiffusionCoefficient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d1, d4 := run(1), run(4)
+	ratio := d1 / d4
+	if ratio < 3 || ratio > 5.5 {
+		t.Fatalf("D(γ=1)/D(γ=4) = %v, want ~4", ratio)
+	}
+}
+
+func TestDiffusionFitErrors(t *testing.T) {
+	eng := freeGas(t, 2, 100, 1, 6)
+	rec := NewRecorder(eng, 10, nil)
+	rec.Run(30) // only 3 samples
+	if _, err := rec.DiffusionCoefficient(); err == nil {
+		t.Fatal("too-short series accepted")
+	}
+}
+
+func TestEinsteinD(t *testing.T) {
+	// kT/(mγ)·AccelUnit: 0.5961/325 × 418.4 ≈ 0.767 Å²/ps.
+	if got := EinsteinD(300, 325, 1); math.Abs(got-0.767) > 0.01 {
+		t.Fatalf("EinsteinD = %v", got)
+	}
+	// Halving mass doubles D.
+	if math.Abs(EinsteinD(300, 162.5, 1)/EinsteinD(300, 325, 1)-2) > 1e-9 {
+		t.Fatal("mass scaling wrong")
+	}
+}
+
+func TestRecorderSubsetAtoms(t *testing.T) {
+	eng := freeGas(t, 10, 100, 1, 7)
+	rec := NewRecorder(eng, 5, []int{0, 1})
+	rec.Run(50)
+	if rec.N() == 0 {
+		t.Fatal("no samples")
+	}
+	// The subset recorder must not panic and must produce MSDs.
+	if rec.MSDs()[rec.N()-1] <= 0 {
+		t.Fatal("subset MSD not accumulating")
+	}
+}

@@ -1,0 +1,276 @@
+// Package neighbor builds the pair lists that make nonbonded force
+// evaluation O(N) instead of O(N²): a uniform cell (linked-cell) grid over
+// the bounding box, from which a Verlet list with a skin margin is drawn.
+// The list is reused across steps until any particle has moved more than
+// half the skin since the last rebuild.
+//
+// The box may be non-periodic (zero box vector components); the grid then
+// adapts to the instantaneous bounding box of the particles.
+package neighbor
+
+import (
+	"math"
+
+	"spice/internal/vec"
+)
+
+// Pair is an unordered particle pair (I < J).
+type Pair struct{ I, J int32 }
+
+// List is a reusable Verlet neighbor list.
+type List struct {
+	Cutoff float64 // interaction cutoff, Å
+	Skin   float64 // extra margin, Å
+	Box    vec.V   // periodic box (zero components = open)
+
+	// Exclude reports pairs to omit (bonded exclusions); may be nil.
+	Exclude func(i, j int) bool
+
+	Pairs []Pair
+
+	ref       []vec.V // positions at last rebuild
+	nRebuilds int
+}
+
+// NewList returns a list with the given cutoff and skin.
+func NewList(cutoff, skin float64, box vec.V) *List {
+	return &List{Cutoff: cutoff, Skin: skin, Box: box}
+}
+
+// Rebuilds returns how many times the list has been rebuilt (diagnostics).
+func (l *List) Rebuilds() int { return l.nRebuilds }
+
+// Update rebuilds the pair list if any particle moved more than skin/2
+// since the last rebuild (or if the list has never been built). It returns
+// true when a rebuild happened.
+func (l *List) Update(pos []vec.V) bool {
+	if l.ref != nil && len(l.ref) == len(pos) {
+		lim2 := (l.Skin / 2) * (l.Skin / 2)
+		moved := false
+		for i := range pos {
+			d := vec.MinImage(pos[i].Sub(l.ref[i]), l.Box)
+			if d.Norm2() > lim2 {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return false
+		}
+	}
+	l.build(pos)
+	return true
+}
+
+// ForceRebuild unconditionally rebuilds the list.
+func (l *List) ForceRebuild(pos []vec.V) { l.build(pos) }
+
+func (l *List) build(pos []vec.V) {
+	l.nRebuilds++
+	if l.ref == nil || len(l.ref) != len(pos) {
+		l.ref = make([]vec.V, len(pos))
+	}
+	copy(l.ref, pos)
+	l.Pairs = l.Pairs[:0]
+
+	n := len(pos)
+	if n < 2 {
+		return
+	}
+	r := l.Cutoff + l.Skin
+	r2 := r * r
+
+	// For small systems brute force beats grid overhead.
+	if n <= 64 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.Exclude != nil && l.Exclude(i, j) {
+					continue
+				}
+				d := vec.MinImage(pos[i].Sub(pos[j]), l.Box)
+				if d.Norm2() <= r2 {
+					l.Pairs = append(l.Pairs, Pair{int32(i), int32(j)})
+				}
+			}
+		}
+		return
+	}
+
+	// Grid bounds: the periodic box where defined, else the bounding box.
+	lo, hi := bounds(pos, l.Box)
+	ext := hi.Sub(lo)
+	nx := gridDim(ext.X, r)
+	ny := gridDim(ext.Y, r)
+	nz := gridDim(ext.Z, r)
+	ncell := nx * ny * nz
+
+	cellOf := func(p vec.V) int {
+		p = vec.Wrap(p, l.Box)
+		cx := clampCell(int(math.Floor((p.X-lo.X)/ext.X*float64(nx))), nx)
+		cy := clampCell(int(math.Floor((p.Y-lo.Y)/ext.Y*float64(ny))), ny)
+		cz := clampCell(int(math.Floor((p.Z-lo.Z)/ext.Z*float64(nz))), nz)
+		return (cz*ny+cy)*nx + cx
+	}
+
+	// Linked-cell: head/next arrays.
+	head := make([]int32, ncell)
+	for i := range head {
+		head[i] = -1
+	}
+	next := make([]int32, n)
+	cell := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := cellOf(pos[i])
+		cell[i] = int32(c)
+		next[i] = head[c]
+		head[c] = int32(i)
+	}
+
+	periodicX := l.Box.X > 0
+	periodicY := l.Box.Y > 0
+	periodicZ := l.Box.Z > 0
+
+	for cz := 0; cz < nz; cz++ {
+		for cy := 0; cy < ny; cy++ {
+			for cx := 0; cx < nx; cx++ {
+				c := (cz*ny+cy)*nx + cx
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							ncx, okx := wrapCell(cx+dx, nx, periodicX)
+							ncy, oky := wrapCell(cy+dy, ny, periodicY)
+							ncz, okz := wrapCell(cz+dz, nz, periodicZ)
+							if !okx || !oky || !okz {
+								continue
+							}
+							nc := (ncz*ny+ncy)*nx + ncx
+							if nc < c {
+								continue // visit each cell pair once
+							}
+							l.scanCells(pos, head, next, c, nc, r2)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanCells appends in-range pairs between cells a and b (a == b allowed).
+func (l *List) scanCells(pos []vec.V, head, next []int32, a, b int, r2 float64) {
+	for i := head[a]; i >= 0; i = next[i] {
+		var jStart int32
+		if a == b {
+			jStart = next[i]
+		} else {
+			jStart = head[b]
+		}
+		for j := jStart; j >= 0; j = next[j] {
+			ii, jj := int(i), int(j)
+			if l.Exclude != nil && l.Exclude(ii, jj) {
+				continue
+			}
+			d := vec.MinImage(pos[ii].Sub(pos[jj]), l.Box)
+			if d.Norm2() <= r2 {
+				p := Pair{int32(ii), int32(jj)}
+				if p.I > p.J {
+					p.I, p.J = p.J, p.I
+				}
+				l.Pairs = append(l.Pairs, p)
+			}
+		}
+	}
+}
+
+// bounds returns the grid origin and far corner.
+func bounds(pos []vec.V, box vec.V) (lo, hi vec.V) {
+	lo = vec.V{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)}
+	hi = lo.Neg()
+	for _, p := range pos {
+		p = vec.Wrap(p, box)
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		lo.Z = math.Min(lo.Z, p.Z)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+		hi.Z = math.Max(hi.Z, p.Z)
+	}
+	if box.X > 0 {
+		lo.X, hi.X = 0, box.X
+	}
+	if box.Y > 0 {
+		lo.Y, hi.Y = 0, box.Y
+	}
+	if box.Z > 0 {
+		lo.Z, hi.Z = 0, box.Z
+	}
+	// Avoid zero-extent axes.
+	const eps = 1e-9
+	if hi.X-lo.X < eps {
+		hi.X = lo.X + 1
+	}
+	if hi.Y-lo.Y < eps {
+		hi.Y = lo.Y + 1
+	}
+	if hi.Z-lo.Z < eps {
+		hi.Z = lo.Z + 1
+	}
+	return lo, hi
+}
+
+func gridDim(extent, r float64) int {
+	n := int(extent / r)
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return n
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// wrapCell maps a possibly out-of-range cell index into the grid; for
+// non-periodic axes out-of-range neighbours are skipped. With fewer than
+// three cells along a periodic axis, wrapping would visit the same cell
+// twice, so wrapping is suppressed (the cell still spans the cutoff).
+func wrapCell(c, n int, periodic bool) (int, bool) {
+	if c >= 0 && c < n {
+		return c, true
+	}
+	if !periodic || n < 3 {
+		if n == 1 {
+			return 0, c == 0 // degenerate single cell: neighbours collapse
+		}
+		return 0, false
+	}
+	return (c + n) % n, true
+}
+
+// BruteForcePairs returns all in-range non-excluded pairs by O(N²) scan.
+// It is the reference implementation used by tests and the ablation bench.
+func BruteForcePairs(pos []vec.V, cutoff float64, box vec.V, exclude func(i, j int) bool) []Pair {
+	var out []Pair
+	c2 := cutoff * cutoff
+	for i := 0; i < len(pos); i++ {
+		for j := i + 1; j < len(pos); j++ {
+			if exclude != nil && exclude(i, j) {
+				continue
+			}
+			d := vec.MinImage(pos[i].Sub(pos[j]), box)
+			if d.Norm2() <= c2 {
+				out = append(out, Pair{int32(i), int32(j)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package neighbor
+
+import (
+	"sort"
+	"testing"
+
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].I != ps[j].I {
+			return ps[i].I < ps[j].I
+		}
+		return ps[i].J < ps[j].J
+	})
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sortPairs(a)
+	sortPairs(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randomPositions(rng *xrand.Source, n int, span float64) []vec.V {
+	pos := make([]vec.V, n)
+	for i := range pos {
+		pos[i] = vec.V{X: span * rng.Float64(), Y: span * rng.Float64(), Z: span * rng.Float64()}
+	}
+	return pos
+}
+
+func TestCellListMatchesBruteForceOpen(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{3, 30, 64, 65, 200, 500} {
+		pos := randomPositions(rng, n, 40)
+		l := NewList(5, 0, vec.Zero)
+		l.ForceRebuild(pos)
+		want := BruteForcePairs(pos, 5, vec.Zero, nil)
+		got := append([]Pair(nil), l.Pairs...)
+		if !pairsEqual(got, want) {
+			t.Fatalf("n=%d: cell list %d pairs, brute force %d", n, len(got), len(want))
+		}
+	}
+}
+
+func TestCellListMatchesBruteForcePeriodic(t *testing.T) {
+	rng := xrand.New(2)
+	box := vec.V{X: 30, Y: 30, Z: 30}
+	for _, n := range []int{10, 100, 400} {
+		pos := randomPositions(rng, n, 30)
+		l := NewList(4, 0, box)
+		l.ForceRebuild(pos)
+		want := BruteForcePairs(pos, 4, box, nil)
+		got := append([]Pair(nil), l.Pairs...)
+		if !pairsEqual(got, want) {
+			t.Fatalf("n=%d periodic: cell list %d pairs, brute force %d", n, len(got), len(want))
+		}
+	}
+}
+
+func TestCellListPartialPeriodic(t *testing.T) {
+	rng := xrand.New(3)
+	box := vec.V{X: 25, Y: 25, Z: 0} // slab geometry: open in z
+	pos := randomPositions(rng, 300, 25)
+	for i := range pos {
+		pos[i].Z = rng.NormFloat64() * 20
+	}
+	l := NewList(4, 0, box)
+	l.ForceRebuild(pos)
+	want := BruteForcePairs(pos, 4, box, nil)
+	got := append([]Pair(nil), l.Pairs...)
+	if !pairsEqual(got, want) {
+		t.Fatalf("slab: cell list %d pairs, brute force %d", len(got), len(want))
+	}
+}
+
+func TestSkinIncludesNearMisses(t *testing.T) {
+	// With skin, pairs slightly beyond the cutoff must be listed.
+	pos := []vec.V{{}, {X: 5.5}}
+	l := NewList(5, 1, vec.Zero)
+	l.ForceRebuild(pos)
+	if len(l.Pairs) != 1 {
+		t.Fatalf("skin miss: %d pairs", len(l.Pairs))
+	}
+	// Without skin it must not be.
+	l2 := NewList(5, 0, vec.Zero)
+	l2.ForceRebuild(pos)
+	if len(l2.Pairs) != 0 {
+		t.Fatalf("no-skin: %d pairs", len(l2.Pairs))
+	}
+}
+
+func TestUpdateRebuildPolicy(t *testing.T) {
+	rng := xrand.New(4)
+	pos := randomPositions(rng, 100, 20)
+	l := NewList(4, 2, vec.Zero)
+	if !l.Update(pos) {
+		t.Fatal("first Update must rebuild")
+	}
+	n := l.Rebuilds()
+	// Tiny move: no rebuild.
+	pos[0].X += 0.1
+	if l.Update(pos) || l.Rebuilds() != n {
+		t.Fatal("tiny move triggered rebuild")
+	}
+	// Move beyond skin/2: rebuild.
+	pos[0].X += 2
+	if !l.Update(pos) || l.Rebuilds() != n+1 {
+		t.Fatal("large move did not trigger rebuild")
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	pos := []vec.V{{}, {X: 1}, {X: 2}}
+	l := NewList(5, 0, vec.Zero)
+	l.Exclude = func(i, j int) bool { return i == 0 && j == 1 || i == 1 && j == 0 }
+	l.ForceRebuild(pos)
+	for _, p := range l.Pairs {
+		if p.I == 0 && p.J == 1 {
+			t.Fatal("excluded pair listed")
+		}
+	}
+	if len(l.Pairs) != 2 { // (0,2) and (1,2)
+		t.Fatalf("pairs = %v", l.Pairs)
+	}
+}
+
+func TestPairOrderingInvariant(t *testing.T) {
+	rng := xrand.New(5)
+	pos := randomPositions(rng, 300, 30)
+	l := NewList(5, 1, vec.Zero)
+	l.ForceRebuild(pos)
+	for _, p := range l.Pairs {
+		if p.I >= p.J {
+			t.Fatalf("unordered pair %v", p)
+		}
+	}
+}
+
+func TestNoDuplicatePairs(t *testing.T) {
+	rng := xrand.New(6)
+	box := vec.V{X: 12, Y: 12, Z: 12} // small box stresses cell wrapping
+	pos := randomPositions(rng, 200, 12)
+	l := NewList(4, 0.5, box)
+	l.ForceRebuild(pos)
+	seen := make(map[Pair]bool)
+	for _, p := range l.Pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSmallBoxPeriodicCorrectness(t *testing.T) {
+	// Box barely larger than cutoff: n=1..2 cells per axis, the wrap
+	// suppression path.
+	rng := xrand.New(7)
+	box := vec.V{X: 9, Y: 9, Z: 9}
+	pos := randomPositions(rng, 150, 9)
+	l := NewList(4, 0, box)
+	l.ForceRebuild(pos)
+	want := BruteForcePairs(pos, 4, box, nil)
+	got := append([]Pair(nil), l.Pairs...)
+	if !pairsEqual(got, want) {
+		t.Fatalf("small box: %d vs %d pairs", len(got), len(want))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	l := NewList(5, 1, vec.Zero)
+	l.ForceRebuild(nil)
+	if len(l.Pairs) != 0 {
+		t.Fatal("pairs from empty input")
+	}
+	l.ForceRebuild([]vec.V{{X: 1}})
+	if len(l.Pairs) != 0 {
+		t.Fatal("pairs from single atom")
+	}
+}
+
+func BenchmarkCellList1000(b *testing.B) {
+	rng := xrand.New(8)
+	pos := randomPositions(rng, 1000, 50)
+	l := NewList(5, 1, vec.Zero)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.ForceRebuild(pos)
+	}
+}
+
+func BenchmarkBruteForce1000(b *testing.B) {
+	rng := xrand.New(8)
+	pos := randomPositions(rng, 1000, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForcePairs(pos, 5, vec.Zero, nil)
+	}
+}

@@ -1,0 +1,246 @@
+// Package polymer provides the chain-statistics observables used to
+// analyze the translocating ssDNA: end-to-end distance and radius of
+// gyration, persistence-length estimation from bond-vector correlations,
+// and the Marko–Siggia worm-like-chain force-extension relation that the
+// haptic-exploration phase compares measured pulling forces against.
+//
+// The paper's analysis layer studies "details of the interaction of a
+// pore with a translocating biomolecule"; these are the standard polymer
+// measures that quantify the Fig. 3 stretching observation.
+package polymer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spice/internal/units"
+	"spice/internal/vec"
+)
+
+// EndToEnd returns |r_N - r_0| for the chain conformation.
+func EndToEnd(pos []vec.V) float64 {
+	if len(pos) < 2 {
+		return 0
+	}
+	return vec.Dist(pos[len(pos)-1], pos[0])
+}
+
+// ContourLength returns the sum of bond lengths.
+func ContourLength(pos []vec.V) float64 {
+	l := 0.0
+	for i := 1; i < len(pos); i++ {
+		l += vec.Dist(pos[i], pos[i-1])
+	}
+	return l
+}
+
+// RadiusOfGyration returns sqrt(⟨(r_i - r_cm)²⟩) with equal masses.
+func RadiusOfGyration(pos []vec.V) float64 {
+	if len(pos) == 0 {
+		return 0
+	}
+	cm := vec.Mean(pos)
+	s := 0.0
+	for _, p := range pos {
+		s += vec.Dist2(p, cm)
+	}
+	return math.Sqrt(s / float64(len(pos)))
+}
+
+// BondVectors returns the normalized bond vectors of a conformation.
+func BondVectors(pos []vec.V) []vec.V {
+	if len(pos) < 2 {
+		return nil
+	}
+	out := make([]vec.V, 0, len(pos)-1)
+	for i := 1; i < len(pos); i++ {
+		out = append(out, pos[i].Sub(pos[i-1]).Unit())
+	}
+	return out
+}
+
+// BondCorrelation returns C(k) = ⟨u_i · u_{i+k}⟩ averaged over i and over
+// the supplied conformations, for k = 0..maxLag.
+func BondCorrelation(confs [][]vec.V, maxLag int) ([]float64, error) {
+	if len(confs) == 0 {
+		return nil, errors.New("polymer: no conformations")
+	}
+	sums := make([]float64, maxLag+1)
+	counts := make([]int, maxLag+1)
+	for _, pos := range confs {
+		us := BondVectors(pos)
+		for k := 0; k <= maxLag && k < len(us); k++ {
+			for i := 0; i+k < len(us); i++ {
+				sums[k] += us[i].Dot(us[i+k])
+				counts[k]++
+			}
+		}
+	}
+	out := make([]float64, maxLag+1)
+	for k := range out {
+		if counts[k] == 0 {
+			return nil, fmt.Errorf("polymer: no bond pairs at lag %d (chains too short)", k)
+		}
+		out[k] = sums[k] / float64(counts[k])
+	}
+	return out, nil
+}
+
+// PersistenceLength estimates l_p from the exponential decay of the bond
+// correlation function C(k) ≈ exp(-k·b/l_p), using a log-linear fit over
+// the lags where C(k) > floor. b is the mean bond length.
+func PersistenceLength(confs [][]vec.V, maxLag int) (float64, error) {
+	c, err := BondCorrelation(confs, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	b := 0.0
+	nb := 0
+	for _, pos := range confs {
+		for i := 1; i < len(pos); i++ {
+			b += vec.Dist(pos[i], pos[i-1])
+			nb++
+		}
+	}
+	if nb == 0 {
+		return 0, errors.New("polymer: no bonds")
+	}
+	b /= float64(nb)
+
+	// Log-linear fit of ln C(k) vs k over usable lags.
+	const floor = 0.05
+	var xs, ys []float64
+	for k := 1; k < len(c); k++ {
+		if c[k] <= floor {
+			break
+		}
+		xs = append(xs, float64(k))
+		ys = append(ys, math.Log(c[k]))
+	}
+	if len(xs) < 2 {
+		return 0, errors.New("polymer: correlation decays too fast to fit")
+	}
+	// slope = -b/l_p.
+	mx, my := mean(xs), mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, errors.New("polymer: degenerate fit")
+	}
+	slope := sxy / sxx
+	if slope >= 0 {
+		return 0, errors.New("polymer: correlation does not decay")
+	}
+	return -b / slope, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WLCForce returns the Marko–Siggia interpolation for the force (pN)
+// needed to hold a worm-like chain of persistence length lp (Å) at
+// fractional extension x = R/L ∈ [0, 1) at temperature t (K):
+//
+//	F = (kT/lp)·(1/(4(1-x)²) - 1/4 + x)
+func WLCForce(x, lp, t float64) (float64, error) {
+	if x < 0 || x >= 1 {
+		return 0, fmt.Errorf("polymer: extension fraction %g out of [0,1)", x)
+	}
+	if lp <= 0 {
+		return 0, fmt.Errorf("polymer: persistence length %g", lp)
+	}
+	kT := units.KT(t) // kcal/mol
+	f := kT / lp * (1/(4*(1-x)*(1-x)) - 0.25 + x)
+	return units.PNFromKcalMolA(f), nil
+}
+
+// WLCExtension inverts WLCForce numerically (bisection): the fractional
+// extension at force fPN.
+func WLCExtension(fPN, lp, t float64) (float64, error) {
+	if fPN < 0 {
+		return 0, fmt.Errorf("polymer: negative force %g", fPN)
+	}
+	lo, hi := 0.0, 1-1e-9
+	for iter := 0; iter < 200; iter++ {
+		mid := 0.5 * (lo + hi)
+		f, err := WLCForce(mid, lp, t)
+		if err != nil {
+			return 0, err
+		}
+		if f < fPN {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// IdealChainR2 returns the freely-jointed-chain prediction ⟨R²⟩ = N·b²
+// for N bonds of length b — the baseline the persistence-length estimate
+// is validated against.
+func IdealChainR2(nBonds int, b float64) float64 {
+	return float64(nBonds) * b * b
+}
+
+// StretchProfile bins per-bond strain (len/b0 - 1) by the bond midpoint's
+// z coordinate over a set of conformations — the Fig. 3 analysis as a
+// reusable observable. Bins span [zlo, zhi) uniformly.
+type StretchProfile struct {
+	ZLo, ZHi float64
+	Bins     int
+	b0       float64
+	sum      []float64
+	count    []int
+}
+
+// NewStretchProfile builds an empty profile for bonds of rest length b0.
+func NewStretchProfile(zlo, zhi float64, bins int, b0 float64) (*StretchProfile, error) {
+	if bins < 1 || zhi <= zlo || b0 <= 0 {
+		return nil, fmt.Errorf("polymer: bad stretch profile spec [%g,%g) x%d b0=%g", zlo, zhi, bins, b0)
+	}
+	return &StretchProfile{
+		ZLo: zlo, ZHi: zhi, Bins: bins, b0: b0,
+		sum: make([]float64, bins), count: make([]int, bins),
+	}, nil
+}
+
+// Add accumulates one conformation.
+func (sp *StretchProfile) Add(pos []vec.V) {
+	for i := 1; i < len(pos); i++ {
+		mid := (pos[i].Z + pos[i-1].Z) / 2
+		if mid < sp.ZLo || mid >= sp.ZHi {
+			continue
+		}
+		b := int((mid - sp.ZLo) / (sp.ZHi - sp.ZLo) * float64(sp.Bins))
+		if b >= sp.Bins {
+			b = sp.Bins - 1
+		}
+		sp.sum[b] += vec.Dist(pos[i], pos[i-1])/sp.b0 - 1
+		sp.count[b]++
+	}
+}
+
+// Strain returns the mean strain in bin b and whether it has samples.
+func (sp *StretchProfile) Strain(b int) (float64, bool) {
+	if b < 0 || b >= sp.Bins || sp.count[b] == 0 {
+		return 0, false
+	}
+	return sp.sum[b] / float64(sp.count[b]), true
+}
+
+// BinCenter returns the z coordinate of bin b's center.
+func (sp *StretchProfile) BinCenter(b int) float64 {
+	w := (sp.ZHi - sp.ZLo) / float64(sp.Bins)
+	return sp.ZLo + (float64(b)+0.5)*w
+}

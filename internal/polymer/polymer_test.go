@@ -1,0 +1,245 @@
+package polymer
+
+import (
+	"math"
+	"testing"
+
+	"spice/internal/units"
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+// straightChain returns n beads spaced b apart along +z.
+func straightChain(n int, b float64) []vec.V {
+	pos := make([]vec.V, n)
+	for i := range pos {
+		pos[i] = vec.V{Z: float64(i) * b}
+	}
+	return pos
+}
+
+// freelyJointed draws a random-walk chain with bond length b.
+func freelyJointed(rng *xrand.Source, n int, b float64) []vec.V {
+	pos := make([]vec.V, n)
+	for i := 1; i < n; i++ {
+		dir := vec.V{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}.Unit()
+		pos[i] = pos[i-1].Add(dir.Scale(b))
+	}
+	return pos
+}
+
+// wormlike draws a chain whose bond direction decorrelates with
+// per-bond angle noise, giving persistence length lp = b/(1-⟨cosθ⟩).
+func wormlike(rng *xrand.Source, n int, b, sigma float64) []vec.V {
+	pos := make([]vec.V, n)
+	dir := vec.V{Z: 1}
+	for i := 1; i < n; i++ {
+		// Small random rotation: add Gaussian noise and renormalize.
+		dir = dir.Add(vec.V{
+			X: sigma * rng.NormFloat64(),
+			Y: sigma * rng.NormFloat64(),
+			Z: sigma * rng.NormFloat64(),
+		}).Unit()
+		pos[i] = pos[i-1].Add(dir.Scale(b))
+	}
+	return pos
+}
+
+func TestEndToEndAndContour(t *testing.T) {
+	pos := straightChain(11, 6.5)
+	if got := EndToEnd(pos); math.Abs(got-65) > 1e-9 {
+		t.Fatalf("end-to-end = %v", got)
+	}
+	if got := ContourLength(pos); math.Abs(got-65) > 1e-9 {
+		t.Fatalf("contour = %v", got)
+	}
+	if EndToEnd(nil) != 0 || ContourLength(pos[:1]) != 0 {
+		t.Fatal("degenerate chains")
+	}
+}
+
+func TestRadiusOfGyrationRod(t *testing.T) {
+	// Rod of length L (continuum): Rg = L/sqrt(12). Discrete beads are
+	// close for many beads.
+	n, b := 101, 1.0
+	pos := straightChain(n, b)
+	L := float64(n-1) * b
+	want := L / math.Sqrt(12)
+	if got := RadiusOfGyration(pos); math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("rod Rg = %v, want ~%v", got, want)
+	}
+	if RadiusOfGyration(nil) != 0 {
+		t.Fatal("empty Rg")
+	}
+}
+
+func TestFJCEndToEndStatistics(t *testing.T) {
+	// ⟨R²⟩ = N·b² for a freely-jointed chain.
+	rng := xrand.New(1)
+	const n, b = 51, 6.5
+	const trials = 3000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		r := EndToEnd(freelyJointed(rng, n, b))
+		sum += r * r
+	}
+	got := sum / trials
+	want := IdealChainR2(n-1, b)
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("FJC <R²> = %v, want %v", got, want)
+	}
+}
+
+func TestBondCorrelationLimits(t *testing.T) {
+	// Straight chain: C(k) = 1 for all k. FJC: C(k>0) ~ 0.
+	straight := [][]vec.V{straightChain(20, 1)}
+	c, err := BondCorrelation(straight, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range c {
+		if math.Abs(v-1) > 1e-9 {
+			t.Fatalf("straight C(%d) = %v", k, v)
+		}
+	}
+	rng := xrand.New(2)
+	var confs [][]vec.V
+	for i := 0; i < 200; i++ {
+		confs = append(confs, freelyJointed(rng, 30, 1))
+	}
+	c2, err := BondCorrelation(confs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2[0] < 0.999 {
+		t.Fatalf("C(0) = %v", c2[0])
+	}
+	if math.Abs(c2[1]) > 0.05 {
+		t.Fatalf("FJC C(1) = %v, want ~0", c2[1])
+	}
+	if _, err := BondCorrelation(nil, 3); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestPersistenceLengthWormlike(t *testing.T) {
+	// Generate wormlike chains with a known decay and recover lp.
+	rng := xrand.New(3)
+	const b = 1.0
+	const sigma = 0.25
+	var confs [][]vec.V
+	for i := 0; i < 400; i++ {
+		confs = append(confs, wormlike(rng, 80, b, sigma))
+	}
+	// Empirical ⟨cosθ⟩ between consecutive bonds gives the expected lp
+	// via C(k) = ⟨cosθ⟩^k → lp = -b/ln⟨cosθ⟩.
+	c, err := BondCorrelation(confs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLp := -b / math.Log(c[1])
+	lp, err := PersistenceLength(confs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lp-wantLp)/wantLp > 0.15 {
+		t.Fatalf("lp = %v, want ~%v", lp, wantLp)
+	}
+	// FJC decays too fast to fit.
+	rng2 := xrand.New(4)
+	var fjc [][]vec.V
+	for i := 0; i < 50; i++ {
+		fjc = append(fjc, freelyJointed(rng2, 30, 1))
+	}
+	if _, err := PersistenceLength(fjc, 10); err == nil {
+		t.Fatal("FJC fit should fail (immediate decay)")
+	}
+}
+
+func TestWLCForceLimits(t *testing.T) {
+	lp := 10.0
+	// Low extension: linear response F ≈ (3kT/2... ) actually Marko-Siggia
+	// at x→0: F = (kT/lp)·x·(3/2)... expanding: 1/(4(1-x)²)-1/4+x ≈ 3x/2.
+	f1, err := WLCForce(0.01, lp, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kT := units.KTRoom
+	wantLinear := units.PNFromKcalMolA(kT / lp * 1.5 * 0.01)
+	if math.Abs(f1-wantLinear)/wantLinear > 0.05 {
+		t.Fatalf("low-extension force %v, want ~%v", f1, wantLinear)
+	}
+	// Divergence near full extension.
+	f9, _ := WLCForce(0.9, lp, 300)
+	f99, _ := WLCForce(0.99, lp, 300)
+	if f99 < 50*f9/10 {
+		t.Fatalf("no divergence: F(0.9)=%v F(0.99)=%v", f9, f99)
+	}
+	// Monotonicity.
+	prev := -1.0
+	for x := 0.0; x < 0.99; x += 0.01 {
+		f, err := WLCForce(x, lp, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= prev {
+			t.Fatalf("WLC force not monotone at x=%v", x)
+		}
+		prev = f
+	}
+	// Domain errors.
+	if _, err := WLCForce(1.0, lp, 300); err == nil {
+		t.Fatal("x=1 accepted")
+	}
+	if _, err := WLCForce(0.5, 0, 300); err == nil {
+		t.Fatal("lp=0 accepted")
+	}
+}
+
+func TestWLCExtensionInvertsForce(t *testing.T) {
+	lp := 7.0
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		f, err := WLCForce(x, lp, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WLCExtension(f, lp, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-x) > 1e-6 {
+			t.Fatalf("inversion at x=%v gave %v", x, got)
+		}
+	}
+	if _, err := WLCExtension(-1, lp, 300); err == nil {
+		t.Fatal("negative force accepted")
+	}
+}
+
+func TestStretchProfile(t *testing.T) {
+	sp, err := NewStretchProfile(-10, 10, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain stretched 10% below z=0, relaxed above.
+	pos := []vec.V{
+		{Z: -6}, {Z: -4.9}, {Z: -3.8}, // two bonds of 1.1 at z<0
+		{Z: -2.8}, {Z: -1.8}, // relaxed bonds approaching 0
+		{Z: 2}, {Z: 3}, // relaxed bonds above (gap bond spans bins)
+	}
+	sp.Add(pos)
+	s0, ok := sp.Strain(0) // bin [-10,-5): one bond midpoint -5.45
+	if !ok || math.Abs(s0-0.1) > 1e-9 {
+		t.Fatalf("bin0 strain = %v ok=%v", s0, ok)
+	}
+	s3, ok := sp.Strain(3) // bin [5,10): nothing
+	if ok {
+		t.Fatalf("empty bin reported %v", s3)
+	}
+	if c := sp.BinCenter(0); math.Abs(c+7.5) > 1e-9 {
+		t.Fatalf("bin center = %v", c)
+	}
+	if _, err := NewStretchProfile(0, 0, 4, 1); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}

@@ -1,0 +1,358 @@
+// Package steering reproduces the role of the RealityGrid computational
+// steering framework (Fig. 2 of the paper): a registry through which
+// components find each other, a control-message protocol carrying
+// pause/resume/parameter-change/checkpoint/clone commands from steerers to
+// running simulations, and the simulation-side loop that services those
+// commands between MD steps.
+//
+// The data path (coordinate frames, steering forces) is package imd; this
+// package is the control path, which in the original architecture flowed
+// through intermediate grid services. Commands are serviced at step
+// boundaries, so a steered simulation never observes a torn state.
+package steering
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"spice/internal/md"
+	"spice/internal/trace"
+)
+
+// Kind classifies registered services.
+type Kind int
+
+// Service kinds, mirroring the component boxes of the paper's Fig. 2a.
+const (
+	KindSimulation Kind = iota
+	KindVisualizer
+	KindInstrument // haptic devices: "just additional computing resources"
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSimulation:
+		return "simulation"
+	case KindVisualizer:
+		return "visualizer"
+	case KindInstrument:
+		return "instrument"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ServiceInfo describes one registered component.
+type ServiceInfo struct {
+	Name string
+	Kind Kind
+	// Addr is the data-channel address (host:port for IMD).
+	Addr string
+	// Meta carries free-form attributes (site, machine, procs...).
+	Meta map[string]string
+}
+
+// Registry is the service directory. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]ServiceInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]ServiceInfo)}
+}
+
+// Register adds or replaces a service entry.
+func (r *Registry) Register(info ServiceInfo) error {
+	if info.Name == "" {
+		return errors.New("steering: service needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.services[info.Name] = info
+	return nil
+}
+
+// Deregister removes a service.
+func (r *Registry) Deregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.services, name)
+}
+
+// Lookup finds a service by name.
+func (r *Registry) Lookup(name string) (ServiceInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	info, ok := r.services[name]
+	return info, ok
+}
+
+// ByKind lists services of one kind, sorted by name.
+func (r *Registry) ByKind(k Kind) []ServiceInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ServiceInfo
+	for _, s := range r.services {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered services.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.services)
+}
+
+// CommandType enumerates steering commands.
+type CommandType int
+
+// Steering commands.
+const (
+	CmdPause CommandType = iota
+	CmdResume
+	CmdStop
+	CmdSetParam
+	CmdStatus
+	CmdCheckpoint
+	CmdClone
+)
+
+// String implements fmt.Stringer.
+func (c CommandType) String() string {
+	switch c {
+	case CmdPause:
+		return "pause"
+	case CmdResume:
+		return "resume"
+	case CmdStop:
+		return "stop"
+	case CmdSetParam:
+		return "set-param"
+	case CmdStatus:
+		return "status"
+	case CmdCheckpoint:
+		return "checkpoint"
+	case CmdClone:
+		return "clone"
+	default:
+		return fmt.Sprintf("cmd(%d)", int(c))
+	}
+}
+
+// Command is one steering request. Reply must be buffered (capacity >= 1).
+type Command struct {
+	Type  CommandType
+	Key   string // SetParam: parameter name; Clone: new sim name
+	Value string // SetParam: value
+	Seed  uint64 // Clone: RNG seed for the clone
+	Reply chan Response
+}
+
+// Response is the result of a command.
+type Response struct {
+	OK         bool
+	Err        string
+	Status     map[string]string
+	Checkpoint *trace.Checkpoint
+	Clone      *Steered
+}
+
+// ParamHandler applies a steered parameter change; it runs between MD
+// steps, so it may mutate engine terms safely.
+type ParamHandler func(value string) error
+
+// Steered wraps an engine with a steering control loop.
+type Steered struct {
+	Name string
+	Eng  *md.Engine
+
+	cmds   chan Command
+	params map[string]ParamHandler
+	paused bool
+	stop   bool
+
+	// StepsRun counts MD steps executed through this wrapper.
+	StepsRun int
+}
+
+// NewSteered wraps eng.
+func NewSteered(name string, eng *md.Engine) *Steered {
+	return &Steered{
+		Name:   name,
+		Eng:    eng,
+		cmds:   make(chan Command, 16),
+		params: make(map[string]ParamHandler),
+	}
+}
+
+// OnParam registers a steerable parameter.
+func (s *Steered) OnParam(name string, h ParamHandler) { s.params[name] = h }
+
+// Control returns the channel steerers send commands on.
+func (s *Steered) Control() chan<- Command { return s.cmds }
+
+// send issues a command and waits for the response (helper for Steerer).
+func (s *Steered) send(c Command) Response {
+	c.Reply = make(chan Response, 1)
+	s.cmds <- c
+	return <-c.Reply
+}
+
+// Run executes up to maxSteps MD steps, servicing steering commands at
+// step boundaries. It returns early on CmdStop. While paused it blocks on
+// the command channel (consuming no CPU — the expensive processors are
+// released conceptually; the paper checkpoints instead for long pauses).
+func (s *Steered) Run(maxSteps int) int {
+	ran := 0
+	for ran < maxSteps && !s.stop {
+		// Service everything pending; block while paused.
+		for {
+			if s.paused {
+				cmd, ok := <-s.cmds
+				if !ok {
+					return ran
+				}
+				s.handle(cmd)
+				continue
+			}
+			select {
+			case cmd, ok := <-s.cmds:
+				if !ok {
+					return ran
+				}
+				s.handle(cmd)
+				continue
+			default:
+			}
+			break
+		}
+		if s.stop {
+			break
+		}
+		s.Eng.Step()
+		s.StepsRun++
+		ran++
+	}
+	return ran
+}
+
+func (s *Steered) handle(c Command) {
+	resp := Response{OK: true}
+	switch c.Type {
+	case CmdPause:
+		s.paused = true
+	case CmdResume:
+		s.paused = false
+	case CmdStop:
+		s.stop = true
+	case CmdSetParam:
+		h, ok := s.params[c.Key]
+		if !ok {
+			resp = Response{Err: fmt.Sprintf("unknown parameter %q", c.Key)}
+		} else if err := h(c.Value); err != nil {
+			resp = Response{Err: err.Error()}
+		}
+	case CmdStatus:
+		st := s.Eng.State()
+		resp.Status = map[string]string{
+			"name":   s.Name,
+			"step":   strconv.FormatInt(st.Step, 10),
+			"time":   strconv.FormatFloat(st.Time, 'g', -1, 64),
+			"epot":   strconv.FormatFloat(s.Eng.PotentialEnergy(), 'g', -1, 64),
+			"temp":   strconv.FormatFloat(st.Temperature(), 'g', -1, 64),
+			"paused": strconv.FormatBool(s.paused),
+		}
+	case CmdCheckpoint:
+		resp.Checkpoint = s.Eng.Checkpoint()
+	case CmdClone:
+		eng, err := s.Eng.Clone(c.Seed)
+		if err != nil {
+			resp = Response{Err: err.Error()}
+			break
+		}
+		name := c.Key
+		if name == "" {
+			name = s.Name + "-clone"
+		}
+		clone := NewSteered(name, eng)
+		for k, h := range s.params {
+			clone.params[k] = h
+		}
+		resp.Clone = clone
+	default:
+		resp = Response{Err: fmt.Sprintf("unknown command %v", c.Type)}
+	}
+	if c.Reply != nil {
+		c.Reply <- resp
+	}
+}
+
+// Steerer is the client-side handle used by the scientist's workstation.
+type Steerer struct{ target *Steered }
+
+// NewSteerer connects to a simulation through the registry-resolved
+// target. (In-process transport: the registry stores the *Steered
+// directly via Attach.)
+func NewSteerer(target *Steered) *Steerer { return &Steerer{target: target} }
+
+// Pause suspends the simulation at the next step boundary.
+func (st *Steerer) Pause() error { return st.call(Command{Type: CmdPause}) }
+
+// Resume continues a paused simulation.
+func (st *Steerer) Resume() error { return st.call(Command{Type: CmdResume}) }
+
+// Stop ends the run loop.
+func (st *Steerer) Stop() error { return st.call(Command{Type: CmdStop}) }
+
+// SetParam changes a registered steerable parameter.
+func (st *Steerer) SetParam(key, value string) error {
+	return st.call(Command{Type: CmdSetParam, Key: key, Value: value})
+}
+
+// Status fetches the live status readout.
+func (st *Steerer) Status() (map[string]string, error) {
+	r := st.target.send(Command{Type: CmdStatus})
+	if r.Err != "" {
+		return nil, errors.New(r.Err)
+	}
+	return r.Status, nil
+}
+
+// Checkpoint snapshots the simulation state.
+func (st *Steerer) Checkpoint() (*trace.Checkpoint, error) {
+	r := st.target.send(Command{Type: CmdCheckpoint})
+	if r.Err != "" {
+		return nil, errors.New(r.Err)
+	}
+	return r.Checkpoint, nil
+}
+
+// Clone duplicates the running simulation with a new RNG stream — the
+// paper's "checkpoint and cloning ... for verification and validation
+// tests without perturbing the original simulation".
+func (st *Steerer) Clone(name string, seed uint64) (*Steered, error) {
+	r := st.target.send(Command{Type: CmdClone, Key: name, Seed: seed})
+	if r.Err != "" {
+		return nil, errors.New(r.Err)
+	}
+	return r.Clone, nil
+}
+
+func (st *Steerer) call(c Command) error {
+	r := st.target.send(c)
+	if r.Err != "" {
+		return errors.New(r.Err)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package ti
+
+import (
+	"math"
+	"testing"
+
+	"spice/internal/forcefield"
+	"spice/internal/md"
+	"spice/internal/topology"
+	"spice/internal/units"
+	"spice/internal/vec"
+)
+
+// wellBuild returns a Build function for a single bead in a Gaussian well
+// centered at z0.
+func wellBuild(z0, depth, width float64) func(int, uint64) (*md.Engine, []int, error) {
+	return func(_ int, seed uint64) (*md.Engine, []int, error) {
+		top := topology.New()
+		top.AddAtom(topology.Atom{Kind: topology.KindDNA, Mass: 325, Radius: 3})
+		well := &forcefield.BindingSites{
+			Sites: []forcefield.BindingSite{{Z: z0, Depth: depth, Width: width}},
+			Atoms: []int{0},
+		}
+		eng, err := md.New(md.Config{
+			Top:   top,
+			Init:  []vec.V{{}},
+			Terms: []forcefield.Term{well},
+			Seed:  seed,
+			DT:    0.02,
+		})
+		return eng, []int{0}, err
+	}
+}
+
+func baseConfig() Config {
+	return Config{
+		Build:       wellBuild(5, 1.5, 1.5),
+		Kappa:       units.SpringFromPaper(300),
+		Axis:        vec.V{Z: 1},
+		Start:       0,
+		Distance:    10,
+		Windows:     21,
+		EquilSteps:  2000,
+		SampleSteps: 12000,
+		SampleEvery: 5,
+		Workers:     4,
+		Seed:        7,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Build = nil },
+		func(c *Config) { c.Kappa = 0 },
+		func(c *Config) { c.Axis = vec.Zero },
+		func(c *Config) { c.Windows = 1 },
+		func(c *Config) { c.Distance = 0 },
+		func(c *Config) { c.SampleSteps = 0 },
+	}
+	for i, m := range mutations {
+		c := baseConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTIRecoversGaussianWell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("physics integration test")
+	}
+	cfg := baseConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != cfg.Windows || len(res.PMF) != cfg.Windows {
+		t.Fatalf("result shape: %d windows", len(res.Windows))
+	}
+	// Compare to the true profile (anchored at z=0).
+	rmsd := 0.0
+	for i, z := range res.Grid {
+		truth := -1.5 * math.Exp(-(z-5)*(z-5)/(2*1.5*1.5))
+		d := res.PMF[i] - truth
+		rmsd += d * d
+	}
+	rmsd = math.Sqrt(rmsd / float64(len(res.Grid)))
+	if rmsd > 0.25 {
+		t.Fatalf("TI PMF RMSD %.3f kcal/mol (pmf=%v)", rmsd, res.PMF)
+	}
+	// The well must be located and roughly the right depth.
+	minV, minAt := math.Inf(1), 0.0
+	for i, v := range res.PMF {
+		if v < minV {
+			minV, minAt = v, res.Grid[i]
+		}
+	}
+	if math.Abs(minAt-5) > 1.0 {
+		t.Fatalf("well found at %v", minAt)
+	}
+	if minV > -1.0 || minV < -2.0 {
+		t.Fatalf("well depth %v, want ~-1.5", minV)
+	}
+	// Errors are finite, positive past the first window, and grow along
+	// the integration.
+	if res.SigmaPMF[0] != 0 {
+		t.Fatal("anchored window should have zero error")
+	}
+	if res.SigmaPMF[len(res.SigmaPMF)-1] <= res.SigmaPMF[1] {
+		t.Fatal("integrated error should grow")
+	}
+}
+
+func TestTIWindowsSortedAndDiagnosed(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Windows = 5
+	cfg.EquilSteps = 200
+	cfg.SampleSteps = 500
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Windows); i++ {
+		if res.Windows[i].Lambda <= res.Windows[i-1].Lambda {
+			t.Fatal("windows not sorted")
+		}
+	}
+	for _, w := range res.Windows {
+		if w.Samples == 0 {
+			t.Fatal("window without samples")
+		}
+		// The restrained COM must sit near its window target.
+		if math.Abs(w.MeanS-w.Lambda) > 1.5 {
+			t.Fatalf("window at λ=%v has COM at %v", w.Lambda, w.MeanS)
+		}
+	}
+}
+
+func TestTIDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Windows = 4
+	cfg.EquilSteps = 100
+	cfg.SampleSteps = 300
+	run := func(workers int) []float64 {
+		c := cfg
+		c.Workers = workers
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PMF
+	}
+	a, b := run(1), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TI results depend on worker count")
+		}
+	}
+}
+
+func TestTIBuildErrorPropagates(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Build = func(int, uint64) (*md.Engine, []int, error) {
+		return nil, nil, errTest
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("build error swallowed")
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "boom" }

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+func randFrame(rng *xrand.Source, n int, step int64) Frame {
+	f := Frame{Step: step, Time: float64(step) * 0.01, Pos: make([]vec.V, n)}
+	for i := range f.Pos {
+		f.Pos[i] = vec.V{X: rng.NormFloat64() * 10, Y: rng.NormFloat64() * 10, Z: rng.NormFloat64() * 10}
+	}
+	return f
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	var buf bytes.Buffer
+	w := NewTrajectoryWriter(&buf)
+	var frames []Frame
+	for i := 0; i < 7; i++ {
+		f := randFrame(rng, 13, int64(i*100))
+		frames = append(frames, f)
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewTrajectoryReader(&buf)
+	for i := 0; ; i++ {
+		f, err := r.ReadFrame()
+		if err == io.EOF {
+			if i != len(frames) {
+				t.Fatalf("read %d frames, wrote %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Step != frames[i].Step || f.Time != frames[i].Time {
+			t.Fatalf("frame %d header mismatch", i)
+		}
+		for j := range f.Pos {
+			if f.Pos[j] != frames[i].Pos[j] {
+				t.Fatalf("frame %d atom %d: %v != %v", i, j, f.Pos[j], frames[i].Pos[j])
+			}
+		}
+	}
+}
+
+func TestTrajectoryAtomCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTrajectoryWriter(&buf)
+	if err := w.WriteFrame(Frame{Pos: make([]vec.V, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(Frame{Pos: make([]vec.V, 4)}); err == nil {
+		t.Fatal("atom-count change should error")
+	}
+}
+
+func TestTrajectoryBadMagic(t *testing.T) {
+	r := NewTrajectoryReader(strings.NewReader("NOTRJX\x00\x00\x00\x00\x00\x00\x00\x00"))
+	if _, err := r.ReadFrame(); err != ErrFormat {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestTrajectoryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTrajectoryWriter(&buf)
+	if err := w.WriteFrame(randFrame(xrand.New(2), 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewTrajectoryReader(bytes.NewReader(data[:len(data)-8]))
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated read err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWorkLogRoundTrip(t *testing.T) {
+	wl := &WorkLog{Kappa: 1.4393, Velocity: 0.0125, Seed: 42}
+	rng := xrand.New(3)
+	for i := 0; i < 50; i++ {
+		wl.Samples = append(wl.Samples, WorkSample{
+			Lambda: float64(i) * 0.2,
+			Z:      float64(i)*0.2 + rng.NormFloat64()*0.1,
+			Work:   rng.NormFloat64() * 5,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkLog(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kappa != wl.Kappa || got.Velocity != wl.Velocity || got.Seed != wl.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Samples) != len(wl.Samples) {
+		t.Fatalf("samples %d != %d", len(got.Samples), len(wl.Samples))
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != wl.Samples[i] {
+			t.Fatalf("sample %d: %+v != %+v", i, got.Samples[i], wl.Samples[i])
+		}
+	}
+}
+
+func TestWorkLogPropertyRoundTrip(t *testing.T) {
+	f := func(kappa, velocity float64, seed uint64, vals []float64) bool {
+		if math.IsNaN(kappa) || math.IsInf(kappa, 0) || math.IsNaN(velocity) || math.IsInf(velocity, 0) {
+			return true
+		}
+		wl := &WorkLog{Kappa: kappa, Velocity: velocity, Seed: seed}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			wl.Samples = append(wl.Samples, WorkSample{Lambda: float64(i), Z: v, Work: -v})
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkLog(&buf, wl); err != nil {
+			return false
+		}
+		got, err := ReadWorkLog(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Kappa != kappa || got.Velocity != velocity || got.Seed != seed || len(got.Samples) != len(wl.Samples) {
+			return false
+		}
+		for i := range got.Samples {
+			if got.Samples[i] != wl.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkLogRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"hello\n1 2 3\n",
+		"# spice-worklog v1 kappa=1 velocity=1 seed=0 n=2\n1 2 3\n", // wrong count
+		"# spice-worklog v1 kappa=1 velocity=1 seed=0 n=1\n1 2\n",   // wrong columns
+		"# spice-worklog v1 kappa=abc velocity=1 seed=0 n=0\n",      // bad float
+	}
+	for i, c := range cases {
+		if _, err := ReadWorkLog(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestWorkLogSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# spice-worklog v1 kappa=1 velocity=2 seed=3 n=1\n\n# comment\n0.5 0.6 0.7\n"
+	wl, err := ReadWorkLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Samples) != 1 || wl.Samples[0].Work != 0.7 {
+		t.Fatalf("got %+v", wl)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := xrand.New(4)
+	c := &Checkpoint{Step: 12345, Time: 67.25, Seed: 99}
+	for i := 0; i < 20; i++ {
+		c.Pos = append(c.Pos, vec.V{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()})
+		c.Vel = append(c.Vel, vec.V{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()})
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != c.Step || got.Time != c.Time || got.Seed != c.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range c.Pos {
+		if got.Pos[i] != c.Pos[i] || got.Vel[i] != c.Vel[i] {
+			t.Fatalf("state mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointLengthMismatch(t *testing.T) {
+	c := &Checkpoint{Pos: make([]vec.V, 2), Vel: make([]vec.V, 3)}
+	if err := WriteCheckpoint(io.Discard, c); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestCheckpointRejectsNaN(t *testing.T) {
+	c := &Checkpoint{Pos: []vec.V{{X: math.NaN()}}, Vel: []vec.V{{}}}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(&buf); err == nil {
+		t.Fatal("NaN checkpoint should be rejected on read")
+	}
+}
+
+func TestCheckpointBadMagic(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("XXXXXXXXXXXXXXXXXXXXXXXXXXXXXXXX")); err != ErrFormat {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	c := &Checkpoint{Step: 1, Pos: make([]vec.V, 4), Vel: make([]vec.V, 4)}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-4])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}

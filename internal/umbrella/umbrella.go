@@ -1,0 +1,299 @@
+// Package umbrella implements umbrella sampling with WHAM reconstruction —
+// the third free-energy route on the SPICE infrastructure, alongside
+// SMD-JE (package jarzynski) and thermodynamic integration (package ti).
+// Like those, its windows are independent grid jobs; the paper's framing
+// ("the grid computing infrastructure used here ... can be easily extended
+// to compute free energies using different approaches", §VI) is exactly
+// the property this package demonstrates.
+//
+// Each window restrains the reaction coordinate with a harmonic bias at a
+// fixed center and histograms the coordinate; the Weighted Histogram
+// Analysis Method (WHAM) self-consistently removes the biases and merges
+// the windows into one unbiased PMF.
+package umbrella
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"spice/internal/md"
+	"spice/internal/smd"
+	"spice/internal/units"
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+// Config drives one umbrella-sampling calculation.
+type Config struct {
+	// Build constructs a fresh simulation per window.
+	Build func(window int, seed uint64) (*md.Engine, []int, error)
+	// Kappa is the bias spring constant, kcal/mol/Å². Softer than TI
+	// restraints: windows must overlap for WHAM to connect them.
+	Kappa float64
+	// Axis is the reaction coordinate.
+	Axis vec.V
+	// Start/Distance/Windows place the bias centers (inclusive ends).
+	Start    float64
+	Distance float64
+	Windows  int
+	// EquilSteps discards initial relaxation; SampleSteps are recorded
+	// every SampleEvery steps.
+	EquilSteps  int
+	SampleSteps int
+	SampleEvery int
+	// Temp is the simulation temperature, K (default 300).
+	Temp    float64
+	Workers int
+	Seed    uint64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Build == nil:
+		return errors.New("umbrella: nil Build")
+	case c.Kappa <= 0:
+		return fmt.Errorf("umbrella: spring constant %g", c.Kappa)
+	case c.Axis.Norm() == 0:
+		return errors.New("umbrella: zero axis")
+	case c.Windows < 2:
+		return fmt.Errorf("umbrella: need >= 2 windows, got %d", c.Windows)
+	case c.Distance == 0:
+		return errors.New("umbrella: zero distance")
+	case c.SampleSteps <= 0:
+		return errors.New("umbrella: no sampling steps")
+	}
+	return nil
+}
+
+// WindowData is the raw outcome of one biased window.
+type WindowData struct {
+	Center  float64   // bias center (displacement, Å)
+	Kappa   float64   // bias spring, kcal/mol/Å²
+	Samples []float64 // observed reaction-coordinate values
+}
+
+// Sample runs all windows and returns their coordinate samples.
+func Sample(cfg Config) ([]WindowData, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 10
+	}
+	root := xrand.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Windows)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	out := make([]WindowData, cfg.Windows)
+	errs := make([]error, cfg.Windows)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Windows; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[w], errs[w] = sampleWindow(cfg, w, seeds[w])
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("umbrella: window %d: %w", w, err)
+		}
+	}
+	return out, nil
+}
+
+func sampleWindow(cfg Config, w int, seed uint64) (WindowData, error) {
+	eng, atoms, err := cfg.Build(w, seed)
+	if err != nil {
+		return WindowData{}, err
+	}
+	center := cfg.Start + cfg.Distance*float64(w)/float64(cfg.Windows-1)
+	proto := smd.Protocol{
+		Kappa:    cfg.Kappa,
+		Velocity: 1, // static bias: λ set once, never advanced
+		Axis:     cfg.Axis,
+		Atoms:    atoms,
+		Distance: 1,
+	}
+	pl, err := smd.NewPuller(eng, proto)
+	if err != nil {
+		return WindowData{}, err
+	}
+	eng.AddTerm(pl)
+	pl.SetLambda(center)
+
+	for s := 0; s < cfg.EquilSteps; s++ {
+		eng.Step()
+	}
+	wd := WindowData{Center: center, Kappa: cfg.Kappa}
+	for s := 0; s < cfg.SampleSteps; s++ {
+		eng.Step()
+		if s%cfg.SampleEvery == 0 {
+			wd.Samples = append(wd.Samples, pl.DisplacementOfCOM())
+		}
+	}
+	if len(wd.Samples) == 0 {
+		return WindowData{}, errors.New("no samples collected")
+	}
+	return wd, nil
+}
+
+// WHAMResult is the merged unbiased profile.
+type WHAMResult struct {
+	Grid []float64 // bin centers, Å
+	PMF  []float64 // kcal/mol, anchored at the first populated bin
+	// F holds the converged per-window free-energy shifts.
+	F []float64
+	// Iterations until convergence.
+	Iterations int
+}
+
+// WHAM merges the biased windows into an unbiased PMF over nbins uniform
+// bins spanning [lo, hi). tol is the convergence threshold on the window
+// shifts (kcal/mol); maxIter bounds the self-consistency loop.
+func WHAM(windows []WindowData, temp, lo, hi float64, nbins int, tol float64, maxIter int) (*WHAMResult, error) {
+	if len(windows) < 2 {
+		return nil, errors.New("umbrella: WHAM needs >= 2 windows")
+	}
+	if nbins < 2 || hi <= lo {
+		return nil, fmt.Errorf("umbrella: bad bin spec [%g,%g) x %d", lo, hi, nbins)
+	}
+	if temp <= 0 {
+		temp = 300
+	}
+	beta := units.Beta(temp)
+	width := (hi - lo) / float64(nbins)
+	centers := make([]float64, nbins)
+	for b := range centers {
+		centers[b] = lo + (float64(b)+0.5)*width
+	}
+
+	// Histogram each window; count totals.
+	counts := make([][]float64, len(windows))
+	totals := make([]float64, len(windows))
+	for k, w := range windows {
+		counts[k] = make([]float64, nbins)
+		for _, s := range w.Samples {
+			if s < lo || s >= hi {
+				continue
+			}
+			b := int((s - lo) / width)
+			if b >= nbins {
+				b = nbins - 1
+			}
+			counts[k][b]++
+			totals[k]++
+		}
+		if totals[k] == 0 {
+			return nil, fmt.Errorf("umbrella: window %d (center %g) has no in-range samples", k, w.Center)
+		}
+	}
+
+	// Bias energies per window per bin.
+	bias := make([][]float64, len(windows))
+	for k, w := range windows {
+		bias[k] = make([]float64, nbins)
+		for b, x := range centers {
+			d := x - w.Center
+			bias[k][b] = 0.5 * w.Kappa * d * d
+		}
+	}
+
+	// Self-consistent iteration on the window shifts f_k.
+	f := make([]float64, len(windows))
+	p := make([]float64, nbins)
+	res := &WHAMResult{Grid: centers}
+	for iter := 1; iter <= maxIter; iter++ {
+		// Unbiased probability per bin.
+		for b := range p {
+			num := 0.0
+			den := 0.0
+			for k := range windows {
+				num += counts[k][b]
+				den += totals[k] * math.Exp(-beta*(bias[k][b]-f[k]))
+			}
+			if den > 0 {
+				p[b] = num / den
+			} else {
+				p[b] = 0
+			}
+		}
+		// New shifts.
+		maxShift := 0.0
+		for k := range windows {
+			z := 0.0
+			for b := range p {
+				z += p[b] * math.Exp(-beta*bias[k][b])
+			}
+			var fk float64
+			if z > 0 {
+				fk = -math.Log(z) / beta
+			}
+			if d := math.Abs(fk - f[k]); d > maxShift {
+				maxShift = d
+			}
+			f[k] = fk
+		}
+		res.Iterations = iter
+		if maxShift < tol {
+			break
+		}
+	}
+
+	// PMF from the converged distribution.
+	res.PMF = make([]float64, nbins)
+	anchor := math.NaN()
+	for b := range p {
+		if p[b] > 0 {
+			res.PMF[b] = -math.Log(p[b]) / beta
+			if math.IsNaN(anchor) {
+				anchor = res.PMF[b]
+			}
+		} else {
+			res.PMF[b] = math.Inf(1) // unsampled bin
+		}
+	}
+	if math.IsNaN(anchor) {
+		return nil, errors.New("umbrella: no populated bins")
+	}
+	for b := range res.PMF {
+		if !math.IsInf(res.PMF[b], 1) {
+			res.PMF[b] -= anchor
+		}
+	}
+	res.F = f
+	return res, nil
+}
+
+// Run is the convenience pipeline: Sample then WHAM over the sampled
+// range with nbins bins.
+func Run(cfg Config, nbins int) (*WHAMResult, error) {
+	windows, err := Sample(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, w := range windows {
+		for _, s := range w.Samples {
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		return nil, errors.New("umbrella: degenerate sample range")
+	}
+	return WHAM(windows, cfg.Temp, lo, hi+1e-9*span, nbins, 1e-6, 10000)
+}

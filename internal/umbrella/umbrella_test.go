@@ -1,0 +1,256 @@
+package umbrella
+
+import (
+	"math"
+	"testing"
+
+	"spice/internal/forcefield"
+	"spice/internal/md"
+	"spice/internal/topology"
+	"spice/internal/units"
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+func wellBuild(z0, depth, width float64) func(int, uint64) (*md.Engine, []int, error) {
+	return func(_ int, seed uint64) (*md.Engine, []int, error) {
+		top := topology.New()
+		top.AddAtom(topology.Atom{Kind: topology.KindDNA, Mass: 325, Radius: 3})
+		well := &forcefield.BindingSites{
+			Sites: []forcefield.BindingSite{{Z: z0, Depth: depth, Width: width}},
+			Atoms: []int{0},
+		}
+		eng, err := md.New(md.Config{
+			Top:   top,
+			Init:  []vec.V{{}},
+			Terms: []forcefield.Term{well},
+			Seed:  seed,
+			DT:    0.02,
+		})
+		return eng, []int{0}, err
+	}
+}
+
+func baseConfig() Config {
+	return Config{
+		Build:       wellBuild(5, 1.5, 1.5),
+		Kappa:       units.SpringFromPaper(50), // soft bias: overlapping windows
+		Axis:        vec.V{Z: 1},
+		Start:       0,
+		Distance:    10,
+		Windows:     11,
+		EquilSteps:  2000,
+		SampleSteps: 20000,
+		SampleEvery: 5,
+		Temp:        300,
+		Workers:     4,
+		Seed:        17,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Build = nil },
+		func(c *Config) { c.Kappa = 0 },
+		func(c *Config) { c.Axis = vec.Zero },
+		func(c *Config) { c.Windows = 1 },
+		func(c *Config) { c.Distance = 0 },
+		func(c *Config) { c.SampleSteps = 0 },
+	}
+	for i, m := range mutations {
+		c := baseConfig()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSampleWindowsCoverRange(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Windows = 5
+	cfg.EquilSteps = 500
+	cfg.SampleSteps = 2000
+	windows, err := Sample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 5 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	for i, w := range windows {
+		wantCenter := 10 * float64(i) / 4
+		if math.Abs(w.Center-wantCenter) > 1e-9 {
+			t.Fatalf("window %d center %v, want %v", i, w.Center, wantCenter)
+		}
+		if len(w.Samples) == 0 {
+			t.Fatalf("window %d empty", i)
+		}
+		// Samples cluster near the bias center (soft bias: generous).
+		m := 0.0
+		for _, s := range w.Samples {
+			m += s
+		}
+		m /= float64(len(w.Samples))
+		if math.Abs(m-w.Center) > 3.5 {
+			t.Fatalf("window %d mean %v far from center %v", i, m, w.Center)
+		}
+	}
+}
+
+func TestWHAMValidation(t *testing.T) {
+	if _, err := WHAM(nil, 300, 0, 1, 10, 1e-6, 100); err == nil {
+		t.Fatal("empty windows accepted")
+	}
+	w := []WindowData{{Center: 0, Kappa: 1, Samples: []float64{0.5}}, {Center: 1, Kappa: 1, Samples: []float64{1.2}}}
+	if _, err := WHAM(w, 300, 1, 0, 10, 1e-6, 100); err == nil {
+		t.Fatal("bad bin spec accepted")
+	}
+	// A window with no in-range samples.
+	w2 := []WindowData{{Center: 0, Kappa: 1, Samples: []float64{0.5}}, {Center: 1, Kappa: 1, Samples: []float64{99}}}
+	if _, err := WHAM(w2, 300, 0, 2, 10, 1e-6, 100); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+}
+
+func TestWHAMRecoversFlatProfile(t *testing.T) {
+	// Synthetic: samples drawn from the bias distributions alone (no
+	// underlying landscape) must yield a flat PMF.
+	rng := xrand.New(3)
+	beta := units.Beta(300)
+	kappa := 2.0
+	sd := math.Sqrt(1 / (beta * kappa))
+	var windows []WindowData
+	for c := 0.0; c <= 4; c += 1 {
+		w := WindowData{Center: c, Kappa: kappa}
+		for i := 0; i < 20000; i++ {
+			w.Samples = append(w.Samples, c+sd*rng.NormFloat64())
+		}
+		windows = append(windows, w)
+	}
+	res, err := WHAM(windows, 300, -1, 5, 30, 1e-8, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior bins (well-sampled) should be flat within noise.
+	for b, x := range res.Grid {
+		if x < 0 || x > 4 {
+			continue
+		}
+		if math.IsInf(res.PMF[b], 1) {
+			t.Fatalf("unsampled interior bin at %v", x)
+		}
+		if math.Abs(res.PMF[b]) > 0.15 {
+			t.Fatalf("flat landscape PMF at %v = %v", x, res.PMF[b])
+		}
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestWHAMRecoversHarmonicLandscape(t *testing.T) {
+	// Synthetic: true landscape U(x) = a·x² with bias κ/2 (x-c)²; the
+	// window distributions are Gaussians with known mean/variance.
+	rng := xrand.New(4)
+	beta := units.Beta(300)
+	a := 0.5
+	kappa := 3.0
+	var windows []WindowData
+	for c := -2.0; c <= 2; c += 0.5 {
+		// Combined potential: (a + κ/2)x² - κcx + const →
+		// mean = κc/(2a+κ), var = 1/(β(2a+κ)).
+		mean := kappa * c / (2*a + kappa)
+		sd := math.Sqrt(1 / (beta * (2*a + kappa)))
+		w := WindowData{Center: c, Kappa: kappa}
+		for i := 0; i < 30000; i++ {
+			w.Samples = append(w.Samples, mean+sd*rng.NormFloat64())
+		}
+		windows = append(windows, w)
+	}
+	res, err := WHAM(windows, 300, -2, 2, 40, 1e-8, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare to a·x² (both anchored to their minimum).
+	minPMF, minTruth := math.Inf(1), math.Inf(1)
+	for b, x := range res.Grid {
+		if math.IsInf(res.PMF[b], 1) {
+			continue
+		}
+		minPMF = math.Min(minPMF, res.PMF[b])
+		minTruth = math.Min(minTruth, a*x*x)
+	}
+	for b, x := range res.Grid {
+		if math.IsInf(res.PMF[b], 1) || math.Abs(x) > 1.5 {
+			continue
+		}
+		got := res.PMF[b] - minPMF
+		want := a*x*x - minTruth
+		if math.Abs(got-want) > 0.2 {
+			t.Fatalf("PMF(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRunRecoversGaussianWell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("physics integration test")
+	}
+	cfg := baseConfig()
+	res, err := Run(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the well.
+	minV, minAt := math.Inf(1), 0.0
+	for b, x := range res.Grid {
+		if !math.IsInf(res.PMF[b], 1) && res.PMF[b] < minV {
+			minV, minAt = res.PMF[b], x
+		}
+	}
+	if math.Abs(minAt-5) > 1.2 {
+		t.Fatalf("well found at %v, want ~5", minAt)
+	}
+	// Depth relative to the window edges.
+	edge := 0.0
+	for b, x := range res.Grid {
+		if !math.IsInf(res.PMF[b], 1) && x < 1.0 {
+			edge = res.PMF[b]
+		}
+	}
+	depth := edge - minV
+	if depth < 0.8 || depth > 2.2 {
+		t.Fatalf("well depth %v, want ~1.5", depth)
+	}
+}
+
+func TestSampleDeterministicAcrossWorkers(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Windows = 3
+	cfg.EquilSteps = 100
+	cfg.SampleSteps = 300
+	run := func(workers int) []float64 {
+		c := cfg
+		c.Workers = workers
+		ws, err := Sample(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, w := range ws {
+			out = append(out, w.Samples[len(w.Samples)-1])
+		}
+		return out
+	}
+	a, b := run(1), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("umbrella sampling depends on worker count")
+		}
+	}
+}
