@@ -682,6 +682,11 @@ func BenchmarkAblation_ParallelForces(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng.Step()
 			}
+			b.StopTimer()
+			// Pair-evaluation throughput: the worker pool's figure of
+			// merit (each step evaluates every listed pair once).
+			st := eng.NeighborStats()
+			b.ReportMetric(st.AvgPairs*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 		})
 	}
 }
@@ -763,6 +768,12 @@ func BenchmarkAblation_NeighborList(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ts.Engine.Step()
 		}
+		// Rebuild cadence and pair volume: a skin-tuning regression
+		// (too-small skin -> rebuild every step; too-large -> pair
+		// list bloat) shows up directly in these two metrics.
+		st := ts.Engine.NeighborStats()
+		b.ReportMetric(st.AvgInterval, "steps/rebuild")
+		b.ReportMetric(st.AvgPairs, "pairs/rebuild")
 	})
 	b.Logf("Ablation/neighbor: see internal/neighbor BenchmarkCellList1000 vs BenchmarkBruteForce1000")
 }

@@ -1,0 +1,155 @@
+// Command bench is the benchmark-regression harness: it runs the key
+// ablation and figure benchmarks through `go test -bench -benchmem`,
+// parses the standard benchmark output (including custom metrics like
+// pairs/s and steps/rebuild), and writes a machine-readable JSON snapshot
+// so successive PRs have a performance trajectory to compare against.
+//
+// Usage:
+//
+//	go run ./cmd/bench                    # writes BENCH_1.json
+//	go run ./cmd/bench -out BENCH_2.json  # next PR's snapshot
+//	go run ./cmd/bench -benchtime 500ms -pattern 'Ablation'
+//
+// Compare two snapshots by eye or with jq; every record carries ns/op,
+// B/op, allocs/op and all custom metrics keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op"`
+	AllocsNum  float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file format of BENCH_N.json.
+type Snapshot struct {
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	CPUs       int       `json:"num_cpu"`
+	BenchTime  string    `json:"benchtime"`
+	Pattern    string    `json:"pattern"`
+	Timestamp  time.Time `json:"timestamp"`
+	Results    []Result  `json:"results"`
+}
+
+const defaultPattern = "Ablation_ParallelForces|Ablation_NeighborList|Fig3_TranslocationStretch|T3_Campaign72"
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	pattern := flag.String("pattern", defaultPattern, "benchmark regexp passed to -bench")
+	benchtime := flag.String("benchtime", "300ms", "passed to -benchtime")
+	dir := flag.String("dir", ".", "module directory containing the top-level benchmarks")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *pattern, "-benchmem", "-benchtime", *benchtime, ".")
+	cmd.Dir = *dir
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	var results []Result
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the human-readable stream visible
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench failed: %w", err))
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched pattern %q", *pattern))
+	}
+
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		BenchTime:  *benchtime,
+		Pattern:    *pattern,
+		Timestamp:  time.Now().UTC(),
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseBenchLine parses one `go test -bench` output line, e.g.
+//
+//	BenchmarkX/sub-8   123   4567 ns/op   12 B/op   0 allocs/op   9.9 pairs/s
+//
+// Fields after the iteration count come in (value, unit) tuples.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       strings.TrimPrefix(fields[0], "Benchmark"),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for k := 2; k+1 < len(fields); k += 2 {
+		val, err := strconv.ParseFloat(fields[k], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[k+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsNum = val
+		default:
+			r.Metrics[unit] = val
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

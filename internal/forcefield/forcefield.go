@@ -117,10 +117,14 @@ func (WCA) Name() string { return "wca" }
 // Cutoff implements PairPotential.
 func (w WCA) Cutoff() float64 { return w.MaxCut }
 
+// cbrt2 is 2^{1/3}, precomputed: math.Cbrt is a function call the
+// compiler does not fold, and EnergyForce runs once per pair per step.
+const cbrt2 = 1.2599210498948731648
+
 // EnergyForce implements PairPotential.
 func (w WCA) EnergyForce(r2, _, _, si, sj float64) (float64, float64) {
 	sigma := si + sj
-	rc2 := sigma * sigma * math.Cbrt(2) // (2^{1/6}σ)² = σ²·2^{1/3}
+	rc2 := sigma * sigma * cbrt2 // (2^{1/6}σ)² = σ²·2^{1/3}
 	if r2 >= rc2 || r2 == 0 {
 		return 0, 0
 	}
@@ -162,11 +166,14 @@ func (d DebyeHuckel) EnergyForce(r2, qi, qj, _, _ float64) (float64, float64) {
 	if r2 >= d.Cut*d.Cut {
 		return 0, 0
 	}
+	// Three divides (invR, invL, EpsR) instead of the naive five — this
+	// runs once per in-range charged pair per step.
 	r := math.Sqrt(r2)
-	pref := CoulombConst * qi * qj / d.EpsR
-	e := pref / r * math.Exp(-r/d.Lambda)
+	invR := 1 / r
+	invL := 1 / d.Lambda
+	e := CoulombConst * qi * qj / d.EpsR * invR * math.Exp(-r*invL)
 	// dE/dr = -e·(1/r + 1/λ); g = -(dE/dr)/r
-	g := e * (1/r + 1/d.Lambda) / r
+	g := e * (invR + invL) * invR
 	return e, g
 }
 

@@ -20,6 +20,10 @@ import (
 	"spice/internal/xrand"
 )
 
+// parallelPairThreshold is the pair count below which the serial
+// nonbonded path is always faster than dispatching to the pool.
+const parallelPairThreshold = 256
+
 // Config assembles an Engine.
 type Config struct {
 	Top  *topology.Topology
@@ -58,15 +62,131 @@ type Engine struct {
 	}
 	nlist *neighbor.List
 	rng   *xrand.Source
+	// ff is e.forces bound once: a method value allocates at every
+	// bind, and Step is the hottest call site in the repo.
+	ff integrate.ForceFunc
 
 	// External receives steering forces from the IMD/steering layer.
 	External *forcefield.ExternalForces
 
 	workers int
-	buffers [][]vec.V // per-worker force accumulators
+	pool    *forcePool
+	eval    nbEval
+
+	// charges/radii are the per-atom pair-potential parameters, kept as
+	// flat slices so the pair loop never loads whole Atom structs.
+	charges []float64
+	radii   []float64
+	// wrapPos is the scratch for positions wrapped into the primary
+	// cell, refreshed once per nonbonded evaluation so the pair kernels
+	// can use the branch-based minimum image instead of math.Round.
+	wrapPos []vec.V
 
 	energies map[string]float64
 	mu       sync.Mutex // guards checkpoint vs step from other goroutines
+}
+
+// forcePool is the persistent nonbonded worker pool: long-lived goroutines
+// started once in New and reused by every Step. Workers reference only the
+// pool, never the Engine, so an abandoned Engine stays collectable; its
+// finalizer (or an explicit Close) shuts the goroutines down.
+type forcePool struct {
+	tasks chan poolTask
+	quit  chan struct{}
+	once  sync.Once
+}
+
+type poolTask struct {
+	ev *nbEval
+	w  int
+}
+
+func newForcePool(workers int) *forcePool {
+	p := &forcePool{
+		tasks: make(chan poolTask, workers),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *forcePool) run() {
+	for {
+		select {
+		case t := <-p.tasks:
+			t.ev.runChunk(t.w)
+			t.ev.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *forcePool) close() { p.once.Do(func() { close(p.quit) }) }
+
+// nbEval is the state of one parallel nonbonded evaluation. It lives in
+// the Engine and is reused every step; only the pos/pairs slices change.
+type nbEval struct {
+	e        *Engine
+	pos      []vec.V
+	pairs    []neighbor.Pair
+	chunk    int
+	energies []float64
+	bufs     []workerBuf
+	wg       sync.WaitGroup
+}
+
+// workerBuf is a sparsely-zeroed per-worker force accumulator: instead of
+// clearing all N entries per evaluation (O(N·workers) per step), each
+// entry is lazily reset the first time the current epoch touches it, and
+// only touched entries are merged back.
+type workerBuf struct {
+	f       []vec.V
+	stamp   []uint32
+	epoch   uint32
+	touched []int32
+}
+
+func (b *workerBuf) reset(n int) {
+	if cap(b.f) < n {
+		b.f = make([]vec.V, n)
+		b.stamp = make([]uint32, n)
+		b.epoch = 0
+	}
+	b.f = b.f[:n]
+	b.stamp = b.stamp[:n]
+	b.touched = b.touched[:0]
+	b.epoch++
+	if b.epoch == 0 { // wrapped: stamps are stale, clear them once
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.epoch = 1
+	}
+}
+
+// add accumulates df into slot i, zeroing the slot on first touch.
+func (b *workerBuf) add(i int32, s float64, d vec.V) {
+	if b.stamp[i] != b.epoch {
+		b.stamp[i] = b.epoch
+		b.f[i] = vec.Zero
+		b.touched = append(b.touched, i)
+	}
+	b.f[i].AddScaled(s, d)
+}
+
+// runChunk evaluates the w-th contiguous slice of the pair list into the
+// w-th worker buffer. Chunk 0 is always run by the caller directly into
+// the shared force array, so worker buffers exist only for chunks >= 1.
+func (ev *nbEval) runChunk(w int) {
+	lo := w * ev.chunk
+	hi := lo + ev.chunk
+	if hi > len(ev.pairs) {
+		hi = len(ev.pairs)
+	}
+	ev.energies[w] = ev.e.pairRangeSparse(ev.pos, &ev.bufs[w], ev.pairs[lo:hi])
 }
 
 // New validates cfg and builds an Engine.
@@ -101,6 +221,10 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
+	// The Terms slice is configuration shared with the caller (and, via
+	// Clone, with a parent engine); copy it so a later AddTerm on either
+	// side cannot overwrite a slot in a shared backing array.
+	cfg.Terms = append([]forcefield.Term(nil), cfg.Terms...)
 
 	e := &Engine{
 		cfg:      cfg,
@@ -122,12 +246,22 @@ func New(cfg Config) (*Engine, error) {
 
 	if cfg.Pair != nil {
 		e.nlist = neighbor.NewList(cfg.Pair.Cutoff(), cfg.Skin, cfg.Box)
-		e.nlist.Exclude = func(i, j int) bool {
-			ai, aj := cfg.Top.Atoms[i], cfg.Top.Atoms[j]
-			if ai.Fixed && aj.Fixed {
-				return true // wall-wall pairs never matter
-			}
-			return cfg.Top.Excluded(i, j)
+		e.nlist.Workers = e.workers
+		// Bake exclusions into the list: bonded 1-2/1-3 partners from
+		// the topology, plus wall-wall pairs (both atoms fixed), which
+		// never matter.
+		e.nlist.SetExclusions(cfg.Top.ExclusionLists())
+		fixed := make([]bool, n)
+		for i, a := range cfg.Top.Atoms {
+			fixed[i] = a.Fixed
+		}
+		e.nlist.SetInactive(fixed)
+
+		e.charges = make([]float64, n)
+		e.radii = make([]float64, n)
+		for i, a := range cfg.Top.Atoms {
+			e.charges[i] = a.Charge
+			e.radii[i] = a.Radius
 		}
 	}
 
@@ -139,11 +273,32 @@ func New(cfg Config) (*Engine, error) {
 		e.integ = lg
 	}
 
-	e.buffers = make([][]vec.V, e.workers)
-	for w := range e.buffers {
-		e.buffers[w] = make([]vec.V, n)
+	e.ff = e.forces
+	if cfg.Pair != nil && e.workers > 1 {
+		// Persistent worker pool, started once and reused by every
+		// Step. Chunk 0 runs on the calling goroutine, so only
+		// workers-1 pool goroutines and buffers are needed.
+		e.pool = newForcePool(e.workers - 1)
+		e.eval.e = e
+		e.eval.energies = make([]float64, e.workers)
+		e.eval.bufs = make([]workerBuf, e.workers)
+		// Engines are routinely created in bulk (sweeps, campaigns,
+		// clones) and rarely Closed explicitly; tie pool shutdown to
+		// collection. Workers hold no reference back to the Engine, so
+		// the finalizer can run.
+		runtime.SetFinalizer(e, func(e *Engine) { e.pool.close() })
 	}
 	return e, nil
+}
+
+// Close stops the engine's worker pool. Optional: an unreachable Engine's
+// pool is also shut down by a finalizer. The engine must not Step after
+// Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		runtime.SetFinalizer(e, nil)
+	}
 }
 
 // State exposes the dynamical state (read it between steps only).
@@ -192,63 +347,86 @@ func (e *Engine) forces(pos []vec.V, f []vec.V) float64 {
 	return total
 }
 
-// nonbonded evaluates the pair potential over the neighbor list in
-// parallel, with per-worker force buffers merged afterwards.
+// nonbonded evaluates the pair potential over the neighbor list. Large
+// lists are split into contiguous chunks: chunk 0 runs on the calling
+// goroutine straight into f, the rest are dispatched to the persistent
+// worker pool with sparsely-zeroed per-worker buffers that are merged
+// (touched indices only) afterwards. Chunk boundaries depend only on the
+// pair count and worker count, so trajectories stay deterministic.
 func (e *Engine) nonbonded(pos []vec.V, f []vec.V) float64 {
 	pairs := e.nlist.Pairs
 	if len(pairs) == 0 {
 		return 0
 	}
+	// Wrap positions once (O(N)) so every per-pair minimum image
+	// (O(pairs)) is a compare instead of a math.Round.
+	wp := pos
+	if e.cfg.Box != vec.Zero {
+		if cap(e.wrapPos) < len(pos) {
+			e.wrapPos = make([]vec.V, len(pos))
+		}
+		wp = e.wrapPos[:len(pos)]
+		for i, p := range pos {
+			wp[i] = vec.Wrap(p, e.cfg.Box)
+		}
+	}
 	nw := e.workers
-	if len(pairs) < 256 || nw == 1 {
-		return e.pairRange(pos, f, pairs)
+	if nw == 1 || e.pool == nil || len(pairs) < parallelPairThreshold {
+		return e.pairRange(wp, f, pairs)
 	}
 
-	energies := make([]float64, nw)
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		if lo >= len(pairs) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			buf := e.buffers[w]
-			for i := range buf {
-				buf[i] = vec.Zero
-			}
-			energies[w] = e.pairRange(pos, buf, pairs[lo:hi])
-		}(w, lo, hi)
+	ev := &e.eval
+	ev.pos, ev.pairs = wp, pairs
+	ev.chunk = (len(pairs) + nw - 1) / nw
+	nchunks := (len(pairs) + ev.chunk - 1) / ev.chunk
+	n := len(pos)
+	for w := 1; w < nchunks; w++ {
+		ev.bufs[w].reset(n)
 	}
-	wg.Wait()
+	ev.wg.Add(nchunks - 1)
+	for w := 1; w < nchunks; w++ {
+		e.pool.tasks <- poolTask{ev, w}
+	}
+	total := e.pairRange(wp, f, pairs[:ev.chunk])
+	ev.wg.Wait()
+	ev.pos, ev.pairs = nil, nil
 
-	total := 0.0
-	for w := 0; w < nw; w++ {
-		total += energies[w]
-		buf := e.buffers[w]
-		for i := range f {
-			f[i].AddInPlace(buf[i])
+	for w := 1; w < nchunks; w++ {
+		total += ev.energies[w]
+		buf := &ev.bufs[w]
+		for _, i := range buf.touched {
+			f[i].AddInPlace(buf.f[i])
 		}
 	}
 	return total
 }
 
+// pairRange evaluates pairs into f. pos must be wrapped into the primary
+// cell (see nonbonded). The standard Combined potential is dispatched as
+// a concrete type so the per-pair EnergyForce call is static and
+// inlinable; anything else goes through the interface.
 func (e *Engine) pairRange(pos []vec.V, f []vec.V, pairs []neighbor.Pair) float64 {
-	atoms := e.top.Atoms
-	pot := e.cfg.Pair
-	box := e.cfg.Box
+	if pot, ok := e.cfg.Pair.(forcefield.Combined); ok {
+		return pairKernel(pot, e.charges, e.radii, e.cfg.Box, pos, f, pairs)
+	}
+	return pairKernel(e.cfg.Pair, e.charges, e.radii, e.cfg.Box, pos, f, pairs)
+}
+
+// pairRangeSparse is pairRange accumulating into a sparse worker buffer.
+func (e *Engine) pairRangeSparse(pos []vec.V, buf *workerBuf, pairs []neighbor.Pair) float64 {
+	if pot, ok := e.cfg.Pair.(forcefield.Combined); ok {
+		return pairKernelSparse(pot, e.charges, e.radii, e.cfg.Box, pos, buf, pairs)
+	}
+	return pairKernelSparse(e.cfg.Pair, e.charges, e.radii, e.cfg.Box, pos, buf, pairs)
+}
+
+func pairKernel[P forcefield.PairPotential](pot P, q, s []float64, box vec.V, pos []vec.V, f []vec.V, pairs []neighbor.Pair) float64 {
 	total := 0.0
 	for _, p := range pairs {
 		i, j := int(p.I), int(p.J)
-		d := vec.MinImage(pos[i].Sub(pos[j]), box)
+		d := vec.MinImageWrapped(pos[i].Sub(pos[j]), box)
 		r2 := d.Norm2()
-		en, g := pot.EnergyForce(r2, atoms[i].Charge, atoms[j].Charge, atoms[i].Radius, atoms[j].Radius)
+		en, g := pot.EnergyForce(r2, q[i], q[j], s[i], s[j])
 		if en == 0 && g == 0 {
 			continue
 		}
@@ -259,10 +437,36 @@ func (e *Engine) pairRange(pos []vec.V, f []vec.V, pairs []neighbor.Pair) float6
 	return total
 }
 
+func pairKernelSparse[P forcefield.PairPotential](pot P, q, s []float64, box vec.V, pos []vec.V, buf *workerBuf, pairs []neighbor.Pair) float64 {
+	total := 0.0
+	for _, p := range pairs {
+		i, j := int(p.I), int(p.J)
+		d := vec.MinImageWrapped(pos[i].Sub(pos[j]), box)
+		r2 := d.Norm2()
+		en, g := pot.EnergyForce(r2, q[i], q[j], s[i], s[j])
+		if en == 0 && g == 0 {
+			continue
+		}
+		total += en
+		buf.add(p.I, g, d)
+		buf.add(p.J, -g, d)
+	}
+	return total
+}
+
+// NeighborStats returns rebuild-cadence and pair-count metrics from the
+// engine's neighbor list (zero Stats when nonbonded forces are disabled).
+func (e *Engine) NeighborStats() neighbor.Stats {
+	if e.nlist == nil {
+		return neighbor.Stats{}
+	}
+	return e.nlist.Statistics()
+}
+
 // Step advances the simulation by one timestep.
 func (e *Engine) Step() {
 	e.mu.Lock()
-	e.integ.Step(e.state, e.forces)
+	e.integ.Step(e.state, e.ff)
 	e.mu.Unlock()
 }
 

@@ -134,6 +134,123 @@ func TestParallelForcesMatchSerial(t *testing.T) {
 	}
 }
 
+// TestParallelForcesMatchSerialTranslocation pins pooled-parallel vs
+// serial agreement on the realistic system: a ~500-atom translocation
+// build (200 DNA beads + fixed pore walls) with baked exclusions and the
+// wall-wall inactive mask in play.
+func TestParallelForcesMatchSerialTranslocation(t *testing.T) {
+	mk := func(workers int) *Engine {
+		spec := DefaultTranslocation(200)
+		spec.NoWalls = false
+		spec.Seed = 5
+		spec.Workers = workers
+		ts, err := BuildTranslocation(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts.Engine
+	}
+	serial := mk(1)
+	n := serial.Topology().N()
+	if n < 450 {
+		t.Fatalf("system too small to be representative: %d atoms", n)
+	}
+	pos := serial.State().Pos
+	fs := make([]vec.V, n)
+	es := serial.forces(pos, fs)
+	serial.nlist.Update(pos)
+	if len(serial.nlist.Pairs) < parallelPairThreshold {
+		t.Fatalf("only %d pairs; parallel path never engages", len(serial.nlist.Pairs))
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := mk(workers)
+		fp := make([]vec.V, n)
+		ep := par.forces(pos, fp)
+		if math.Abs(es-ep) > 1e-9*math.Max(1, math.Abs(es)) {
+			t.Fatalf("workers=%d: energies differ: %v vs %v", workers, es, ep)
+		}
+		for i := range fs {
+			if vec.Dist(fs[i], fp[i]) > 1e-9*(1+fs[i].Norm()) {
+				t.Fatalf("workers=%d: forces differ at %d: %v vs %v", workers, i, fs[i], fp[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentStepCheckpointFrame stresses the public concurrency
+// contract (Step vs Checkpoint vs Frame from other goroutines) with the
+// worker pool active; run under -race it pins the pooled nonbonded path
+// data-race free.
+func TestConcurrentStepCheckpointFrame(t *testing.T) {
+	top := topology.New()
+	p := topology.DefaultDNA(200)
+	p.AngleK = 0
+	_, pos, err := topology.BuildDNA(top, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{
+		Top:   top,
+		Init:  pos,
+		Terms: []forcefield.Term{forcefield.Bonds{Top: top}},
+		Pair: forcefield.Combined{
+			Core: forcefield.WCA{Epsilon: 0.3, MaxCut: 12},
+			Elec: forcefield.DebyeHuckel{Lambda: 7.9, EpsR: 78.5, Cut: 24},
+		},
+		Seed:    3,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eng.Run(100)
+	}()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			if eng.State().Step != 100 {
+				t.Fatalf("step = %d", eng.State().Step)
+			}
+			return
+		default:
+			ck := eng.Checkpoint()
+			fr := eng.Frame()
+			if len(ck.Pos) != top.N() || len(fr.Pos) != top.N() {
+				t.Fatal("snapshot wrong size")
+			}
+		}
+	}
+}
+
+// TestCloneTermsNotAliased is the regression test for the Clone aliasing
+// bug: parent and clone appending terms concurrently used to write the
+// same backing-array slot.
+func TestCloneTermsNotAliased(t *testing.T) {
+	a := smallChain(t, 1, 77)
+	a.Run(10)
+	clone, err := a.Clone(78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentTerm := forcefield.Bonds{Top: a.Topology()}
+	cloneTerm := forcefield.Angles{Top: clone.Topology()}
+	a.AddTerm(parentTerm)
+	clone.AddTerm(cloneTerm)
+	if got := a.cfg.Terms[len(a.cfg.Terms)-1]; got != forcefield.Term(parentTerm) {
+		t.Fatalf("clone's AddTerm overwrote parent's term slot: %T", got)
+	}
+	if got := clone.cfg.Terms[len(clone.cfg.Terms)-1]; got != forcefield.Term(cloneTerm) {
+		t.Fatalf("parent's AddTerm overwrote clone's term slot: %T", got)
+	}
+	// Both engines must still step cleanly with their own term sets.
+	a.Step()
+	clone.Step()
+}
+
 func TestMomentumConservationOfInternalForces(t *testing.T) {
 	eng := smallChain(t, 4, 5)
 	f := make([]vec.V, eng.Topology().N())

@@ -4,12 +4,21 @@
 // The list is reused across steps until any particle has moved more than
 // half the skin since the last rebuild.
 //
+// The list is built for steady-state reuse: the linked-cell arrays, the
+// wrapped-position scratch and the pair buffers are all retained across
+// rebuilds, so after warm-up a rebuild allocates nothing. Exclusions are
+// baked in at construction as per-atom sorted index lists (no closure, no
+// map lookup on the candidate-pair path), and the emitted pairs are
+// counting-sorted by their lower index so the force loop walks positions
+// in cache order.
+//
 // The box may be non-periodic (zero box vector components); the grid then
 // adapts to the instantaneous bounding box of the particles.
 package neighbor
 
 import (
 	"math"
+	"sync"
 
 	"spice/internal/vec"
 )
@@ -17,19 +26,47 @@ import (
 // Pair is an unordered particle pair (I < J).
 type Pair struct{ I, J int32 }
 
+// Stats summarizes rebuild behaviour for skin tuning and regression
+// tracking: how often the list rebuilds and how many pairs each rebuild
+// emits.
+type Stats struct {
+	Rebuilds    int     // total rebuilds since creation
+	Updates     int     // Update() calls since creation
+	Pairs       int     // pairs in the current list
+	AvgPairs    float64 // mean pairs per rebuild
+	AvgInterval float64 // mean Update() calls between rebuilds
+}
+
 // List is a reusable Verlet neighbor list.
 type List struct {
 	Cutoff float64 // interaction cutoff, Å
 	Skin   float64 // extra margin, Å
 	Box    vec.V   // periodic box (zero components = open)
 
-	// Exclude reports pairs to omit (bonded exclusions); may be nil.
-	Exclude func(i, j int) bool
+	// Workers bounds the parallelism of the cell-pair scan; 0 or 1
+	// keeps the scan serial. Parallelism only engages above
+	// parallelScanMinAtoms atoms (per-worker buffers are merged in
+	// worker order, so the result is deterministic either way).
+	Workers int
 
 	Pairs []Pair
 
-	ref       []vec.V // positions at last rebuild
-	nRebuilds int
+	excl     [][]int32 // per-atom sorted exclusion lists; nil = none
+	inactive []bool    // pairs with both atoms inactive are skipped
+
+	ref     []vec.V // positions at last rebuild
+	wrapped []vec.V // positions wrapped into the primary cell (scratch)
+	head    []int32 // linked-cell heads, one per cell
+	next    []int32 // linked-cell chains, one per atom
+	offs    []int32 // counting-sort offsets, one per atom
+	sorted  []Pair  // counting-sort double buffer
+	bufs    [][]Pair
+
+	nRebuilds   int
+	updates     int
+	lastRebuild int // updates count when the list was last rebuilt
+	intervalSum int
+	pairsSum    int64
 }
 
 // NewList returns a list with the given cutoff and skin.
@@ -37,13 +74,56 @@ func NewList(cutoff, skin float64, box vec.V) *List {
 	return &List{Cutoff: cutoff, Skin: skin, Box: box}
 }
 
+// SetExclusions bakes per-atom sorted exclusion lists (as produced by
+// topology.ExclusionLists) into the list. The slice is retained, not
+// copied; it must stay valid and sorted for the lifetime of the list.
+func (l *List) SetExclusions(lists [][]int32) { l.excl = lists }
+
+// SetInactive marks atoms whose mutual pairs never matter (e.g. fixed
+// wall beads): a candidate pair is skipped when both atoms are inactive.
+// The slice is retained, not copied.
+func (l *List) SetInactive(inactive []bool) { l.inactive = inactive }
+
 // Rebuilds returns how many times the list has been rebuilt (diagnostics).
 func (l *List) Rebuilds() int { return l.nRebuilds }
+
+// Statistics returns rebuild-cadence and pair-count metrics.
+func (l *List) Statistics() Stats {
+	s := Stats{
+		Rebuilds: l.nRebuilds,
+		Updates:  l.updates,
+		Pairs:    len(l.Pairs),
+	}
+	if l.nRebuilds > 0 {
+		s.AvgPairs = float64(l.pairsSum) / float64(l.nRebuilds)
+		s.AvgInterval = float64(l.intervalSum) / float64(l.nRebuilds)
+	}
+	return s
+}
+
+// excluded reports whether pair (i, j) is baked out of the list. The
+// per-atom lists are short (bonded 1-2/1-3 partners), so a bounded linear
+// scan over the sorted list beats binary search and never allocates.
+func (l *List) excluded(i, j int32) bool {
+	if l.inactive != nil && l.inactive[i] && l.inactive[j] {
+		return true
+	}
+	if l.excl == nil {
+		return false
+	}
+	for _, k := range l.excl[i] {
+		if k >= j {
+			return k == j
+		}
+	}
+	return false
+}
 
 // Update rebuilds the pair list if any particle moved more than skin/2
 // since the last rebuild (or if the list has never been built). It returns
 // true when a rebuild happened.
 func (l *List) Update(pos []vec.V) bool {
+	l.updates++
 	if l.ref != nil && len(l.ref) == len(pos) {
 		lim2 := (l.Skin / 2) * (l.Skin / 2)
 		moved := false
@@ -65,29 +145,47 @@ func (l *List) Update(pos []vec.V) bool {
 // ForceRebuild unconditionally rebuilds the list.
 func (l *List) ForceRebuild(pos []vec.V) { l.build(pos) }
 
+// parallelScanMinAtoms gates the parallel cell scan: below this the
+// fan-out overhead exceeds the scan itself.
+const parallelScanMinAtoms = 1024
+
 func (l *List) build(pos []vec.V) {
 	l.nRebuilds++
-	if l.ref == nil || len(l.ref) != len(pos) {
-		l.ref = make([]vec.V, len(pos))
-	}
-	copy(l.ref, pos)
-	l.Pairs = l.Pairs[:0]
+	l.intervalSum += l.updates - l.lastRebuild
+	l.lastRebuild = l.updates
 
 	n := len(pos)
+	if cap(l.ref) < n {
+		l.ref = make([]vec.V, n)
+		l.wrapped = make([]vec.V, n)
+	}
+	l.ref = l.ref[:n]
+	l.wrapped = l.wrapped[:n]
+	copy(l.ref, pos)
+	// Wrap once into the scratch slice; every later distance and cell
+	// computation works on wrapped coordinates (minimum-image distances
+	// are invariant under wrapping).
+	for i, p := range pos {
+		l.wrapped[i] = vec.Wrap(p, l.Box)
+	}
+	l.Pairs = l.Pairs[:0]
+	defer func() { l.pairsSum += int64(len(l.Pairs)) }()
+
 	if n < 2 {
 		return
 	}
 	r := l.Cutoff + l.Skin
 	r2 := r * r
 
-	// For small systems brute force beats grid overhead.
+	// For small systems brute force beats grid overhead; the i-major
+	// double loop already emits pairs sorted by I.
 	if n <= 64 {
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				if l.Exclude != nil && l.Exclude(i, j) {
+				if l.excluded(int32(i), int32(j)) {
 					continue
 				}
-				d := vec.MinImage(pos[i].Sub(pos[j]), l.Box)
+				d := vec.MinImageWrapped(l.wrapped[i].Sub(l.wrapped[j]), l.Box)
 				if d.Norm2() <= r2 {
 					l.Pairs = append(l.Pairs, Pair{int32(i), int32(j)})
 				}
@@ -97,67 +195,129 @@ func (l *List) build(pos []vec.V) {
 	}
 
 	// Grid bounds: the periodic box where defined, else the bounding box.
-	lo, hi := bounds(pos, l.Box)
+	lo, hi := bounds(l.wrapped, l.Box)
 	ext := hi.Sub(lo)
 	nx := gridDim(ext.X, r)
 	ny := gridDim(ext.Y, r)
 	nz := gridDim(ext.Z, r)
 	ncell := nx * ny * nz
+	g := gridDesc{lo: lo, ext: ext, nx: nx, ny: ny, nz: nz,
+		periodicX: l.Box.X > 0, periodicY: l.Box.Y > 0, periodicZ: l.Box.Z > 0}
 
-	cellOf := func(p vec.V) int {
-		p = vec.Wrap(p, l.Box)
-		cx := clampCell(int(math.Floor((p.X-lo.X)/ext.X*float64(nx))), nx)
-		cy := clampCell(int(math.Floor((p.Y-lo.Y)/ext.Y*float64(ny))), ny)
-		cz := clampCell(int(math.Floor((p.Z-lo.Z)/ext.Z*float64(nz))), nz)
-		return (cz*ny+cy)*nx + cx
+	// Linked-cell head/next arrays, retained across rebuilds.
+	if cap(l.head) < ncell {
+		l.head = make([]int32, ncell)
 	}
-
-	// Linked-cell: head/next arrays.
-	head := make([]int32, ncell)
-	for i := range head {
-		head[i] = -1
+	l.head = l.head[:ncell]
+	for i := range l.head {
+		l.head[i] = -1
 	}
-	next := make([]int32, n)
-	cell := make([]int32, n)
+	if cap(l.next) < n {
+		l.next = make([]int32, n)
+	}
+	l.next = l.next[:n]
 	for i := 0; i < n; i++ {
-		c := cellOf(pos[i])
-		cell[i] = int32(c)
-		next[i] = head[c]
-		head[c] = int32(i)
+		c := g.cellOf(l.wrapped[i])
+		l.next[i] = l.head[c]
+		l.head[c] = int32(i)
 	}
 
-	periodicX := l.Box.X > 0
-	periodicY := l.Box.Y > 0
-	periodicZ := l.Box.Z > 0
+	if l.Workers > 1 && n >= parallelScanMinAtoms {
+		l.scanParallel(g, ncell, r2)
+	} else {
+		l.Pairs = l.scanCellRange(g, 0, ncell, r2, l.Pairs)
+	}
+	l.sortByI(n)
+}
 
-	for cz := 0; cz < nz; cz++ {
-		for cy := 0; cy < ny; cy++ {
-			for cx := 0; cx < nx; cx++ {
-				c := (cz*ny+cy)*nx + cx
-				for dz := -1; dz <= 1; dz++ {
-					for dy := -1; dy <= 1; dy++ {
-						for dx := -1; dx <= 1; dx++ {
-							ncx, okx := wrapCell(cx+dx, nx, periodicX)
-							ncy, oky := wrapCell(cy+dy, ny, periodicY)
-							ncz, okz := wrapCell(cz+dz, nz, periodicZ)
-							if !okx || !oky || !okz {
-								continue
-							}
-							nc := (ncz*ny+ncy)*nx + ncx
-							if nc < c {
-								continue // visit each cell pair once
-							}
-							l.scanCells(pos, head, next, c, nc, r2)
-						}
+// gridDesc carries the cell-grid geometry through the scan.
+type gridDesc struct {
+	lo, ext                         vec.V
+	nx, ny, nz                      int
+	periodicX, periodicY, periodicZ bool
+}
+
+func (g *gridDesc) cellOf(p vec.V) int {
+	cx := clampCell(int(math.Floor((p.X-g.lo.X)/g.ext.X*float64(g.nx))), g.nx)
+	cy := clampCell(int(math.Floor((p.Y-g.lo.Y)/g.ext.Y*float64(g.ny))), g.ny)
+	cz := clampCell(int(math.Floor((p.Z-g.lo.Z)/g.ext.Z*float64(g.nz))), g.nz)
+	return (cz*g.ny+cy)*g.nx + cx
+}
+
+// scanCellRange scans cells [c0, c1) against their half-neighborhoods,
+// appending in-range pairs to out. Each cell pair is visited exactly once
+// because a cell only scans neighbours nc >= c.
+func (l *List) scanCellRange(g gridDesc, c0, c1 int, r2 float64, out []Pair) []Pair {
+	nxy := g.nx * g.ny
+	for c := c0; c < c1; c++ {
+		if l.head[c] < 0 {
+			continue
+		}
+		cz := c / nxy
+		cy := (c - cz*nxy) / g.nx
+		cx := c - cz*nxy - cy*g.nx
+		for dz := -1; dz <= 1; dz++ {
+			ncz, okz := wrapCell(cz+dz, g.nz, g.periodicZ)
+			if !okz {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				ncy, oky := wrapCell(cy+dy, g.ny, g.periodicY)
+				if !oky {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					ncx, okx := wrapCell(cx+dx, g.nx, g.periodicX)
+					if !okx {
+						continue
 					}
+					nc := (ncz*g.ny+ncy)*g.nx + ncx
+					if nc < c {
+						continue // visit each cell pair once
+					}
+					out = l.scanCells(c, nc, r2, out)
 				}
 			}
 		}
 	}
+	return out
+}
+
+// scanParallel partitions the cell range across workers, each appending
+// into its own retained buffer, then concatenates the buffers in worker
+// order — deterministic regardless of scheduling.
+func (l *List) scanParallel(g gridDesc, ncell int, r2 float64) {
+	nw := l.Workers
+	if nw > ncell {
+		nw = ncell
+	}
+	if len(l.bufs) < nw {
+		l.bufs = append(l.bufs, make([][]Pair, nw-len(l.bufs))...)
+	}
+	var wg sync.WaitGroup
+	chunk := (ncell + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		c0 := w * chunk
+		c1 := c0 + chunk
+		if c1 > ncell {
+			c1 = ncell
+		}
+		wg.Add(1)
+		go func(w, c0, c1 int) {
+			defer wg.Done()
+			l.bufs[w] = l.scanCellRange(g, c0, c1, r2, l.bufs[w][:0])
+		}(w, c0, c1)
+	}
+	wg.Wait()
+	for _, b := range l.bufs[:nw] {
+		l.Pairs = append(l.Pairs, b...)
+	}
 }
 
 // scanCells appends in-range pairs between cells a and b (a == b allowed).
-func (l *List) scanCells(pos []vec.V, head, next []int32, a, b int, r2 float64) {
+func (l *List) scanCells(a, b int, r2 float64, out []Pair) []Pair {
+	head, next := l.head, l.next
+	pos := l.wrapped
 	for i := head[a]; i >= 0; i = next[i] {
 		var jStart int32
 		if a == b {
@@ -165,29 +325,58 @@ func (l *List) scanCells(pos []vec.V, head, next []int32, a, b int, r2 float64) 
 		} else {
 			jStart = head[b]
 		}
+		pi := pos[i]
 		for j := jStart; j >= 0; j = next[j] {
-			ii, jj := int(i), int(j)
-			if l.Exclude != nil && l.Exclude(ii, jj) {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if l.excluded(lo, hi) {
 				continue
 			}
-			d := vec.MinImage(pos[ii].Sub(pos[jj]), l.Box)
+			d := vec.MinImageWrapped(pi.Sub(pos[j]), l.Box)
 			if d.Norm2() <= r2 {
-				p := Pair{int32(ii), int32(jj)}
-				if p.I > p.J {
-					p.I, p.J = p.J, p.I
-				}
-				l.Pairs = append(l.Pairs, p)
+				out = append(out, Pair{lo, hi})
 			}
 		}
 	}
+	return out
 }
 
-// bounds returns the grid origin and far corner.
+// sortByI counting-sorts Pairs by their lower index (stable), so the
+// force loop's accesses to pos[I]/f[I] are sequential. O(P + N), no
+// allocation in steady state.
+func (l *List) sortByI(n int) {
+	if cap(l.offs) < n+1 {
+		l.offs = make([]int32, n+1)
+	}
+	offs := l.offs[:n+1]
+	for i := range offs {
+		offs[i] = 0
+	}
+	for _, p := range l.Pairs {
+		offs[p.I+1]++
+	}
+	for i := 1; i <= n; i++ {
+		offs[i] += offs[i-1]
+	}
+	if cap(l.sorted) < len(l.Pairs) {
+		l.sorted = make([]Pair, len(l.Pairs))
+	}
+	l.sorted = l.sorted[:len(l.Pairs)]
+	for _, p := range l.Pairs {
+		l.sorted[offs[p.I]] = p
+		offs[p.I]++
+	}
+	l.Pairs, l.sorted = l.sorted, l.Pairs
+}
+
+// bounds returns the grid origin and far corner for already-wrapped
+// positions.
 func bounds(pos []vec.V, box vec.V) (lo, hi vec.V) {
 	lo = vec.V{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)}
 	hi = lo.Neg()
 	for _, p := range pos {
-		p = vec.Wrap(p, box)
 		lo.X = math.Min(lo.X, p.X)
 		lo.Y = math.Min(lo.Y, p.Y)
 		lo.Z = math.Min(lo.Z, p.Z)

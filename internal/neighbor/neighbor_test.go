@@ -123,7 +123,7 @@ func TestUpdateRebuildPolicy(t *testing.T) {
 func TestExclusions(t *testing.T) {
 	pos := []vec.V{{}, {X: 1}, {X: 2}}
 	l := NewList(5, 0, vec.Zero)
-	l.Exclude = func(i, j int) bool { return i == 0 && j == 1 || i == 1 && j == 0 }
+	l.SetExclusions([][]int32{{1}, {0}, nil})
 	l.ForceRebuild(pos)
 	for _, p := range l.Pairs {
 		if p.I == 0 && p.J == 1 {
@@ -132,6 +132,125 @@ func TestExclusions(t *testing.T) {
 	}
 	if len(l.Pairs) != 2 { // (0,2) and (1,2)
 		t.Fatalf("pairs = %v", l.Pairs)
+	}
+}
+
+func TestBakedExclusionsMatchClosureReference(t *testing.T) {
+	// The baked sorted-list check must agree with the closure-driven
+	// brute-force reference on a chain-like exclusion pattern, above and
+	// below the grid threshold.
+	rng := xrand.New(11)
+	for _, n := range []int{40, 300} {
+		pos := randomPositions(rng, n, 25)
+		excl := make([][]int32, n)
+		isExcl := func(i, j int) bool { d := i - j; return d == 1 || d == -1 || d == 2 || d == -2 }
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && isExcl(i, j) {
+					excl[i] = append(excl[i], int32(j))
+				}
+			}
+		}
+		l := NewList(5, 0.5, vec.Zero)
+		l.SetExclusions(excl)
+		l.ForceRebuild(pos)
+		want := BruteForcePairs(pos, 5.5, vec.Zero, isExcl)
+		got := append([]Pair(nil), l.Pairs...)
+		if !pairsEqual(got, want) {
+			t.Fatalf("n=%d: baked %d pairs, closure reference %d", n, len(got), len(want))
+		}
+	}
+}
+
+func TestInactivePairsSkipped(t *testing.T) {
+	pos := []vec.V{{}, {X: 1}, {X: 2}}
+	l := NewList(5, 0, vec.Zero)
+	l.SetInactive([]bool{true, true, false})
+	l.ForceRebuild(pos)
+	if len(l.Pairs) != 2 { // (0,1) dropped; (0,2), (1,2) kept
+		t.Fatalf("pairs = %v", l.Pairs)
+	}
+	for _, p := range l.Pairs {
+		if p.I == 0 && p.J == 1 {
+			t.Fatal("inactive-inactive pair listed")
+		}
+	}
+}
+
+func TestPairsSortedByI(t *testing.T) {
+	rng := xrand.New(12)
+	for _, n := range []int{50, 400} {
+		pos := randomPositions(rng, n, 30)
+		l := NewList(5, 1, vec.Zero)
+		l.ForceRebuild(pos)
+		for k := 1; k < len(l.Pairs); k++ {
+			if l.Pairs[k].I < l.Pairs[k-1].I {
+				t.Fatalf("n=%d: pairs not sorted by I at %d: %v after %v", n, k, l.Pairs[k], l.Pairs[k-1])
+			}
+		}
+	}
+}
+
+func TestParallelScanMatchesSerial(t *testing.T) {
+	rng := xrand.New(13)
+	box := vec.V{X: 40, Y: 40, Z: 40}
+	pos := randomPositions(rng, 2000, 40) // above parallelScanMinAtoms
+	serial := NewList(4, 0.5, box)
+	serial.ForceRebuild(pos)
+	for _, workers := range []int{2, 3, 8} {
+		par := NewList(4, 0.5, box)
+		par.Workers = workers
+		par.ForceRebuild(pos)
+		if len(par.Pairs) != len(serial.Pairs) {
+			t.Fatalf("workers=%d: %d pairs vs serial %d", workers, len(par.Pairs), len(serial.Pairs))
+		}
+		for k := range par.Pairs {
+			if par.Pairs[k] != serial.Pairs[k] {
+				t.Fatalf("workers=%d: pair %d = %v, serial %v (order must be deterministic)",
+					workers, k, par.Pairs[k], serial.Pairs[k])
+			}
+		}
+	}
+}
+
+func TestRebuildAllocFreeInSteadyState(t *testing.T) {
+	rng := xrand.New(14)
+	box := vec.V{X: 35, Y: 35, Z: 35}
+	pos := randomPositions(rng, 800, 35)
+	l := NewList(4, 1, box)
+	l.ForceRebuild(pos) // warm-up sizes every retained buffer
+	l.ForceRebuild(pos)
+	allocs := testing.AllocsPerRun(10, func() { l.ForceRebuild(pos) })
+	if allocs > 0 {
+		t.Fatalf("steady-state rebuild allocates %.1f times", allocs)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	rng := xrand.New(15)
+	pos := randomPositions(rng, 100, 20)
+	l := NewList(4, 2, vec.Zero)
+	for i := 0; i < 5; i++ {
+		l.Update(pos) // only the first call rebuilds
+	}
+	st := l.Statistics()
+	if st.Rebuilds != 1 || st.Updates != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Pairs != len(l.Pairs) || st.AvgPairs != float64(len(l.Pairs)) {
+		t.Fatalf("pair stats = %+v, list has %d", st, len(l.Pairs))
+	}
+	// Force a second rebuild: interval bookkeeping must cover both.
+	pos[0].X += 3
+	if !l.Update(pos) {
+		t.Fatal("large move did not rebuild")
+	}
+	st = l.Statistics()
+	if st.Rebuilds != 2 {
+		t.Fatalf("stats after move = %+v", st)
+	}
+	if got := st.AvgInterval; got != 3 { // rebuilds at update 1 and 6 -> (1+5)/2
+		t.Fatalf("avg interval = %v, want 3", got)
 	}
 }
 

@@ -12,6 +12,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"spice/internal/vec"
 )
@@ -76,6 +77,11 @@ type Topology struct {
 	// excl[i] lists atom indices excluded from nonbonded interaction
 	// with i (bonded 1-2 and 1-3 neighbours).
 	excl map[int]map[int]bool
+
+	// exclLists is the flat, per-atom sorted form of excl consumed by
+	// the neighbor list's baked-exclusion check; rebuilt lazily.
+	exclLists   [][]int32
+	exclListsOK bool
 }
 
 // New returns an empty topology.
@@ -136,11 +142,37 @@ func (t *Topology) exclude(i, j int) {
 	}
 	t.excl[i][j] = true
 	t.excl[j][i] = true
+	t.exclListsOK = false
 }
 
 // Excluded reports whether the nonbonded interaction between i and j is
 // excluded (they share a bond or an angle).
 func (t *Topology) Excluded(i, j int) bool { return t.excl[i][j] }
+
+// ExclusionLists returns, for every atom, the sorted indices of its
+// excluded nonbonded partners. The result is cached until the next
+// AddBond/AddAngle and must not be mutated: the neighbor list bakes it in
+// at build time so the hot pair scan never goes through a map or closure.
+func (t *Topology) ExclusionLists() [][]int32 {
+	if t.exclListsOK && len(t.exclLists) == len(t.Atoms) {
+		return t.exclLists
+	}
+	lists := make([][]int32, len(t.Atoms))
+	for i, m := range t.excl {
+		if i < 0 || i >= len(t.Atoms) || len(m) == 0 {
+			continue
+		}
+		l := make([]int32, 0, len(m))
+		for j := range m {
+			l = append(l, int32(j))
+		}
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		lists[i] = l
+	}
+	t.exclLists = lists
+	t.exclListsOK = true
+	return lists
+}
 
 // Masses returns a slice of atom masses.
 func (t *Topology) Masses() []float64 {

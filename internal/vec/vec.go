@@ -127,6 +127,35 @@ func MinImage(d V, box V) V {
 	return d
 }
 
+// MinImageWrapped is MinImage for displacements between positions already
+// wrapped into the primary cell, i.e. |d| < box componentwise. The single
+// compare-and-correct per axis replaces MinImage's math.Round — worth it
+// in the per-pair force loop, where the branch is almost never taken.
+func MinImageWrapped(d V, box V) V {
+	if box.X > 0 {
+		if h := 0.5 * box.X; d.X > h {
+			d.X -= box.X
+		} else if d.X < -h {
+			d.X += box.X
+		}
+	}
+	if box.Y > 0 {
+		if h := 0.5 * box.Y; d.Y > h {
+			d.Y -= box.Y
+		} else if d.Y < -h {
+			d.Y += box.Y
+		}
+	}
+	if box.Z > 0 {
+		if h := 0.5 * box.Z; d.Z > h {
+			d.Z -= box.Z
+		} else if d.Z < -h {
+			d.Z += box.Z
+		}
+	}
+	return d
+}
+
 // Wrap maps position p into the primary cell [0, box) for periodic
 // directions (box component > 0); non-periodic components pass through.
 func Wrap(p V, box V) V {

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Run the benchmark-regression harness from the repo root.
+# All flags are forwarded to cmd/bench, e.g.:
+#   scripts/bench.sh -out BENCH_2.json -benchtime 1s
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: static checks, full build, race-enabled tests, and a one-shot
+# benchmark smoke pass so the ablation benchmarks can never silently rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (benchtime=1x) =="
+go test -run '^$' -bench 'Ablation' -benchtime 1x -benchmem .
+
+echo "CI OK"
