@@ -2,15 +2,20 @@
 // with error analysis (the paper's Fig. 4), parameter selection, and an
 // optional production PMF at the chosen parameters. With -imd it instead
 // serves an interactive session a visualizer (cmd/imdview) can join.
+// With -coordinator it distributes the pulls over TCP to spiced worker
+// daemons (plus -workers in-process ones), with bit-identical results.
 //
 // Examples:
 //
 //	spice -beads 8 -replicas 2 -distance 10
 //	spice -production
 //	spice -imd :9777 -frames 200
+//	spice -coordinator :9555 -workers 2   # spiced daemons may join too
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +25,7 @@ import (
 	"strings"
 
 	"spice/internal/core"
+	"spice/internal/dist"
 	"spice/internal/imd"
 	"spice/internal/jarzynski"
 	"spice/internal/md"
@@ -43,6 +49,7 @@ func main() {
 		outDir     = flag.String("out", "", "write per-pull work logs into this directory (for cmd/pmf)")
 		imdAddr    = flag.String("imd", "", "serve an interactive session on this address instead")
 		frames     = flag.Int("frames", 100, "IMD frames to serve")
+		coordAddr  = flag.String("coordinator", "", "distribute pulls: listen on this address for spiced workers (-workers then spawns in-process ones)")
 	)
 	flag.Parse()
 
@@ -73,6 +80,18 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Seed = *seed
 
+	var co *dist.Coordinator
+	if *coordAddr != "" {
+		var cancel context.CancelFunc
+		co, cancel, err = startCoordinator(*coordAddr, &cfg.System, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cancel()
+		defer co.Close()
+		cfg.Runner = co
+	}
+
 	fmt.Printf("SPICE priming sweep: %d κ × %d v, %g Å sub-trajectory, estimator %v\n\n",
 		len(cfg.Kappas), len(cfg.Velocities), *distance, est)
 	res, err := core.RunSweep(cfg)
@@ -80,6 +99,9 @@ func main() {
 		log.Fatal(err)
 	}
 	printSweep(res)
+	if co != nil {
+		printDistStats(co)
+	}
 
 	if *outDir != "" {
 		n, err := writeLogs(*outDir, res)
@@ -91,7 +113,7 @@ func main() {
 
 	if *production {
 		fmt.Printf("\nProduction PMF at κ=%g pN/Å, v=%g Å/ns\n", res.Best.KappaPaper, res.Best.VPaper)
-		prod, err := core.RunProduction(core.ProductionConfig{
+		prodCfg := core.ProductionConfig{
 			System:    cfg.System,
 			KappaPN:   res.Best.KappaPaper,
 			VAns:      res.Best.VPaper,
@@ -100,7 +122,11 @@ func main() {
 			Workers:   *workers,
 			Seed:      *seed + 1,
 			Estimator: jarzynski.Exponential,
-		})
+		}
+		if co != nil {
+			prodCfg.Runner = co
+		}
+		prod, err := core.RunProduction(prodCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -109,6 +135,46 @@ func main() {
 			fmt.Printf("%10.2f %12.4f %12.4f\n", prod.Grid[i], prod.PMF[i], prod.SigmaStat[i])
 		}
 	}
+}
+
+// startCoordinator opens the dist listener and spawns the in-process
+// workers. The engine's intra-simulation parallelism is pinned so every
+// process — local or remote — sums forces in the same chunk order;
+// that, plus bit-exact checkpoints, is what makes distributed results
+// byte-identical to local ones.
+func startCoordinator(addr string, sys *core.SystemConfig, workers int) (*dist.Coordinator, context.CancelFunc, error) {
+	if sys.EngineWorkers == 0 {
+		sys.EngineWorkers = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	sysJSON, err := json.Marshal(sys)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
+	co := &dist.Coordinator{Listener: ln, System: sysJSON}
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < workers; i++ {
+		w := &dist.Worker{
+			Name:      fmt.Sprintf("local-%d", i),
+			Addr:      ln.Addr().String(),
+			Build:     core.BuildFromJSON,
+			Reconnect: true,
+		}
+		go w.Run(ctx)
+	}
+	fmt.Printf("coordinating pulls on %s (%d in-process workers; join with: spiced -coordinator %s)\n",
+		ln.Addr(), workers, ln.Addr())
+	return co, cancel, nil
+}
+
+func printDistStats(co *dist.Coordinator) {
+	st := co.Stats()
+	fmt.Printf("\ndist: %d jobs, %d assignments (%d retries, %d resumes), %d lease expiries, %d KiB in / %d KiB out\n",
+		st.Jobs, st.Assignments, st.Retries, st.Resumes, st.LeaseExpiries, st.BytesIn/1024, st.BytesOut/1024)
 }
 
 func printSweep(res *core.SweepResult) {

@@ -1,0 +1,75 @@
+// Command spiced is the SPICE worker daemon: it connects to a spice
+// coordinator (spice -coordinator <addr>), pulls SMD jobs from its
+// queue, streams checkpoints back with every heartbeat, and exits when
+// the coordinator drains. Kill it mid-job and the coordinator reassigns
+// the job to another worker, which resumes from the last streamed
+// checkpoint with bit-identical results.
+//
+// Example — a coordinator plus two external workers:
+//
+//	spice -coordinator :9555 -workers 0 &
+//	spiced -coordinator localhost:9555 -name alpha
+//	spiced -coordinator localhost:9555 -name beta
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spice/internal/core"
+	"spice/internal/dist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spiced: ")
+
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator address to pull jobs from (required)")
+		name        = flag.String("name", "", "worker name in coordinator stats (default hostname)")
+		slots       = flag.Int("slots", 1, "jobs to run concurrently")
+		beat        = flag.Duration("beat", 200*time.Millisecond, "lease heartbeat period")
+		ckptEvery   = flag.Int("ckpt-every", 8, "recorded samples between streamed checkpoints")
+		throttle    = flag.Duration("throttle", 0, "artificial sleep per checkpoint (testing/demo)")
+		window      = flag.Duration("reconnect-window", 10*time.Second, "give up after failing to reach the coordinator for this long")
+	)
+	flag.Parse()
+
+	if *coordinator == "" {
+		log.Fatal("-coordinator is required")
+	}
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = fmt.Sprintf("spiced-%d", os.Getpid())
+		}
+		*name = host
+	}
+
+	w := &dist.Worker{
+		Name:            *name,
+		Addr:            *coordinator,
+		Slots:           *slots,
+		Build:           core.BuildFromJSON,
+		BeatInterval:    *beat,
+		CheckpointEvery: *ckptEvery,
+		Throttle:        *throttle,
+		Reconnect:       true,
+		ReconnectWindow: *window,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("spiced %s: %d slot(s), pulling from %s\n", *name, *slots, *coordinator)
+	if err := w.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("coordinator drained, exiting")
+}

@@ -1,8 +1,10 @@
 // Federated: the paper's batch phase end-to-end — the 72-simulation SMD-JE
 // campaign is scheduled on the Fig. 5 US-UK federation model at production
-// scale (makespan, CPU-hours, per-site distribution), and the same sweep
-// is executed for real at coarse-grained scale on a local worker pool,
-// ending with the optimal-parameter PMF.
+// scale (makespan, CPU-hours, per-site distribution), the same sweep is
+// executed for real at coarse-grained scale on a local worker pool, and
+// then re-executed over the internal/dist coordinator/worker runtime
+// (real TCP, leases, checkpoint streaming) to show the distributed run
+// is bit-identical to the local one.
 //
 // Run with:
 //
@@ -10,11 +12,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
 
 	"spice/internal/campaign"
 	"spice/internal/core"
+	"spice/internal/dist"
 	"spice/internal/federation"
 	"spice/internal/jarzynski"
 )
@@ -51,6 +57,7 @@ func main() {
 	fmt.Println("executing the sweep at coarse-grained scale on the local worker pool...")
 	cfg := core.PaperSweep()
 	cfg.System.Beads = 6
+	cfg.System.EngineWorkers = 1 // pin force-sum order so dist can match bit-for-bit
 	cfg.Velocities = []float64{50, 100, 200, 400} // scaled up to keep the demo short
 	cfg.RefVelocity = 25
 	cfg.Distance = 6
@@ -64,6 +71,54 @@ func main() {
 		fmt.Printf("%10g %10g %8d %10.4f %10.4f\n", p.KappaPaper, p.VPaper, p.Samples, p.SigmaStat, p.SigmaSys)
 	}
 	fmt.Printf("\noptimal parameters: κ=%g pN/Å, v=%g Å/ns\n", res.Best.KappaPaper, res.Best.VPaper)
+
+	// --- The same sweep again, distributed over the dist runtime ---
+	// A coordinator on loopback TCP plus three worker sessions stand in
+	// for the grid sites above: jobs are leased out, heartbeats keep the
+	// leases alive, and checkpoints stream back so a dead worker's job
+	// resumes elsewhere. The merged result must match the local run
+	// bit-for-bit.
+	fmt.Println("\nre-executing the sweep over the dist coordinator/worker runtime...")
+	sysJSON, err := json.Marshal(cfg.System)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	co := &dist.Coordinator{Listener: ln, System: sysJSON}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		w := &dist.Worker{
+			Name:      fmt.Sprintf("site-%d", i),
+			Addr:      ln.Addr().String(),
+			Build:     core.BuildFromJSON,
+			Reconnect: true,
+		}
+		go w.Run(ctx)
+	}
+	distCfg := cfg
+	distCfg.Runner = co
+	distRes, err := core.RunSweep(distCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := co.Close(); err != nil {
+		log.Fatal(err)
+	}
+	identical := len(distRes.Grid) == len(res.Grid)
+	for i := range res.Best.PMF {
+		if !identical || distRes.Best.PMF[i] != res.Best.PMF[i] {
+			identical = false
+			break
+		}
+	}
+	st := co.Stats()
+	fmt.Printf("  %d jobs over %d assignments (%d retries, %d resumes), %d KiB in / %d KiB out\n",
+		st.Jobs, st.Assignments, st.Retries, st.Resumes, st.BytesIn/1024, st.BytesOut/1024)
+	fmt.Printf("  distributed PMF bit-identical to local run: %v\n", identical)
 
 	// SMD-JE vs vanilla accounting (§II's 50-100x claim).
 	vanilla := cm.VanillaCPUHours(10)

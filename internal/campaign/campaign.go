@@ -9,7 +9,6 @@ package campaign
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"spice/internal/grid"
@@ -150,25 +149,89 @@ func (s Spec) Jobs(cm CostModel) []*grid.Job {
 	return jobs
 }
 
+// BuildFunc constructs a fresh simulation for one pull. It receives the
+// combo and a unique seed; it must return the engine plus the steered
+// atom indices.
+type BuildFunc func(c Combo, seed uint64) (*md.Engine, []int, error)
+
+// Runner executes a campaign and returns its work logs grouped by combo,
+// ordered by replica index within each combo. Implementations must be
+// deterministic functions of the spec: LocalRunner runs in-process, the
+// dist coordinator shards the same task set across worker processes and
+// merges to bit-identical output.
+type Runner interface {
+	Run(spec Spec) (map[Combo][]*trace.WorkLog, error)
+}
+
+// Task is one schedulable pull: a combo, its replica index, and the seed
+// derived from the spec. Exported so alternative Runners shard exactly
+// the job set — same order, same seeds — that local execution uses.
+type Task struct {
+	Combo Combo
+	Seed  uint64
+	Index int
+}
+
+// Tasks enumerates the spec's pulls in deterministic order with their
+// derived seeds: the single source of truth shared by LocalRunner and
+// any distributed Runner, so results merge bit-identically regardless
+// of where each pull actually ran.
+func (s Spec) Tasks() []Task {
+	root := xrand.New(s.Seed)
+	var tasks []Task
+	for _, c := range s.Combos() {
+		n := s.SamplesFor(c)
+		for r := 0; r < n; r++ {
+			tasks = append(tasks, Task{Combo: c, Seed: root.Uint64(), Index: r})
+		}
+	}
+	return tasks
+}
+
+// Collate assembles per-task logs (indexed parallel to tasks) into the
+// Runner result shape. Because the task order is deterministic, the
+// grouping is independent of which worker produced each log.
+func Collate(tasks []Task, logs []*trace.WorkLog) map[Combo][]*trace.WorkLog {
+	out := make(map[Combo][]*trace.WorkLog)
+	for i, t := range tasks {
+		out[t.Combo] = append(out[t.Combo], logs[i])
+	}
+	return out
+}
+
+// ExecutePull runs one pull end to end on a freshly built engine. This
+// is the job execution path shared by LocalRunner and dist workers;
+// opts threads through checkpoint/resume plumbing for the latter.
+func ExecutePull(spec Spec, t Task, build BuildFunc, opts smd.RunOpts) (*trace.WorkLog, error) {
+	eng, atoms, err := build(t.Combo, t.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := smd.PaperProtocol(t.Combo.KappaPN, t.Combo.VAns, atoms)
+	p.Distance = spec.Distance
+	pl, err := smd.Attach(eng, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pl.RunWithOpts(eng, p, t.Seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Log, nil
+}
+
 // LocalRunner executes the campaign's pulls for real on the CG
 // translocation system, one goroutine worker per logical CPU — the
 // laptop-scale stand-in for the federated grid's 72 concurrent
 // supercomputer allocations.
 type LocalRunner struct {
-	// Build constructs a fresh simulation per pull. It receives the
-	// combo and a unique seed; it must return the engine plus the
-	// steered atom indices.
-	Build func(c Combo, seed uint64) (*md.Engine, []int, error)
+	// Build constructs a fresh simulation per pull.
+	Build BuildFunc
 	// Workers caps concurrency (default NumCPU).
 	Workers int
 }
 
-// pullTask is one unit of work.
-type pullTask struct {
-	combo Combo
-	seed  uint64
-	idx   int
-}
+var _ Runner = (*LocalRunner)(nil)
 
 // Run executes all pulls of spec and returns the work logs grouped by
 // combo. Deterministic: logs are ordered by replica index per combo.
@@ -180,77 +243,29 @@ func (lr *LocalRunner) Run(spec Spec) (map[Combo][]*trace.WorkLog, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	root := xrand.New(spec.Seed)
-
-	var tasks []pullTask
-	for _, c := range spec.Combos() {
-		n := spec.SamplesFor(c)
-		for r := 0; r < n; r++ {
-			tasks = append(tasks, pullTask{combo: c, seed: root.Uint64(), idx: r})
-		}
-	}
-
-	type outcome struct {
-		combo Combo
-		idx   int
-		log   *trace.WorkLog
-		err   error
-	}
-	taskCh := make(chan pullTask)
-	outCh := make(chan outcome, len(tasks))
+	tasks := spec.Tasks()
+	logs := make([]*trace.WorkLog, len(tasks))
+	errs := make([]error, len(tasks))
+	taskCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for t := range taskCh {
-				log, err := lr.runOne(spec, t)
-				outCh <- outcome{combo: t.combo, idx: t.idx, log: log, err: err}
+			for i := range taskCh {
+				logs[i], errs[i] = ExecutePull(spec, tasks[i], lr.Build, smd.RunOpts{})
 			}
 		}()
 	}
-	for _, t := range tasks {
-		taskCh <- t
+	for i := range tasks {
+		taskCh <- i
 	}
 	close(taskCh)
 	wg.Wait()
-	close(outCh)
-
-	type keyed struct {
-		idx int
-		log *trace.WorkLog
-	}
-	grouped := make(map[Combo][]keyed)
-	for o := range outCh {
-		if o.err != nil {
-			return nil, fmt.Errorf("campaign: pull %s replica %d: %w", o.combo, o.idx, o.err)
-		}
-		grouped[o.combo] = append(grouped[o.combo], keyed{o.idx, o.log})
-	}
-	out := make(map[Combo][]*trace.WorkLog, len(grouped))
-	for c, ks := range grouped {
-		sort.Slice(ks, func(i, j int) bool { return ks[i].idx < ks[j].idx })
-		for _, k := range ks {
-			out[c] = append(out[c], k.log)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: pull %s replica %d: %w", tasks[i].Combo, tasks[i].Index, err)
 		}
 	}
-	return out, nil
-}
-
-func (lr *LocalRunner) runOne(spec Spec, t pullTask) (*trace.WorkLog, error) {
-	eng, atoms, err := lr.Build(t.combo, t.seed)
-	if err != nil {
-		return nil, err
-	}
-	p := smd.PaperProtocol(t.combo.KappaPN, t.combo.VAns, atoms)
-	p.Distance = spec.Distance
-	pl, err := smd.Attach(eng, p)
-	if err != nil {
-		return nil, err
-	}
-	res, err := pl.Run(eng, p, t.seed)
-	if err != nil {
-		return nil, err
-	}
-	return res.Log, nil
+	return Collate(tasks, logs), nil
 }

@@ -235,6 +235,73 @@ func TestLocalRunnerDeterministic(t *testing.T) {
 	}
 }
 
+// TestLocalRunnerBitIdenticalAcrossWorkerCounts is the determinism
+// regression the dist runtime's merge guarantee is anchored on: every
+// work sample of every replica, and the PMF derived from them, must be
+// bit-identical no matter how many workers executed the sweep.
+func TestLocalRunnerBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	spec := Spec{
+		Kappas:     []float64{100, 1000},
+		Velocities: []float64{800},
+		Replicas:   2,
+		Distance:   3,
+		Seed:       13,
+	}
+	combo := Combo{100, 800}
+	type snapshot struct {
+		works map[Combo][][]float64
+		pmf   []float64
+	}
+	run := func(workers int) snapshot {
+		lr := &LocalRunner{Build: smallBuild, Workers: workers}
+		logs, err := lr.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := snapshot{works: make(map[Combo][][]float64)}
+		for c, wls := range logs {
+			for _, wl := range wls {
+				ws := make([]float64, len(wl.Samples))
+				for i, smp := range wl.Samples {
+					ws[i] = smp.Work
+				}
+				s.works[c] = append(s.works[c], ws)
+			}
+		}
+		e, err := jarzynski.NewEnsemble(300, logs[combo])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.pmf, err = e.PMF(jarzynski.Cumulant2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := run(1)
+	for _, workers := range []int{2, 7} {
+		got := run(workers)
+		for c, reps := range base.works {
+			if len(got.works[c]) != len(reps) {
+				t.Fatalf("workers=%d: combo %s has %d replicas, want %d", workers, c, len(got.works[c]), len(reps))
+			}
+			for r := range reps {
+				for i := range reps[r] {
+					if got.works[c][r][i] != reps[r][i] {
+						t.Fatalf("workers=%d: combo %s replica %d sample %d work %v != %v",
+							workers, c, r, i, got.works[c][r][i], reps[r][i])
+					}
+				}
+			}
+		}
+		for i := range base.pmf {
+			if got.pmf[i] != base.pmf[i] {
+				t.Fatalf("workers=%d: PMF[%d] = %v, want %v (bit-identical)", workers, i, got.pmf[i], base.pmf[i])
+			}
+		}
+	}
+}
+
 func TestLocalRunnerRequiresBuild(t *testing.T) {
 	lr := &LocalRunner{}
 	if _, err := lr.Run(PaperSpec()); err == nil {

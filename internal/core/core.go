@@ -13,6 +13,7 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -47,6 +48,11 @@ type SystemConfig struct {
 	// full translocation runs would drown the slow-pull ensembles in
 	// dissipation noise at these replica counts.
 	PoreFriction float64
+	// EngineWorkers pins the engine's intra-simulation force
+	// parallelism. Floating-point force sums are chunk-order sensitive,
+	// so distributed runs must use the same value on every process for
+	// results to be bit-identical; 0 keeps the engine default.
+	EngineWorkers int
 }
 
 // DefaultSystem returns the standard sweep system: a short strand with its
@@ -55,8 +61,10 @@ func DefaultSystem() SystemConfig {
 	return SystemConfig{Beads: 8, StartZ: 5, EquilSteps: 1000, DT: 0.01, Temp: 300, PoreFriction: 1}
 }
 
-// build constructs a fresh translocation engine for one pull.
-func (sc SystemConfig) build(seed uint64) (*md.Engine, []int, error) {
+// Build constructs a fresh translocation engine for one pull. Exported
+// so dist workers can rebuild the identical system from a SystemConfig
+// shipped over the wire.
+func (sc SystemConfig) Build(seed uint64) (*md.Engine, []int, error) {
 	if sc.Beads < 1 {
 		return nil, nil, fmt.Errorf("core: system needs at least 1 bead, got %d", sc.Beads)
 	}
@@ -65,6 +73,7 @@ func (sc SystemConfig) build(seed uint64) (*md.Engine, []int, error) {
 	spec.DNA.Backbone.Z = 1 // chain extends upward; lead bead enters first
 	spec.Seed = seed
 	spec.PoreFriction = sc.PoreFriction
+	spec.Workers = sc.EngineWorkers
 	if sc.DT > 0 {
 		spec.DT = sc.DT
 	}
@@ -79,6 +88,19 @@ func (sc SystemConfig) build(seed uint64) (*md.Engine, []int, error) {
 		ts.Engine.Run(sc.EquilSteps)
 	}
 	return ts.Engine, ts.DNA[:1], nil
+}
+
+// BuildFromJSON decodes a JSON-encoded SystemConfig — the opaque system
+// payload a dist coordinator ships to its workers — and builds the pull
+// system. Its signature matches dist.BuildFunc, so cmd/spiced and the
+// in-process workers of cmd/spice plug it in directly; dist itself
+// never needs to know this package exists.
+func BuildFromJSON(system json.RawMessage, _ campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+	var sc SystemConfig
+	if err := json.Unmarshal(system, &sc); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding system config: %w", err)
+	}
+	return sc.Build(seed)
 }
 
 // SweepConfig drives the priming phase.
@@ -106,6 +128,10 @@ type SweepConfig struct {
 
 	Workers int
 	Seed    uint64
+	// Runner overrides how the campaign's pulls are executed (e.g. the
+	// dist coordinator fanning out to worker processes). nil runs
+	// in-process with a LocalRunner.
+	Runner campaign.Runner
 }
 
 // PaperSweep is the Fig. 4 configuration.
@@ -184,11 +210,14 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 		temp = 300
 	}
 
-	runner := &campaign.LocalRunner{
-		Build: func(_ campaign.Combo, seed uint64) (*md.Engine, []int, error) {
-			return cfg.System.build(seed)
-		},
-		Workers: cfg.Workers,
+	runner := cfg.Runner
+	if runner == nil {
+		runner = &campaign.LocalRunner{
+			Build: func(_ campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+				return cfg.System.Build(seed)
+			},
+			Workers: cfg.Workers,
+		}
 	}
 
 	// Reference: slow, stiff, exponential estimator.
@@ -300,6 +329,8 @@ type ProductionConfig struct {
 	Seed     uint64
 	// Estimator defaults to Exponential for production.
 	Estimator jarzynski.Estimator
+	// Runner overrides pull execution like SweepConfig.Runner.
+	Runner campaign.Runner
 }
 
 // ProductionResult is the final PMF with errors.
@@ -321,11 +352,14 @@ func RunProduction(cfg ProductionConfig) (*ProductionResult, error) {
 	if temp == 0 {
 		temp = 300
 	}
-	runner := &campaign.LocalRunner{
-		Build: func(_ campaign.Combo, seed uint64) (*md.Engine, []int, error) {
-			return cfg.System.build(seed)
-		},
-		Workers: cfg.Workers,
+	runner := cfg.Runner
+	if runner == nil {
+		runner = &campaign.LocalRunner{
+			Build: func(_ campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+				return cfg.System.Build(seed)
+			},
+			Workers: cfg.Workers,
+		}
 	}
 	spec := campaign.Spec{
 		Kappas:       []float64{cfg.KappaPN},

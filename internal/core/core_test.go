@@ -204,7 +204,7 @@ func TestRunProduction(t *testing.T) {
 
 func TestDefaultSystemBuilds(t *testing.T) {
 	sc := DefaultSystem()
-	eng, atoms, err := sc.build(3)
+	eng, atoms, err := sc.Build(3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestDefaultSystemBuilds(t *testing.T) {
 	}
 	bad := sc
 	bad.Beads = 0
-	if _, _, err := bad.build(1); err == nil {
+	if _, _, err := bad.Build(1); err == nil {
 		t.Fatal("zero-bead system accepted")
 	}
 }

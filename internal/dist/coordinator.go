@@ -1,0 +1,555 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/netutil"
+	"spice/internal/trace"
+)
+
+// Coordinator shards campaigns across TCP workers. It implements
+// campaign.Runner: each Run call shards one campaign.Spec into its
+// deterministic task list, leases tasks to whichever workers are
+// connected, and merges the work logs in task order — bit-identical to
+// campaign.LocalRunner output because tasks, seeds and the per-pull
+// dynamics are identical; only the placement differs.
+//
+// The server is long-lived: it starts lazily on the first Run and keeps
+// serving between campaigns (workers idle on wait replies), so a
+// pipeline like core.RunSweep can issue several campaigns over one
+// worker fleet. Close tells workers to drain and shuts the server down.
+type Coordinator struct {
+	// Listener is where workers connect. Required.
+	Listener net.Listener
+	// System is an opaque payload forwarded to workers verbatim in the
+	// hello reply — typically a JSON-encoded core.SystemConfig. dist
+	// itself never interprets it, which keeps the package free of any
+	// dependency on the model layers above md/smd/campaign.
+	System json.RawMessage
+	// LeaseTTL is how long a job survives without a heartbeat before it
+	// is revoked and requeued (default 5s).
+	LeaseTTL time.Duration
+	// RetryBase and RetryMax bound the exponential backoff applied
+	// before a revoked or failed job becomes runnable again
+	// (defaults 50ms, 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// MaxAttempts caps lease grants per job before the campaign is
+	// declared failed (default 8).
+	MaxAttempts int
+	// WrapConn, if set, wraps every accepted connection — the hook the
+	// tests use to route traffic through netsim QoS shims.
+	WrapConn func(net.Conn) net.Conn
+
+	mu          sync.Mutex
+	camp        *campaignRun
+	closed      bool
+	started     bool
+	liveConns   int
+	stats       Stats
+	jobStats    map[string]*JobStats
+	bytes       counter
+	cancelServe context.CancelFunc
+	serveDone   chan error
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+// campaignRun is the job table of one active campaign.
+type campaignRun struct {
+	spec      campaign.Spec
+	tasks     []campaign.Task
+	jobs      []*job
+	byID      map[string]*job
+	remaining int
+	failErr   error
+	done      chan struct{}
+	doneOnce  sync.Once
+}
+
+func (cr *campaignRun) finish(err error) {
+	if err != nil && cr.failErr == nil {
+		cr.failErr = err
+	}
+	cr.doneOnce.Do(func() { close(cr.done) })
+}
+
+type jobState int
+
+const (
+	statePending jobState = iota
+	stateLeased
+	stateDone
+)
+
+// job is one schedulable pull and its scheduling history.
+type job struct {
+	id        string
+	task      campaign.Task
+	state     jobState
+	owner     *connState // current lease holder's connection
+	worker    string
+	lastBeat  time.Time
+	notBefore time.Time
+	attempts  int             // lease grants so far
+	ckpt      json.RawMessage // latest checkpoint streamed back
+	log       *trace.WorkLog
+}
+
+// connState tracks one worker connection.
+type connState struct {
+	name string
+}
+
+func (co *Coordinator) leaseTTL() time.Duration {
+	if co.LeaseTTL > 0 {
+		return co.LeaseTTL
+	}
+	return 5 * time.Second
+}
+
+func (co *Coordinator) retryBase() time.Duration {
+	if co.RetryBase > 0 {
+		return co.RetryBase
+	}
+	return 50 * time.Millisecond
+}
+
+func (co *Coordinator) retryMax() time.Duration {
+	if co.RetryMax > 0 {
+		return co.RetryMax
+	}
+	return 2 * time.Second
+}
+
+func (co *Coordinator) maxAttempts() int {
+	if co.MaxAttempts > 0 {
+		return co.MaxAttempts
+	}
+	return 8
+}
+
+// backoff returns the delay before attempt n+1 of a job may start.
+func (co *Coordinator) backoff(attempts int) time.Duration {
+	d := co.retryBase()
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if d >= co.retryMax() {
+			return co.retryMax()
+		}
+	}
+	if d > co.retryMax() {
+		d = co.retryMax()
+	}
+	return d
+}
+
+// startLocked spins up the accept loop and the lease janitor. Caller
+// holds mu.
+func (co *Coordinator) startLocked() {
+	ctx, cancel := context.WithCancel(context.Background())
+	co.cancelServe = cancel
+	co.serveDone = make(chan error, 1)
+	co.jobStats = make(map[string]*JobStats)
+	co.started = true
+	go co.janitor(ctx)
+	go func() {
+		err := netutil.Serve(ctx, co.Listener, co.serveConn)
+		// The server is gone; whatever campaign is in flight cannot
+		// finish. A clean Close shows up as ErrServerClosed.
+		co.mu.Lock()
+		co.closed = true
+		if co.camp != nil {
+			co.camp.finish(fmt.Errorf("dist: serve: %w", err))
+		}
+		co.mu.Unlock()
+		co.serveDone <- err
+	}()
+}
+
+// Run implements campaign.Runner. It installs spec as the active
+// campaign (one at a time), waits for every task to complete, and
+// returns the merged logs. The server keeps running for the next Run.
+func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.WorkLog, error) {
+	if co.Listener == nil {
+		return nil, errors.New("dist: coordinator needs a listener")
+	}
+	tasks := spec.Tasks()
+	if len(tasks) == 0 {
+		return map[campaign.Combo][]*trace.WorkLog{}, nil
+	}
+
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nil, errors.New("dist: coordinator is closed")
+	}
+	if co.camp != nil {
+		co.mu.Unlock()
+		return nil, errors.New("dist: a campaign is already running")
+	}
+	if !co.started {
+		co.startLocked()
+	}
+	camp := &campaignRun{
+		spec:      spec,
+		tasks:     tasks,
+		jobs:      make([]*job, len(tasks)),
+		byID:      make(map[string]*job, len(tasks)),
+		remaining: len(tasks),
+		done:      make(chan struct{}),
+	}
+	for i, t := range tasks {
+		j := &job{id: fmt.Sprintf("smdje-%s-r%d", t.Combo, t.Index), task: t}
+		camp.jobs[i] = j
+		camp.byID[j.id] = j
+		if co.jobStats[j.id] == nil {
+			co.jobStats[j.id] = &JobStats{ID: j.id}
+		}
+	}
+	co.camp = camp
+	co.stats.Jobs += len(tasks)
+	co.mu.Unlock()
+
+	<-camp.done
+
+	co.mu.Lock()
+	co.camp = nil
+	err := camp.failErr
+	in, out := co.bytes.snapshot()
+	co.stats.BytesIn, co.stats.BytesOut = in, out
+	co.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	logs := make([]*trace.WorkLog, len(camp.jobs))
+	for i, j := range camp.jobs {
+		logs[i] = j.log
+	}
+	return campaign.Collate(tasks, logs), nil
+}
+
+// Close drains connected workers (their next request is answered with
+// drained), then shuts the server down and waits for it. Safe to call
+// more than once.
+func (co *Coordinator) Close() error {
+	co.closeOnce.Do(func() { co.closeErr = co.doClose() })
+	return co.closeErr
+}
+
+func (co *Coordinator) doClose() error {
+	co.mu.Lock()
+	if !co.started {
+		co.closed = true
+		co.mu.Unlock()
+		return nil
+	}
+	co.closed = true
+	co.mu.Unlock()
+	// Grace period: let connected workers observe drained and hang up
+	// on their own before the listener shutdown cuts them off.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		co.mu.Lock()
+		n := co.liveConns
+		co.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	co.cancelServe()
+	err := <-co.serveDone
+	if errors.Is(err, netutil.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// janitor periodically revokes leases that missed their heartbeat TTL.
+func (co *Coordinator) janitor(ctx context.Context) {
+	period := co.leaseTTL() / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			co.mu.Lock()
+			if camp := co.camp; camp != nil {
+				for _, j := range camp.jobs {
+					if j.state == stateLeased && now.Sub(j.lastBeat) > co.leaseTTL() {
+						co.stats.LeaseExpiries++
+						co.jobStats[j.id].LeaseExpiries++
+						co.requeueLocked(camp, j)
+					}
+				}
+			}
+			co.mu.Unlock()
+		}
+	}
+}
+
+// requeueLocked returns a leased job to the pending queue with backoff,
+// or fails the campaign if the job is out of attempts. Caller holds mu.
+func (co *Coordinator) requeueLocked(camp *campaignRun, j *job) {
+	j.state = statePending
+	j.owner = nil
+	j.notBefore = time.Now().Add(co.backoff(j.attempts))
+	if j.attempts >= co.maxAttempts() {
+		camp.finish(fmt.Errorf("dist: job %s exhausted %d attempts", j.id, j.attempts))
+	}
+}
+
+// serveConn handles one worker connection. hello must come first.
+func (co *Coordinator) serveConn(conn net.Conn) {
+	if co.WrapConn != nil {
+		conn = co.WrapConn(conn)
+	}
+	cc := &countConn{Conn: conn, c: &co.bytes}
+	dec := json.NewDecoder(bufio.NewReader(cc))
+	enc := json.NewEncoder(cc)
+	cs := &connState{}
+	co.mu.Lock()
+	co.liveConns++
+	co.mu.Unlock()
+	defer co.dropConn(cs)
+
+	var hello request
+	if err := dec.Decode(&hello); err != nil || hello.Type != msgHello {
+		_ = enc.Encode(&response{Type: msgOK, Err: "dist: expected hello"})
+		return
+	}
+	cs.name = hello.Name
+	if err := enc.Encode(&response{Type: msgOK, System: co.System}); err != nil {
+		return
+	}
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Type {
+		case msgNext:
+			resp = co.assign(cs)
+		case msgBeat, msgProgress:
+			resp = co.heartbeat(cs, &req)
+		case msgResult:
+			resp = co.finish(cs, &req)
+		case msgFail:
+			resp = co.fail(cs, &req)
+		default:
+			resp = response{Type: msgOK, Err: fmt.Sprintf("dist: unknown message %q", req.Type)}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if resp.Type == msgDrained {
+			return
+		}
+	}
+}
+
+// dropConn revokes every lease held by a dying connection so its jobs
+// requeue immediately instead of waiting out the TTL.
+func (co *Coordinator) dropConn(cs *connState) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.liveConns--
+	if camp := co.camp; camp != nil {
+		for _, j := range camp.jobs {
+			if j.state == stateLeased && j.owner == cs {
+				co.stats.Disconnects++
+				co.requeueLocked(camp, j)
+			}
+		}
+	}
+}
+
+// assign leases the first runnable job to the requesting worker.
+func (co *Coordinator) assign(cs *connState) response {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.closed {
+		return response{Type: msgDrained}
+	}
+	camp := co.camp
+	if camp == nil || camp.remaining == 0 || camp.failErr != nil {
+		// Idle between campaigns (or this one is wrapping up): check
+		// back soon, more work may be coming.
+		return response{Type: msgWait, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
+	}
+	now := time.Now()
+	var soonest time.Duration
+	for _, j := range camp.jobs {
+		if j.state != statePending {
+			continue
+		}
+		if wait := j.notBefore.Sub(now); wait > 0 {
+			if soonest == 0 || wait < soonest {
+				soonest = wait
+			}
+			continue
+		}
+		j.state = stateLeased
+		j.owner = cs
+		j.worker = cs.name
+		j.lastBeat = now
+		j.attempts++
+		co.stats.Assignments++
+		js := co.jobStats[j.id]
+		js.Assignments++
+		js.Workers = append(js.Workers, cs.name)
+		if j.attempts > 1 {
+			co.stats.Retries++
+			js.Retries++
+		}
+		resp := response{Type: msgAssign, Spec: &camp.spec, Job: &wireJob{
+			ID:    j.id,
+			Combo: j.task.Combo,
+			Seed:  j.task.Seed,
+			Index: j.task.Index,
+		}}
+		if len(j.ckpt) > 0 {
+			resp.Resume = j.ckpt
+			co.stats.Resumes++
+			js.Resumes++
+		}
+		return resp
+	}
+	// Nothing runnable: leased jobs in flight, or pending ones backing off.
+	delay := soonest
+	if delay <= 0 || delay > co.leaseTTL() {
+		delay = co.leaseTTL() / 2
+	}
+	ms := int(delay / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return response{Type: msgWait, DelayMs: ms}
+}
+
+// heartbeat refreshes a lease and stores any checkpoint that came with
+// it. A worker beating for a job it no longer holds is told to abandon.
+func (co *Coordinator) heartbeat(cs *connState, req *request) response {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	camp := co.camp
+	if camp == nil {
+		return response{Type: msgAbandon}
+	}
+	j := camp.byID[req.JobID]
+	if j == nil || j.state != stateLeased || j.owner != cs {
+		return response{Type: msgAbandon}
+	}
+	j.lastBeat = time.Now()
+	if req.Type == msgProgress && len(req.Ckpt) > 0 {
+		j.ckpt = req.Ckpt
+		co.stats.Checkpoints++
+	}
+	return response{Type: msgOK}
+}
+
+// finish records a completed job. Results are idempotent: checkpointed
+// resumption is bit-exact, so a duplicate result from a worker whose
+// lease was revoked mid-flight is byte-identical to the one already
+// recorded and can simply be ignored.
+func (co *Coordinator) finish(cs *connState, req *request) response {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	camp := co.camp
+	if camp == nil {
+		return response{Type: msgOK}
+	}
+	j := camp.byID[req.JobID]
+	if j == nil {
+		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
+	}
+	if j.state == stateDone {
+		return response{Type: msgOK}
+	}
+	if req.Log == nil {
+		return response{Type: msgOK, Err: "dist: result without log"}
+	}
+	j.state = stateDone
+	j.owner = nil
+	j.log = req.Log
+	camp.remaining--
+	if camp.remaining == 0 {
+		camp.finish(nil)
+	}
+	return response{Type: msgOK}
+}
+
+// fail requeues a job its worker could not complete.
+func (co *Coordinator) fail(cs *connState, req *request) response {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	camp := co.camp
+	if camp == nil {
+		return response{Type: msgOK}
+	}
+	j := camp.byID[req.JobID]
+	if j == nil {
+		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
+	}
+	if j.state == stateLeased && j.owner == cs {
+		co.stats.Failures++
+		co.requeueLocked(camp, j)
+	}
+	return response{Type: msgOK}
+}
+
+// Stats implements StatsSource. Counters aggregate over every campaign
+// the coordinator has run.
+func (co *Coordinator) Stats() Stats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s := co.stats
+	s.BytesIn, s.BytesOut = co.bytes.snapshot()
+	return s
+}
+
+// JobStats returns the per-job counters keyed by job ID.
+func (co *Coordinator) JobStats() map[string]JobStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make(map[string]JobStats, len(co.jobStats))
+	for id, js := range co.jobStats {
+		cp := *js
+		cp.Workers = append([]string(nil), js.Workers...)
+		out[id] = cp
+	}
+	return out
+}
+
+// countConn counts bytes crossing a connection.
+type countConn struct {
+	net.Conn
+	c *counter
+}
+
+func (cc *countConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	cc.c.addIn(n)
+	return n, err
+}
+
+func (cc *countConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	cc.c.addOut(n)
+	return n, err
+}

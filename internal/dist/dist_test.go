@@ -1,0 +1,403 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/md"
+	"spice/internal/netsim"
+	"spice/internal/trace"
+)
+
+// testSystem is the opaque payload shipped to workers; decoding it in
+// the BuildFunc exercises the full plumb-through.
+type testSystem struct {
+	Beads int `json:"beads"`
+}
+
+func testBuild(system json.RawMessage, c campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+	var sys testSystem
+	if err := json.Unmarshal(system, &sys); err != nil {
+		return nil, nil, err
+	}
+	spec := md.DefaultTranslocation(sys.Beads)
+	spec.Seed = seed
+	spec.DT = 0.02
+	spec.Workers = 1
+	ts, err := md.BuildTranslocation(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ts.Engine, ts.DNA[:1], nil
+}
+
+// localBuild is the same system built directly, for the LocalRunner
+// baseline the dist results must match bit for bit.
+func localBuild(c campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+	return testBuild(json.RawMessage(`{"beads":3}`), c, seed)
+}
+
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Kappas:     []float64{100, 1000},
+		Velocities: []float64{800},
+		Replicas:   2,
+		Distance:   3,
+		Seed:       21,
+	}
+}
+
+// flattenWorks extracts every work sample grouped deterministically.
+func flattenWorks(t *testing.T, logs map[campaign.Combo][]*trace.WorkLog) map[campaign.Combo][][]float64 {
+	t.Helper()
+	out := make(map[campaign.Combo][][]float64)
+	for c, wls := range logs {
+		for _, wl := range wls {
+			ws := make([]float64, len(wl.Samples))
+			for i, s := range wl.Samples {
+				ws[i] = s.Work
+			}
+			out[c] = append(out[c], ws)
+		}
+	}
+	return out
+}
+
+func requireBitIdentical(t *testing.T, want, got map[campaign.Combo][]*trace.WorkLog) {
+	t.Helper()
+	w, g := flattenWorks(t, want), flattenWorks(t, got)
+	if len(w) != len(g) {
+		t.Fatalf("combo counts differ: %d vs %d", len(w), len(g))
+	}
+	for c, reps := range w {
+		if len(g[c]) != len(reps) {
+			t.Fatalf("combo %s: %d replicas, want %d", c, len(g[c]), len(reps))
+		}
+		for r := range reps {
+			if len(g[c][r]) != len(reps[r]) {
+				t.Fatalf("combo %s replica %d: %d samples, want %d", c, r, len(g[c][r]), len(reps[r]))
+			}
+			for i := range reps[r] {
+				if g[c][r][i] != reps[r][i] {
+					t.Fatalf("combo %s replica %d sample %d: %v != %v (not bit-identical)",
+						c, r, i, g[c][r][i], reps[r][i])
+				}
+			}
+		}
+	}
+}
+
+func localBaseline(t *testing.T, spec campaign.Spec) map[campaign.Combo][]*trace.WorkLog {
+	t.Helper()
+	lr := &campaign.LocalRunner{Build: localBuild, Workers: 1}
+	logs, err := lr.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logs
+}
+
+func newCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &Coordinator{
+		Listener: ln,
+		System:   json.RawMessage(`{"beads":3}`),
+		LeaseTTL: 2 * time.Second,
+	}
+	// Cleanups run after the test's defers, i.e. after worker contexts
+	// are cancelled, so Close sees the connections drain quickly.
+	t.Cleanup(func() { _ = co.Close() })
+	return co
+}
+
+func startWorkers(ctx context.Context, co *Coordinator, n int, mutate func(i int, w *Worker)) {
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Name:            "w",
+			Addr:            co.Listener.Addr().String(),
+			Build:           testBuild,
+			BeatInterval:    20 * time.Millisecond,
+			CheckpointEvery: 2,
+		}
+		if mutate != nil {
+			mutate(i, w)
+		}
+		go w.Run(ctx)
+	}
+}
+
+// TestCoordinatorMatchesLocalRunner is the core guarantee: a sweep
+// executed across worker processes merges to output bit-identical to a
+// single-process run.
+func TestCoordinatorMatchesLocalRunner(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 3, nil)
+
+	got, err := co.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+
+	st := co.Stats()
+	if st.Jobs != len(spec.Tasks()) {
+		t.Fatalf("stats.Jobs = %d, want %d", st.Jobs, len(spec.Tasks()))
+	}
+	if st.Assignments < st.Jobs {
+		t.Fatalf("stats.Assignments = %d < %d jobs", st.Assignments, st.Jobs)
+	}
+	if st.BytesIn == 0 || st.BytesOut == 0 {
+		t.Fatalf("byte counters not moving: %+v", st)
+	}
+	js := co.JobStats()
+	if len(js) != st.Jobs {
+		t.Fatalf("per-job stats = %d entries, want %d", len(js), st.Jobs)
+	}
+	for id, j := range js {
+		if j.Assignments < 1 || len(j.Workers) != j.Assignments {
+			t.Fatalf("job %s stats inconsistent: %+v", id, j)
+		}
+	}
+}
+
+// TestLeaseExpiryReassigns takes a job with a hand-rolled client that
+// never heartbeats; the janitor must revoke the lease and a real worker
+// must finish the campaign with identical results.
+func TestLeaseExpiryReassigns(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	co.LeaseTTL = 100 * time.Millisecond
+	co.RetryBase = 10 * time.Millisecond
+
+	done := make(chan struct{})
+	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer close(done)
+		logs, err := co.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- logs
+	}()
+
+	// The silent client: hello, grab a job, never beat.
+	conn, err := net.Dial("tcp", co.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+	if err := enc.Encode(&request{Type: msgHello, Name: "silent"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(&request{Type: msgNext}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != msgAssign {
+		t.Fatalf("silent client got %q, want assign", resp.Type)
+	}
+
+	// Wait for the janitor to revoke the silent lease before starting
+	// honest workers, so the reassignment path is actually exercised.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := co.Stats(); st.LeaseExpiries > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, nil)
+
+	select {
+	case logs := <-resCh:
+		requireBitIdentical(t, want, logs)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not finish after lease expiry")
+	}
+	st := co.Stats()
+	if st.LeaseExpiries < 1 {
+		t.Fatalf("expected a lease expiry, stats = %+v", st)
+	}
+	if st.Retries < 1 {
+		t.Fatalf("expected a retry after expiry, stats = %+v", st)
+	}
+}
+
+// TestCheckpointResumeOnWorkerLoss kills a throttled worker once its
+// first checkpoints have streamed back, then lets fresh workers finish.
+// The resumed jobs must still be bit-identical to the local baseline —
+// the end-to-end proof that checkpointed migration is exact.
+func TestCheckpointResumeOnWorkerLoss(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	co.LeaseTTL = 2 * time.Second
+	co.RetryBase = 5 * time.Millisecond
+
+	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		logs, err := co.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- logs
+	}()
+
+	// A slow worker: checkpoints at every sample and naps on each, so it
+	// is guaranteed to be mid-job when we cut it down.
+	slowCtx, killSlow := context.WithCancel(context.Background())
+	defer killSlow()
+	startWorkers(slowCtx, co, 1, func(i int, w *Worker) {
+		w.Name = "doomed"
+		w.CheckpointEvery = 1
+		w.Throttle = 30 * time.Millisecond
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := co.Stats(); st.Checkpoints > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint ever streamed back")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killSlow() // the worker abandons; its conn drop requeues the job
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, nil)
+
+	select {
+	case logs := <-resCh:
+		requireBitIdentical(t, want, logs)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not finish after worker loss")
+	}
+	st := co.Stats()
+	if st.Resumes < 1 {
+		t.Fatalf("expected a checkpoint resume, stats = %+v", st)
+	}
+	if st.Checkpoints < 1 {
+		t.Fatalf("expected streamed checkpoints, stats = %+v", st)
+	}
+}
+
+// TestQoSShimTransport routes every connection through netsim WAN
+// shims on both sides; the campaign must still complete identically.
+func TestQoSShimTransport(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	var shimSeed atomic.Uint64
+	co.WrapConn = func(c net.Conn) net.Conn {
+		return netsim.NewShim(c, netsim.SharedWAN, 0.01, shimSeed.Add(1))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, func(i int, w *Worker) {
+		w.Dial = func(addr string) (net.Conn, error) {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return netsim.NewShim(c, netsim.SharedWAN, 0.01, uint64(100+i)), nil
+		}
+	})
+
+	got, err := co.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+}
+
+// TestCoordinatorEmptySpec drains immediately.
+func TestCoordinatorEmptySpec(t *testing.T) {
+	co := newCoordinator(t)
+	logs, err := co.Run(campaign.Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 0 {
+		t.Fatalf("empty spec produced %d combos", len(logs))
+	}
+	co.Listener.Close()
+}
+
+// TestCoordinatorRunsConsecutiveCampaigns exercises the long-lived
+// server path core.RunSweep depends on: the same coordinator and the
+// same worker fleet execute two campaigns back to back, and workers
+// drain cleanly on Close.
+func TestCoordinatorRunsConsecutiveCampaigns(t *testing.T) {
+	specA := testSpec()
+	specB := testSpec()
+	specB.Seed = 77
+	wantA := localBaseline(t, specA)
+	wantB := localBaseline(t, specB)
+
+	co := newCoordinator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, nil)
+
+	gotA, err := co.Run(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := co.Run(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, wantA, gotA)
+	requireBitIdentical(t, wantB, gotB)
+
+	if err := co.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := co.Run(specA); err == nil {
+		t.Fatal("Run after Close should fail")
+	}
+}

@@ -1,0 +1,212 @@
+package dist_test
+
+// The end-to-end test: a coordinator in this process, real spiced
+// worker processes over loopback TCP. One worker is frozen (SIGSTOP)
+// mid-job so its lease expires and the job migrates — resuming from the
+// streamed checkpoint on another process — and the final merged
+// campaign must still be bit-identical to a single-process run.
+
+import (
+	"encoding/json"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/core"
+	"spice/internal/dist"
+	"spice/internal/md"
+	"spice/internal/trace"
+)
+
+// e2eSystem is the model system shipped to the worker processes.
+// EngineWorkers is pinned: force sums are chunk-order sensitive, so
+// every process must use the same intra-engine parallelism.
+func e2eSystem() core.SystemConfig {
+	return core.SystemConfig{
+		Beads:         3,
+		StartZ:        5,
+		EquilSteps:    50,
+		DT:            0.02,
+		Temp:          300,
+		PoreFriction:  1,
+		EngineWorkers: 1,
+	}
+}
+
+func e2eSpec() campaign.Spec {
+	return campaign.Spec{
+		Kappas:     []float64{100, 1000},
+		Velocities: []float64{800},
+		Replicas:   2,
+		Distance:   3,
+		Seed:       31,
+	}
+}
+
+func buildSpiced(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "spiced")
+	cmd := exec.Command("go", "build", "-o", bin, "spice/cmd/spiced")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building spiced: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func spawnSpiced(t *testing.T, bin, addr, name string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{
+		"-coordinator", addr,
+		"-name", name,
+		"-beat", "20ms",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	return cmd
+}
+
+func TestEndToEndWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs worker processes")
+	}
+	sys := e2eSystem()
+	sysJSON, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := e2eSpec()
+
+	// Single-process baseline through the exact same build path the
+	// worker daemons use.
+	lr := &campaign.LocalRunner{
+		Build: func(c campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+			return core.BuildFromJSON(sysJSON, c, seed)
+		},
+		Workers: 1,
+	}
+	want, err := lr.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildSpiced(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &dist.Coordinator{
+		Listener:  ln,
+		System:    sysJSON,
+		LeaseTTL:  500 * time.Millisecond,
+		RetryBase: 10 * time.Millisecond,
+	}
+	t.Cleanup(func() { _ = co.Close() })
+
+	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		logs, err := co.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- logs
+	}()
+
+	addr := ln.Addr().String()
+	// The doomed worker: checkpoints at every sample with an artificial
+	// nap, so it is guaranteed to be mid-job when frozen.
+	doomed := spawnSpiced(t, bin, addr, "doomed", "-ckpt-every", "1", "-throttle", "30ms")
+
+	deadline := time.Now().Add(30 * time.Second)
+	for co.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never streamed a checkpoint")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Freeze it: the TCP connection stays open but heartbeats stop, so
+	// only the lease-expiry path can recover the job.
+	if err := doomed.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two healthy worker processes finish the campaign.
+	spawnSpiced(t, bin, addr, "alpha")
+	spawnSpiced(t, bin, addr, "beta")
+
+	var got map[campaign.Combo][]*trace.WorkLog
+	select {
+	case got = <-resCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("distributed campaign did not finish")
+	}
+	_ = doomed.Process.Kill()
+
+	requireBitIdenticalLogs(t, want, got)
+
+	st := co.Stats()
+	if st.LeaseExpiries < 1 {
+		t.Fatalf("expected a lease expiry from the frozen worker, stats = %+v", st)
+	}
+	if st.Resumes < 1 {
+		t.Fatalf("expected a checkpoint resume on another process, stats = %+v", st)
+	}
+	if st.Retries < 1 {
+		t.Fatalf("expected the frozen job to be retried, stats = %+v", st)
+	}
+
+	// At least two distinct processes must have completed work: the
+	// frozen job's history alone names two workers.
+	names := map[string]bool{}
+	for _, js := range co.JobStats() {
+		for _, w := range js.Workers {
+			names[w] = true
+		}
+	}
+	if len(names) < 2 {
+		t.Fatalf("expected >= 2 worker processes to participate, saw %v", names)
+	}
+}
+
+// requireBitIdenticalLogs compares every sample of every replica.
+func requireBitIdenticalLogs(t *testing.T, want, got map[campaign.Combo][]*trace.WorkLog) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("combo counts differ: %d vs %d", len(want), len(got))
+	}
+	for c, wls := range want {
+		gls := got[c]
+		if len(gls) != len(wls) {
+			t.Fatalf("combo %s: %d replicas, want %d", c, len(gls), len(wls))
+		}
+		for r := range wls {
+			if len(gls[r].Samples) != len(wls[r].Samples) {
+				t.Fatalf("combo %s replica %d: %d samples, want %d", c, r, len(gls[r].Samples), len(wls[r].Samples))
+			}
+			for i := range wls[r].Samples {
+				if gls[r].Samples[i] != wls[r].Samples[i] {
+					t.Fatalf("combo %s replica %d sample %d: %+v != %+v (not bit-identical)",
+						c, r, i, gls[r].Samples[i], wls[r].Samples[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package dist is a TCP coordinator/worker runtime that executes SMD-JE
+// campaigns across OS processes — the working stand-in for the paper's
+// federated grid execution (§III: jobs farmed out to whichever sites
+// have free cycles, surviving node loss mid-campaign).
+//
+// The coordinator shards a campaign.Spec into its deterministic task
+// list and hands tasks out under leases: a worker must heartbeat within
+// the lease TTL or the job is revoked and requeued (with exponential
+// backoff) for another worker. Workers stream periodic checkpoints back
+// with their heartbeats, so a revoked or failed job resumes on its next
+// worker from the last checkpoint rather than from scratch — and
+// because engine checkpoints are bit-exact (RNG streams, neighbor-list
+// reference positions, cached forces), the merged campaign output is
+// bit-identical to a single-process campaign.LocalRunner run no matter
+// how many workers ran it, in what order, or how many died.
+//
+// The wire format is JSON-lines over TCP, one request and one response
+// object per line, exactly like the steering remote bridge: the
+// transport stays debuggable with netcat and needs nothing beyond the
+// standard library.
+package dist
+
+import (
+	"encoding/json"
+
+	"spice/internal/campaign"
+	"spice/internal/trace"
+)
+
+// Wire message types. The conversation is strictly request/response,
+// worker-initiated: every worker line gets exactly one coordinator line
+// back, so framing never needs message IDs.
+const (
+	// worker → coordinator
+	msgHello    = "hello"    // register; reply carries the system payload
+	msgNext     = "next"     // request a job; reply assign/wait/drained
+	msgBeat     = "beat"     // lease heartbeat, no new checkpoint
+	msgProgress = "progress" // heartbeat carrying a fresh checkpoint
+	msgResult   = "result"   // job finished, log attached
+	msgFail     = "fail"     // job failed on this worker
+
+	// coordinator → worker
+	msgOK      = "ok"      // ack; hello's ok carries the system payload
+	msgAssign  = "assign"  // here is a job (spec + maybe a resume checkpoint)
+	msgWait    = "wait"    // nothing runnable right now, retry in DelayMs
+	msgDrained = "drained" // coordinator is closing for good, disconnect
+	msgAbandon = "abandon" // lease was revoked; stop working on the job
+)
+
+// request is a worker → coordinator line.
+type request struct {
+	Type  string `json:"type"`
+	Name  string `json:"name,omitempty"`  // hello: worker name
+	JobID string `json:"jobId,omitempty"` // beat/progress/result/fail
+	// Ckpt is the JSON-encoded smd.PullCheckpoint on progress lines. It
+	// stays opaque to the coordinator, which only stores and forwards it.
+	Ckpt json.RawMessage `json:"ckpt,omitempty"`
+	// Log is the result payload. Go's encoding/json prints float64
+	// values with enough digits to round-trip exactly, so shipping work
+	// samples as JSON preserves bit-identity.
+	Log *trace.WorkLog `json:"log,omitempty"`
+	Err string         `json:"err,omitempty"` // fail reason
+}
+
+// response is a coordinator → worker line.
+type response struct {
+	Type    string          `json:"type"`
+	Job     *wireJob        `json:"job,omitempty"`     // assign
+	Resume  json.RawMessage `json:"resume,omitempty"`  // assign: last checkpoint
+	DelayMs int             `json:"delayMs,omitempty"` // wait
+	// Spec rides on assign lines (campaigns change between jobs on a
+	// long-lived coordinator); System rides on the hello reply.
+	Spec   *campaign.Spec  `json:"spec,omitempty"`
+	System json.RawMessage `json:"system,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// wireJob identifies one pull assignment.
+type wireJob struct {
+	ID    string         `json:"id"`
+	Combo campaign.Combo `json:"combo"`
+	Seed  uint64         `json:"seed"`
+	Index int            `json:"index"`
+}

@@ -1,0 +1,51 @@
+package dist
+
+import "sync"
+
+// Stats aggregates the coordinator's scheduling counters, in the same
+// value-struct style as neighbor.Stats: a snapshot you can print or
+// assert on, not a live view.
+type Stats struct {
+	Jobs          int // total jobs in the campaign
+	Assignments   int // leases granted (first attempts + retries)
+	Retries       int // reassignments after failure, expiry or disconnect
+	Resumes       int // assignments that carried a checkpoint to resume from
+	LeaseExpiries int // leases revoked for missed heartbeats
+	Disconnects   int // leases revoked because the worker connection died
+	Failures      int // explicit fail messages from workers
+	Checkpoints   int // progress messages that carried a checkpoint
+	BytesIn       int64
+	BytesOut      int64
+}
+
+// JobStats is the per-job slice of the same counters.
+type JobStats struct {
+	ID            string
+	Assignments   int
+	Retries       int
+	Resumes       int
+	LeaseExpiries int
+	Workers       []string // every worker the job was leased to, in order
+}
+
+// StatsSource is implemented by anything that can report dist counters;
+// the coordinator is the canonical implementation.
+type StatsSource interface {
+	Stats() Stats
+}
+
+// countingConn tallies bytes crossing a net.Conn into shared counters.
+type counter struct {
+	mu  sync.Mutex
+	in  int64
+	out int64
+}
+
+func (c *counter) addIn(n int)  { c.mu.Lock(); c.in += int64(n); c.mu.Unlock() }
+func (c *counter) addOut(n int) { c.mu.Lock(); c.out += int64(n); c.mu.Unlock() }
+
+func (c *counter) snapshot() (in, out int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.in, c.out
+}

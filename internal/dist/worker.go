@@ -1,0 +1,324 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/md"
+	"spice/internal/smd"
+	"spice/internal/trace"
+)
+
+// BuildFunc constructs the simulation for one job. The system payload
+// is the opaque JSON the coordinator was configured with (typically a
+// core.SystemConfig); decoding it is the caller's business, which keeps
+// dist ignorant of the model layers above md.
+type BuildFunc func(system json.RawMessage, c campaign.Combo, seed uint64) (*md.Engine, []int, error)
+
+// errAbandoned aborts a pull whose lease the coordinator revoked.
+var errAbandoned = errors.New("dist: lease abandoned")
+
+// Worker executes jobs for a coordinator. Each of its Slots runs an
+// independent connection: request a job, pull it with periodic
+// checkpoint-carrying heartbeats, report the result, repeat until the
+// coordinator drains.
+type Worker struct {
+	// Name identifies the worker in coordinator stats.
+	Name string
+	// Addr is the coordinator's TCP address.
+	Addr string
+	// Slots is the number of jobs run concurrently (default 1).
+	Slots int
+	// Build constructs each job's simulation. Required.
+	Build BuildFunc
+	// BeatInterval is the heartbeat period (default 200ms). Keep it
+	// well under the coordinator's LeaseTTL.
+	BeatInterval time.Duration
+	// CheckpointEvery is the number of recorded samples between
+	// checkpoints streamed to the coordinator (default 8).
+	CheckpointEvery int
+	// Throttle, if set, sleeps this long at every checkpoint — a test
+	// and demo hook that makes jobs slow enough to observe mid-flight.
+	Throttle time.Duration
+	// Reconnect makes sessions re-dial after transport errors — daemon
+	// semantics. A session gives up once it has been failing for longer
+	// than ReconnectWindow without a successful hello, so workers don't
+	// spin forever after their coordinator is gone for good. Off, the
+	// first transport error ends the session with that error.
+	Reconnect bool
+	// ReconnectWindow bounds consecutive reconnect failures
+	// (default 10s).
+	ReconnectWindow time.Duration
+	// Dial overrides the transport (tests wrap QoS shims here).
+	// Default: net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (w *Worker) beatInterval() time.Duration {
+	if w.BeatInterval > 0 {
+		return w.BeatInterval
+	}
+	return 200 * time.Millisecond
+}
+
+func (w *Worker) checkpointEvery() int {
+	if w.CheckpointEvery > 0 {
+		return w.CheckpointEvery
+	}
+	return 8
+}
+
+func (w *Worker) dial() (net.Conn, error) {
+	if w.Dial != nil {
+		return w.Dial(w.Addr)
+	}
+	return net.Dial("tcp", w.Addr)
+}
+
+// Run works the coordinator's queue until it drains or ctx is
+// cancelled. It returns nil on a clean drain.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Build == nil {
+		return errors.New("dist: worker needs a Build function")
+	}
+	slots := w.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	errs := make([]error, slots)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.runSession(ctx, fmt.Sprintf("%s/%d", w.Name, i))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Worker) reconnectWindow() time.Duration {
+	if w.ReconnectWindow > 0 {
+		return w.ReconnectWindow
+	}
+	return 10 * time.Second
+}
+
+// runSession is one connection's lifetime: dial, hello, work the queue,
+// and (with Reconnect) re-dial after transport hiccups.
+func (w *Worker) runSession(ctx context.Context, name string) error {
+	var failingSince time.Time
+	for {
+		connected, err := w.workOnce(ctx, name)
+		if err == nil || ctx.Err() != nil {
+			return nil
+		}
+		if !w.Reconnect {
+			return err
+		}
+		if connected {
+			failingSince = time.Time{}
+		}
+		if failingSince.IsZero() {
+			failingSince = time.Now()
+		} else if time.Since(failingSince) > w.reconnectWindow() {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(w.beatInterval()):
+		}
+	}
+}
+
+// workOnce runs a single connection until drain (nil) or failure. The
+// connected result reports whether the hello round-trip succeeded, so
+// the reconnect loop can distinguish a live-then-dropped coordinator
+// from one that was never there.
+func (w *Worker) workOnce(ctx context.Context, name string) (connected bool, _ error) {
+	conn, err := w.dial()
+	if err != nil {
+		return false, fmt.Errorf("dist: dial %s: %w", w.Addr, err)
+	}
+	defer conn.Close()
+	// Unblock any pending read/write when the context is cancelled.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-watchDone:
+		}
+	}()
+
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	roundTrip := func(req *request) (*response, error) {
+		if err := enc.Encode(req); err != nil {
+			return nil, err
+		}
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			return nil, err
+		}
+		return &resp, nil
+	}
+
+	hello, err := roundTrip(&request{Type: msgHello, Name: name})
+	if err != nil {
+		return false, fmt.Errorf("dist: hello: %w", err)
+	}
+	if hello.Err != "" {
+		return true, errors.New(hello.Err)
+	}
+	system := hello.System
+
+	for ctx.Err() == nil {
+		resp, err := roundTrip(&request{Type: msgNext})
+		if err != nil {
+			return true, fmt.Errorf("dist: next: %w", err)
+		}
+		switch resp.Type {
+		case msgDrained:
+			return true, nil
+		case msgWait:
+			delay := time.Duration(resp.DelayMs) * time.Millisecond
+			if delay <= 0 {
+				delay = 10 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return true, nil
+			case <-time.After(delay):
+			}
+		case msgAssign:
+			if resp.Spec == nil {
+				return true, errors.New("dist: assign without campaign spec")
+			}
+			if err := w.runJob(ctx, *resp.Spec, system, resp, roundTrip); err != nil {
+				return true, err
+			}
+		default:
+			return true, fmt.Errorf("dist: unexpected reply %q to next", resp.Type)
+		}
+	}
+	return true, nil
+}
+
+// runJob executes one assignment, heartbeating while the pull runs in a
+// separate goroutine. The connection is only ever touched from this
+// goroutine, preserving the strict one-request-one-response framing.
+func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, system json.RawMessage, assign *response, roundTrip func(*request) (*response, error)) error {
+	jb := assign.Job
+	if jb == nil {
+		return errors.New("dist: assign without job")
+	}
+	task := campaign.Task{Combo: jb.Combo, Seed: jb.Seed, Index: jb.Index}
+
+	opts := smd.RunOpts{CheckpointEvery: w.checkpointEvery()}
+	if len(assign.Resume) > 0 {
+		var ck smd.PullCheckpoint
+		if err := json.Unmarshal(assign.Resume, &ck); err != nil {
+			return fmt.Errorf("dist: decoding resume checkpoint for %s: %w", jb.ID, err)
+		}
+		opts.Resume = &ck
+	}
+
+	var abandoned atomic.Bool
+	ckptCh := make(chan json.RawMessage, 1)
+	opts.OnCheckpoint = func(pc *smd.PullCheckpoint) error {
+		if abandoned.Load() || ctx.Err() != nil {
+			return errAbandoned
+		}
+		if w.Throttle > 0 {
+			time.Sleep(w.Throttle)
+		}
+		b, err := json.Marshal(pc)
+		if err != nil {
+			return err
+		}
+		// Keep only the newest checkpoint if the heartbeat loop is behind.
+		for {
+			select {
+			case ckptCh <- b:
+				return nil
+			default:
+				select {
+				case <-ckptCh:
+				default:
+				}
+			}
+		}
+	}
+
+	type pullResult struct {
+		log *trace.WorkLog
+		err error
+	}
+	resCh := make(chan pullResult, 1)
+	go func() {
+		log, err := campaign.ExecutePull(spec, task, func(c campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+			return w.Build(system, c, seed)
+		}, opts)
+		resCh <- pullResult{log: log, err: err}
+	}()
+
+	beat := time.NewTicker(w.beatInterval())
+	defer beat.Stop()
+	for {
+		select {
+		case res := <-resCh:
+			if errors.Is(res.err, errAbandoned) {
+				return nil
+			}
+			req := &request{Type: msgResult, JobID: jb.ID, Log: res.log}
+			if res.err != nil {
+				req = &request{Type: msgFail, JobID: jb.ID, Err: res.err.Error()}
+			}
+			if _, err := roundTrip(req); err != nil {
+				return fmt.Errorf("dist: reporting %s: %w", jb.ID, err)
+			}
+			return nil
+		case <-beat.C:
+			req := &request{Type: msgBeat, JobID: jb.ID}
+			select {
+			case b := <-ckptCh:
+				req = &request{Type: msgProgress, JobID: jb.ID, Ckpt: b}
+			default:
+			}
+			resp, err := roundTrip(req)
+			if err != nil {
+				// Transport gone: stop the pull before surfacing the
+				// error so the goroutine doesn't linger.
+				abandoned.Store(true)
+				<-resCh
+				return fmt.Errorf("dist: heartbeat %s: %w", jb.ID, err)
+			}
+			if resp.Type == msgAbandon {
+				abandoned.Store(true)
+				<-resCh
+				return nil
+			}
+		case <-ctx.Done():
+			abandoned.Store(true)
+			<-resCh
+			return nil
+		}
+	}
+}

@@ -238,6 +238,20 @@ func (l *Langevin) Reprime() { l.primed = false }
 // Reprime for VelocityVerlet.
 func (v *VelocityVerlet) Reprime() { v.primed = false }
 
+// Prime marks the integrator primed without a force evaluation. Use when
+// the State's Force array was itself restored from a checkpoint: steering
+// terms (the SMD spring's λ) may have advanced since that evaluation, so
+// re-evaluating would NOT reproduce the cached forces the uninterrupted
+// trajectory carries across the step boundary.
+func (l *Langevin) Prime() {
+	l.c1 = math.Exp(-l.Gamma * l.DT)
+	l.kT = units.KT(l.Temp)
+	l.primed = true
+}
+
+// Prime for VelocityVerlet.
+func (v *VelocityVerlet) Prime() { v.primed = true }
+
 func evalForces(st *State, ff ForceFunc) float64 {
 	for i := range st.Force {
 		st.Force[i] = vec.Zero

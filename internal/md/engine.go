@@ -59,6 +59,7 @@ type Engine struct {
 	integ interface {
 		integrate.Integrator
 		Reprime()
+		Prime()
 	}
 	nlist *neighbor.List
 	rng   *xrand.Source
@@ -495,6 +496,14 @@ func (e *Engine) PotentialEnergy() float64 { return e.state.Epot }
 func (e *Engine) TotalEnergy() float64 { return e.state.Epot + e.state.KineticEnergy() }
 
 // Checkpoint snapshots the dynamical state. Safe to call between steps.
+//
+// Beyond positions and velocities, the snapshot carries the engine's live
+// RNG streams and the neighbor-list reference positions, so a Restore of
+// the same checkpoint resumes the trajectory bit-exactly: the thermostat
+// continues the same random sequence, and the pair list is rebuilt from
+// the same reference configuration (same pair set, same accumulation
+// order). This is what lets the dist runtime migrate a half-finished SMD
+// pull to another worker without perturbing the result.
 func (e *Engine) Checkpoint() *trace.Checkpoint {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -505,10 +514,23 @@ func (e *Engine) Checkpoint() *trace.Checkpoint {
 		Vel:  append([]vec.V(nil), e.state.Vel...),
 		Seed: e.cfg.Seed,
 	}
+	c.RNG = e.rng.Snapshot()
+	if lg, ok := e.integ.(*integrate.Langevin); ok {
+		c.RNG = append(c.RNG, lg.RNG.Snapshot()...)
+	}
+	if e.nlist != nil {
+		c.NeighborRef = e.nlist.Ref()
+	}
+	c.Force = append([]vec.V(nil), e.state.Force...)
 	return c
 }
 
-// Restore loads a checkpoint into the engine.
+// Restore loads a checkpoint into the engine. When the checkpoint carries
+// RNG state (trace SPCKP2) the engine's random streams are restored too —
+// exact-resume semantics; otherwise the current streams continue (clone
+// semantics). When it carries neighbor-list reference positions, the pair
+// list is rebuilt from those instead of the restored positions, so the
+// rebuild schedule and pair ordering match the run that wrote it.
 func (e *Engine) Restore(c *trace.Checkpoint) error {
 	if len(c.Pos) != e.top.N() || len(c.Vel) != e.top.N() {
 		return fmt.Errorf("md: checkpoint has %d atoms, engine has %d", len(c.Pos), e.top.N())
@@ -519,9 +541,39 @@ func (e *Engine) Restore(c *trace.Checkpoint) error {
 	copy(e.state.Vel, c.Vel)
 	e.state.Step = c.Step
 	e.state.Time = c.Time
-	e.integ.Reprime()
+	if len(c.RNG) > 0 {
+		if len(c.RNG)%xrand.SnapshotLen != 0 {
+			return fmt.Errorf("md: checkpoint RNG block has %d words, want a multiple of %d", len(c.RNG), xrand.SnapshotLen)
+		}
+		if err := e.rng.RestoreSnapshot(c.RNG[:xrand.SnapshotLen]); err != nil {
+			return fmt.Errorf("md: restoring engine RNG: %w", err)
+		}
+		if lg, ok := e.integ.(*integrate.Langevin); ok {
+			if len(c.RNG) < 2*xrand.SnapshotLen {
+				return fmt.Errorf("md: checkpoint RNG block lacks the thermostat stream")
+			}
+			if err := lg.RNG.RestoreSnapshot(c.RNG[xrand.SnapshotLen : 2*xrand.SnapshotLen]); err != nil {
+				return fmt.Errorf("md: restoring thermostat RNG: %w", err)
+			}
+		}
+	}
+	if len(c.Force) == e.top.N() {
+		// The checkpoint carries the integrator's cached force array.
+		// Restore it verbatim and skip the re-priming evaluation:
+		// steering terms (the SMD spring's λ) may have advanced since
+		// that evaluation, so recomputing here would feed the first
+		// B-half kick a different force than the uninterrupted run.
+		copy(e.state.Force, c.Force)
+		e.integ.Prime()
+	} else {
+		e.integ.Reprime()
+	}
 	if e.nlist != nil {
-		e.nlist.ForceRebuild(e.state.Pos)
+		if len(c.NeighborRef) == e.top.N() {
+			e.nlist.ForceRebuild(c.NeighborRef)
+		} else {
+			e.nlist.ForceRebuild(e.state.Pos)
+		}
 	}
 	return nil
 }
@@ -542,6 +594,7 @@ func (e *Engine) Clone(seed uint64) (*Engine, error) {
 	}
 	ck := e.Checkpoint()
 	ck.Seed = seed
+	ck.RNG = nil // the clone gets a fresh stream from seed, not the parent's
 	if err := clone.Restore(ck); err != nil {
 		return nil, err
 	}

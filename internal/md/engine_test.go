@@ -1,11 +1,13 @@
 package md
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"spice/internal/forcefield"
 	"spice/internal/topology"
+	"spice/internal/trace"
 	"spice/internal/vec"
 )
 
@@ -476,5 +478,101 @@ func TestPoreFrictionIncreasesDrag(t *testing.T) {
 	zLow, zHigh := work(1), work(10)
 	if zHigh <= zLow {
 		t.Fatalf("pore friction should slow descent: scale1 z=%v scale10 z=%v", zLow, zHigh)
+	}
+}
+
+// buildResumeEngine builds the small translocation engine used by the
+// checkpoint-resume tests (fixed worker count: chunk boundaries are part of
+// the floating-point accumulation order).
+func buildResumeEngine(t *testing.T) *Engine {
+	t.Helper()
+	spec := DefaultTranslocation(6)
+	spec.Seed = 11
+	spec.DT = 0.02
+	spec.Workers = 2
+	ts, err := BuildTranslocation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts.Engine
+}
+
+// TestCheckpointResumeBitExact pins the property the dist runtime's
+// checkpoint-resume depends on: restoring a serialized checkpoint into a
+// fresh engine and continuing produces bit-identical state to the
+// uninterrupted run — thermostat RNG stream and neighbor-list rebuild
+// schedule included.
+func TestCheckpointResumeBitExact(t *testing.T) {
+	const total, cut = 400, 150
+
+	ref := buildResumeEngine(t)
+	ref.Run(total)
+
+	a := buildResumeEngine(t)
+	a.Run(cut)
+	ck := a.Checkpoint()
+	if len(ck.RNG) == 0 {
+		t.Fatal("checkpoint carries no RNG state")
+	}
+	if len(ck.NeighborRef) != a.Topology().N() {
+		t.Fatalf("checkpoint carries %d neighbor-ref positions, want %d", len(ck.NeighborRef), a.Topology().N())
+	}
+
+	// Round-trip through the wire format, as dist does.
+	var buf bytes.Buffer
+	if err := trace.WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := trace.ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume on a fresh engine whose own history is deliberately desynced.
+	b := buildResumeEngine(t)
+	b.Run(37)
+	if err := b.Restore(ck2); err != nil {
+		t.Fatal(err)
+	}
+	b.Run(total - cut)
+
+	rs, bs := ref.State(), b.State()
+	if rs.Step != bs.Step {
+		t.Fatalf("step = %d, want %d", bs.Step, rs.Step)
+	}
+	for i := range rs.Pos {
+		if rs.Pos[i] != bs.Pos[i] {
+			t.Fatalf("atom %d position diverged after resume: %v != %v", i, bs.Pos[i], rs.Pos[i])
+		}
+		if rs.Vel[i] != bs.Vel[i] {
+			t.Fatalf("atom %d velocity diverged after resume: %v != %v", i, bs.Vel[i], rs.Vel[i])
+		}
+	}
+}
+
+// TestCloneIndependentOfParentRNG pins that Clone still derives its stream
+// from the given seed (not the parent's checkpointed stream).
+func TestCloneRNGIndependent(t *testing.T) {
+	a := buildResumeEngine(t)
+	a.Run(20)
+	c1, err := a.Clone(123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := a.Clone(456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Run(50)
+	c2.Run(50)
+	same := true
+	for i := range c1.State().Pos {
+		if c1.State().Pos[i] != c2.State().Pos[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clones with different seeds produced identical trajectories")
 	}
 }

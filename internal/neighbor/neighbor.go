@@ -145,6 +145,18 @@ func (l *List) Update(pos []vec.V) bool {
 // ForceRebuild unconditionally rebuilds the list.
 func (l *List) ForceRebuild(pos []vec.V) { l.build(pos) }
 
+// Ref returns a copy of the positions the current pair list was built from
+// (nil before the first build). Checkpoints carry these so a restored
+// simulation rebuilds the exact pair list — same set, same order — that the
+// uninterrupted run was using, keeping resumed trajectories bit-identical
+// despite the order-sensitivity of floating-point force accumulation.
+func (l *List) Ref() []vec.V {
+	if l.ref == nil {
+		return nil
+	}
+	return append([]vec.V(nil), l.ref...)
+}
+
 // parallelScanMinAtoms gates the parallel cell scan: below this the
 // fan-out overhead exceeds the scan itself.
 const parallelScanMinAtoms = 1024

@@ -1,0 +1,98 @@
+// Package netutil holds the small amount of TCP server plumbing shared
+// by the steering remote bridge and the dist coordinator: a context-aware
+// accept loop with graceful shutdown that does not leak goroutines.
+package netutil
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrServerClosed is returned by Serve after a clean context-driven
+// shutdown, mirroring net/http.ErrServerClosed.
+var ErrServerClosed = errors.New("netutil: server closed")
+
+// Serve accepts connections on ln and dispatches each to handle on its
+// own goroutine until ctx is cancelled or the listener fails. On
+// cancellation the listener and every live connection are closed, and
+// Serve waits for all handlers to return before reporting
+// ErrServerClosed — callers never leak connection goroutines.
+//
+// handle must not close over conn beyond its own lifetime; Serve closes
+// the connection when handle returns.
+func Serve(ctx context.Context, ln net.Listener, handle func(net.Conn)) error {
+	var (
+		mu     sync.Mutex
+		conns  = make(map[net.Conn]struct{})
+		wg     sync.WaitGroup
+		closed bool
+	)
+	// The watcher closes the listener (unblocking Accept) and every live
+	// connection (unblocking handler reads) the moment ctx is done.
+	stop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			closed = true
+			for c := range conns {
+				c.Close()
+			}
+			mu.Unlock()
+			ln.Close()
+		case <-stop:
+		}
+	}()
+
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			acceptErr = err
+			break
+		}
+		mu.Lock()
+		if closed {
+			mu.Unlock()
+			conn.Close()
+			break
+		}
+		conns[conn] = struct{}{}
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+				conn.Close()
+			}()
+			handle(conn)
+		}()
+	}
+
+	if ctx.Err() != nil {
+		// Shutdown path: wait for the watcher to finish closing conns,
+		// then for every handler to drain.
+		<-watchDone
+		wg.Wait()
+		return ErrServerClosed
+	}
+	// Listener failed on its own; stop the watcher, close what's live,
+	// and still drain handlers so the caller can't leak goroutines.
+	close(stop)
+	<-watchDone
+	mu.Lock()
+	closed = true
+	for c := range conns {
+		c.Close()
+	}
+	mu.Unlock()
+	wg.Wait()
+	return acceptErr
+}

@@ -1,0 +1,69 @@
+package netutil
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServeShutsDownCleanly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	var started, finished atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ln, func(c net.Conn) {
+			started.Add(1)
+			defer finished.Add(1)
+			buf := make([]byte, 1)
+			c.Read(buf) // blocks until the shutdown closes the conn
+		})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancel")
+	}
+	if got := finished.Load(); got != started.Load() {
+		t.Fatalf("%d handlers finished, %d started — leak", got, started.Load())
+	}
+}
+
+func TestServeReportsListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(context.Background(), ln, func(net.Conn) {}) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil || errors.Is(err, ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want the accept error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after listener close")
+	}
+}

@@ -184,6 +184,55 @@ type Result struct {
 	WallFail bool    // reserved for the steering layer: run aborted
 }
 
+// PullerState is the resumable snapshot of a Puller's internal state. The
+// JSON tags define the dist wire encoding; Go's JSON float formatting
+// round-trips float64 exactly, so shipping one preserves bit-exactness.
+type PullerState struct {
+	Lambda    float64 `json:"lambda"`
+	Lambda0   float64 `json:"lambda0"`
+	Work      float64 `json:"work"`
+	LastS     float64 `json:"lastS"`
+	HaveForce bool    `json:"haveForce"`
+}
+
+// Snapshot captures the puller's state for a PullCheckpoint.
+func (pl *Puller) Snapshot() PullerState {
+	return PullerState{Lambda: pl.lambda, Lambda0: pl.lambda0, Work: pl.work, LastS: pl.lastS, HaveForce: pl.haveForce}
+}
+
+// RestoreState loads a snapshot, overwriting the attach-time state.
+func (pl *Puller) RestoreState(st PullerState) {
+	pl.lambda, pl.lambda0, pl.work = st.Lambda, st.Lambda0, st.Work
+	pl.lastS, pl.haveForce = st.LastS, st.HaveForce
+}
+
+// PullCheckpoint freezes a pull in flight: the engine's dynamical state
+// (RNG streams and neighbor-list reference included), the spring's
+// schedule position and accumulated work, and the samples recorded so
+// far. Restoring one on any machine and continuing reproduces the
+// uninterrupted pull bit-exactly.
+type PullCheckpoint struct {
+	Engine  *trace.Checkpoint
+	Puller  PullerState
+	Samples []trace.WorkSample
+	Steps   int
+	Next    int // next sample-grid index
+}
+
+// RunOpts controls checkpointing and resumption of a pull.
+type RunOpts struct {
+	// Resume continues a pull from a checkpoint instead of starting at
+	// the attach point. The engine must have been built from the same
+	// system spec and seed as the original.
+	Resume *PullCheckpoint
+	// CheckpointEvery is the number of recorded samples between
+	// OnCheckpoint calls (<= 0 means every sample).
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint; returning an error aborts
+	// the pull (used by dist workers when the coordinator is gone).
+	OnCheckpoint func(*PullCheckpoint) error
+}
+
 // Run executes a complete pull of p.Distance on eng, recording the work
 // profile every SampleEvery Å of scheduled displacement. It returns the
 // work log ready for jarzynski analysis.
@@ -191,6 +240,13 @@ type Result struct {
 // The engine must already contain the puller as a term — use Attach for
 // the common case.
 func (pl *Puller) Run(eng *md.Engine, p Protocol, seed uint64) (*Result, error) {
+	return pl.RunWithOpts(eng, p, seed, RunOpts{})
+}
+
+// RunWithOpts is Run with periodic checkpoints and optional resumption.
+// The checkpointed run takes the exact same dynamical path as a plain Run:
+// checkpoints are pure snapshots between steps and consume no randomness.
+func (pl *Puller) RunWithOpts(eng *md.Engine, p Protocol, seed uint64, opts RunOpts) (*Result, error) {
 	sample := p.SampleEvery
 	if sample <= 0 {
 		sample = 0.25
@@ -220,17 +276,51 @@ func (pl *Puller) Run(eng *md.Engine, p Protocol, seed uint64) (*Result, error) 
 			Work:   pl.work,
 		})
 	}
-	record(0)
 	next := 1
-
 	steps := 0
+	if r := opts.Resume; r != nil {
+		if r.Engine == nil || len(r.Samples) == 0 || r.Next < 1 {
+			return nil, fmt.Errorf("smd: malformed pull checkpoint")
+		}
+		if err := eng.Restore(r.Engine); err != nil {
+			return nil, fmt.Errorf("smd: resuming pull: %w", err)
+		}
+		pl.RestoreState(r.Puller)
+		log.Samples = append(log.Samples, r.Samples...)
+		steps, next = r.Steps, r.Next
+	} else {
+		record(0)
+	}
+
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	sinceCkpt := 0
 	for pl.Displacement() < p.Distance-1e-9 && steps < totalSteps+1 {
 		eng.Step()
 		pl.Advance(dt)
 		steps++
+		recorded := false
 		for next <= nSamples && pl.Displacement() >= gridAt(next)-1e-9 {
 			record(gridAt(next))
 			next++
+			recorded = true
+		}
+		if recorded && opts.OnCheckpoint != nil {
+			if sinceCkpt++; sinceCkpt >= every {
+				sinceCkpt = 0
+				ck := &PullCheckpoint{
+					Engine:  eng.Checkpoint(),
+					Puller:  pl.Snapshot(),
+					Samples: append([]trace.WorkSample(nil), log.Samples...),
+					Steps:   steps,
+					Next:    next,
+				}
+				if err := opts.OnCheckpoint(ck); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	// Guarantee the terminal sample at Distance even if FP drift left the

@@ -261,3 +261,117 @@ func TestCOMPullingMultiAtom(t *testing.T) {
 		t.Fatalf("mass-weighted split wrong: %v %v", f[0].Z, f[1].Z)
 	}
 }
+
+// buildPullSystem constructs the small translocation system the resume
+// tests pull on, mirroring the campaign execution path (build + equilibrate
+// + attach).
+func buildPullSystem(t *testing.T, seed uint64) (*md.Engine, []int) {
+	t.Helper()
+	spec := md.DefaultTranslocation(3)
+	spec.Seed = seed
+	spec.DT = 0.02
+	spec.Workers = 1
+	ts, err := md.BuildTranslocation(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Engine.Run(100)
+	return ts.Engine, ts.DNA[:1]
+}
+
+func runPull(t *testing.T, seed uint64, opts RunOpts) (*Result, error) {
+	t.Helper()
+	eng, atoms := buildPullSystem(t, seed)
+	p := PaperProtocol(100, 400, atoms)
+	p.Distance = 3
+	pl, err := Attach(eng, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl.RunWithOpts(eng, p, seed, opts)
+}
+
+// TestRunWithOptsMatchesRun pins that checkpointing is observation-only:
+// a run that takes checkpoints at every sample produces the identical log.
+func TestRunWithOptsMatchesRun(t *testing.T) {
+	plain, err := runPull(t, 21, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCkpts := 0
+	ckpted, err := runPull(t, 21, RunOpts{OnCheckpoint: func(*PullCheckpoint) error { nCkpts++; return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nCkpts < 4 {
+		t.Fatalf("only %d checkpoints taken", nCkpts)
+	}
+	if len(plain.Log.Samples) != len(ckpted.Log.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(plain.Log.Samples), len(ckpted.Log.Samples))
+	}
+	for i := range plain.Log.Samples {
+		if plain.Log.Samples[i] != ckpted.Log.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, plain.Log.Samples[i], ckpted.Log.Samples[i])
+		}
+	}
+}
+
+// errAbort simulates a worker death mid-pull.
+type abortErr struct{}
+
+func (abortErr) Error() string { return "aborted" }
+
+// TestResumeBitExact is the core property the dist runtime relies on: a
+// pull killed mid-flight and resumed from its checkpoint on a fresh engine
+// yields the bit-identical work log of an uninterrupted pull.
+func TestResumeBitExact(t *testing.T) {
+	const seed = 33
+	full, err := runPull(t, seed, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: capture the checkpoint after the 3rd sample, then die.
+	var saved *PullCheckpoint
+	n := 0
+	_, err = runPull(t, seed, RunOpts{OnCheckpoint: func(ck *PullCheckpoint) error {
+		if n++; n == 3 {
+			saved = ck
+			return abortErr{}
+		}
+		return nil
+	}})
+	if _, ok := err.(abortErr); !ok {
+		t.Fatalf("expected abort, got %v", err)
+	}
+	if saved == nil || len(saved.Samples) == 0 {
+		t.Fatal("no checkpoint captured")
+	}
+	if len(saved.Samples) >= len(full.Log.Samples) {
+		t.Fatalf("checkpoint is not mid-pull: %d of %d samples", len(saved.Samples), len(full.Log.Samples))
+	}
+
+	// Resume on a fresh engine — the "another worker" of the dist story.
+	resumed, err := runPull(t, seed, RunOpts{Resume: saved})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Log.Samples) != len(full.Log.Samples) {
+		t.Fatalf("resumed log has %d samples, want %d", len(resumed.Log.Samples), len(full.Log.Samples))
+	}
+	for i := range full.Log.Samples {
+		if full.Log.Samples[i] != resumed.Log.Samples[i] {
+			t.Fatalf("sample %d differs after resume: %+v vs %+v", i, resumed.Log.Samples[i], full.Log.Samples[i])
+		}
+	}
+	if full.Steps != resumed.Steps || full.FinalS != resumed.FinalS {
+		t.Fatalf("result metadata differs: steps %d vs %d, finalS %v vs %v",
+			resumed.Steps, full.Steps, resumed.FinalS, full.FinalS)
+	}
+}
+
+func TestResumeRejectsMalformedCheckpoint(t *testing.T) {
+	if _, err := runPull(t, 5, RunOpts{Resume: &PullCheckpoint{}}); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+}

@@ -3,12 +3,14 @@ package steering
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 
+	"spice/internal/netutil"
 	"spice/internal/trace"
 )
 
@@ -73,16 +75,18 @@ func (cs *ControlServer) Clones() []*Steered {
 // connection is served on its own goroutine; commands from concurrent
 // steerers interleave at step boundaries like local ones.
 func (cs *ControlServer) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return err
-		}
-		go func() {
-			defer conn.Close()
-			_ = cs.serveConn(conn)
-		}()
-	}
+	return cs.ServeContext(context.Background(), ln)
+}
+
+// ServeContext is Serve with graceful shutdown: when ctx is cancelled
+// the listener and every live steering connection are closed, and the
+// call waits for all connection handlers to return before reporting
+// netutil.ErrServerClosed. Tests and daemons use it to stop the bridge
+// without leaking goroutines.
+func (cs *ControlServer) ServeContext(ctx context.Context, ln net.Listener) error {
+	return netutil.Serve(ctx, ln, func(conn net.Conn) {
+		_ = cs.serveConn(conn)
+	})
 }
 
 // ServeConn handles one steering connection synchronously (exported for

@@ -1,10 +1,14 @@
 package steering
 
 import (
+	"context"
+	"errors"
 	"net"
 	"strconv"
 	"testing"
 	"time"
+
+	"spice/internal/netutil"
 )
 
 // remotePair wires a ControlServer to a RemoteSteerer over an in-memory
@@ -122,7 +126,10 @@ func TestControlServerOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	go func() { _ = cs.Serve(ln) }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- cs.ServeContext(ctx, ln) }()
 	done := make(chan int, 1)
 	go func() { done <- s.Run(1 << 30) }()
 
@@ -145,5 +152,17 @@ func TestControlServerOverTCP(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("stop over TCP did not land")
+	}
+
+	// Graceful shutdown: cancelling the context must close the bridge
+	// and return without leaking the accept loop or connection handlers.
+	cancel()
+	select {
+	case err := <-served:
+		if !errors.Is(err, netutil.ErrServerClosed) {
+			t.Fatalf("ServeContext returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancel")
 	}
 }

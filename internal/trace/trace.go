@@ -36,6 +36,22 @@ const trajMagic = "SPTRJ1"
 // ErrFormat indicates a corrupted or foreign stream.
 var ErrFormat = errors.New("trace: bad format")
 
+// ErrTruncated indicates a stream that ended mid-record — a partial
+// transfer or a file cut short by a crashed writer. It wraps
+// io.ErrUnexpectedEOF, so errors.Is works with either sentinel. Consumers
+// that resume from checkpoints (the dist runtime) rely on this being a
+// typed, detectable condition rather than a panic or silent garbage.
+var ErrTruncated = fmt.Errorf("trace: truncated stream: %w", io.ErrUnexpectedEOF)
+
+// truncated converts an end-of-stream error seen mid-record into
+// ErrTruncated; other errors pass through.
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
+}
+
 // TrajectoryWriter streams frames to w.
 type TrajectoryWriter struct {
 	w     *bufio.Writer
@@ -248,81 +264,146 @@ func ReadWorkLog(r io.Reader) (*WorkLog, error) {
 
 // Checkpoint is a restartable snapshot of a simulation's dynamical state.
 // The steering layer (RealityGrid "checkpoint and clone") serializes these
-// to move or duplicate running simulations across grid resources.
+// to move or duplicate running simulations across grid resources, and the
+// dist runtime ships them between coordinator and workers so a reassigned
+// job resumes instead of restarting.
 type Checkpoint struct {
 	Step int64
 	Time float64
 	Pos  []vec.V
 	Vel  []vec.V
 	Seed uint64 // RNG reseed value for the clone; 0 keeps the original stream
+	// RNG is the serialized state of the engine's live random streams
+	// (md.Engine.Checkpoint fills it). nil means "reseed from Seed" —
+	// what clones want. When present, a restore resumes the exact random
+	// sequence, which bit-exact job resume depends on.
+	RNG []uint64
+	// NeighborRef holds the neighbor-list reference positions at
+	// checkpoint time (len 0 or len(Pos)). Restoring them rebuilds the
+	// exact pair list the uninterrupted run was using, so force sums —
+	// which are order-sensitive in floating point — stay bit-identical
+	// across a resume.
+	NeighborRef []vec.V
+	// Force holds the integrator's cached force array (len 0 or
+	// len(Pos)). BAOAB/velocity-Verlet carry f(t) across the step
+	// boundary, and steering layers (the SMD spring's λ) may have
+	// advanced since that evaluation — so the cached values cannot be
+	// reproduced by re-evaluating at restore time. Carrying them makes
+	// the first resumed step identical to the uninterrupted one.
+	Force []vec.V
 }
 
-const ckptMagic = "SPCKP1"
+const (
+	ckptMagicV1 = "SPCKP1"
+	ckptMagic   = "SPCKP2"
+	// maxCkptRNG bounds the RNG block a reader will accept.
+	maxCkptRNG = 1 << 10
+)
 
-// WriteCheckpoint serializes c to w.
+// WriteCheckpoint serializes c to w in the SPCKP2 format.
 func WriteCheckpoint(w io.Writer, c *Checkpoint) error {
 	if len(c.Pos) != len(c.Vel) {
 		return fmt.Errorf("trace: checkpoint pos/vel length mismatch %d != %d", len(c.Pos), len(c.Vel))
+	}
+	if len(c.NeighborRef) != 0 && len(c.NeighborRef) != len(c.Pos) {
+		return fmt.Errorf("trace: checkpoint neighbor ref has %d atoms, state has %d", len(c.NeighborRef), len(c.Pos))
+	}
+	if len(c.Force) != 0 && len(c.Force) != len(c.Pos) {
+		return fmt.Errorf("trace: checkpoint force block has %d atoms, state has %d", len(c.Force), len(c.Pos))
+	}
+	if len(c.RNG) > maxCkptRNG {
+		return fmt.Errorf("trace: checkpoint RNG block too large (%d words)", len(c.RNG))
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(ckptMagic); err != nil {
 		return err
 	}
-	hdr := []any{c.Step, c.Time, c.Seed, int64(len(c.Pos))}
+	hdr := []any{c.Step, c.Time, c.Seed, int64(len(c.Pos)), int64(len(c.RNG)), int64(len(c.NeighborRef)), int64(len(c.Force))}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
-	for _, set := range [][]vec.V{c.Pos, c.Vel} {
+	for _, set := range [][]vec.V{c.Pos, c.Vel, c.NeighborRef, c.Force} {
 		for _, p := range set {
 			if err := binary.Write(bw, binary.LittleEndian, [3]float64{p.X, p.Y, p.Z}); err != nil {
 				return err
 			}
 		}
 	}
+	for _, v := range c.RNG {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
-// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint.
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint. It
+// accepts both the current SPCKP2 format and the legacy SPCKP1 layout
+// (which carries no RNG or neighbor-ref blocks). Truncated input yields
+// ErrTruncated; foreign or internally inconsistent input yields ErrFormat.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	br := bufio.NewReader(r)
 	buf := make([]byte, len(ckptMagic))
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, err
+		return nil, truncated(err)
 	}
-	if string(buf) != ckptMagic {
+	v2 := string(buf) == ckptMagic
+	if !v2 && string(buf) != ckptMagicV1 {
 		return nil, ErrFormat
 	}
 	var c Checkpoint
-	var n int64
-	if err := binary.Read(br, binary.LittleEndian, &c.Step); err != nil {
-		return nil, unexpected(err)
+	var n, nrng, nref, nfrc int64
+	ints := []any{&c.Step, &c.Time, &c.Seed, &n}
+	if v2 {
+		ints = append(ints, &nrng, &nref, &nfrc)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &c.Time); err != nil {
-		return nil, unexpected(err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &c.Seed); err != nil {
-		return nil, unexpected(err)
-	}
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, unexpected(err)
+	for _, p := range ints {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, truncated(err)
+		}
 	}
 	if n < 0 || n > 1<<30 {
 		return nil, ErrFormat
 	}
+	if nrng < 0 || nrng > maxCkptRNG {
+		return nil, ErrFormat
+	}
+	if nref != 0 && nref != n {
+		return nil, ErrFormat
+	}
+	if nfrc != 0 && nfrc != n {
+		return nil, ErrFormat
+	}
 	c.Pos = make([]vec.V, n)
 	c.Vel = make([]vec.V, n)
-	for _, set := range [][]vec.V{c.Pos, c.Vel} {
+	c.NeighborRef = make([]vec.V, nref)
+	c.Force = make([]vec.V, nfrc)
+	for _, set := range [][]vec.V{c.Pos, c.Vel, c.NeighborRef, c.Force} {
 		for i := range set {
 			var p [3]float64
 			if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
-				return nil, unexpected(err)
+				return nil, truncated(err)
 			}
 			if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsNaN(p[2]) {
 				return nil, fmt.Errorf("trace: checkpoint contains NaN: %w", ErrFormat)
 			}
 			set[i] = vec.V{X: p[0], Y: p[1], Z: p[2]}
+		}
+	}
+	if nref == 0 {
+		c.NeighborRef = nil
+	}
+	if nfrc == 0 {
+		c.Force = nil
+	}
+	if nrng > 0 {
+		c.RNG = make([]uint64, nrng)
+		for i := range c.RNG {
+			if err := binary.Read(br, binary.LittleEndian, &c.RNG[i]); err != nil {
+				return nil, truncated(err)
+			}
 		}
 	}
 	return &c, nil

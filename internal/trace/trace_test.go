@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"strings"
@@ -241,7 +243,120 @@ func TestCheckpointTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
-	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-4])); err != io.ErrUnexpectedEOF {
-		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	got, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-4]))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	// ErrTruncated wraps io.ErrUnexpectedEOF for pre-existing callers.
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v should wrap io.ErrUnexpectedEOF", err)
+	}
+	if got != nil {
+		t.Fatal("truncated read returned a checkpoint")
+	}
+}
+
+func TestCheckpointTruncatedAtEveryPrefix(t *testing.T) {
+	c := &Checkpoint{
+		Step: 7, Time: 1.5, Seed: 3,
+		Pos:         []vec.V{{X: 1}, {Y: 2}},
+		Vel:         []vec.V{{Z: 3}, {X: 4}},
+		RNG:         []uint64{1, 2, 3, 4, 5, 6},
+		NeighborRef: []vec.V{{X: 1}, {Y: 2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		_, err := ReadCheckpoint(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(data))
+		}
+		// Every truncation point must yield the typed error, never a
+		// panic or silent garbage. (A cut inside the magic can also
+		// legitimately classify as ErrFormat-with-enough-bytes, but with
+		// a 6-byte magic any strict prefix is a short read.)
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFormat) {
+			t.Fatalf("prefix %d: err = %v, want ErrTruncated or ErrFormat", cut, err)
+		}
+	}
+}
+
+func TestCheckpointRNGAndRefRoundTrip(t *testing.T) {
+	c := &Checkpoint{
+		Step: 42, Time: 0.5, Seed: 9,
+		Pos:         []vec.V{{X: 1, Y: 2, Z: 3}, {X: -1}},
+		Vel:         []vec.V{{Y: 0.25}, {Z: -0.125}},
+		RNG:         []uint64{0xdead, 0xbeef, 1, 0, 0x7fffffffffffffff, 5},
+		NeighborRef: []vec.V{{X: 1.0000001, Y: 2, Z: 3}, {X: -1.5}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.RNG) != len(c.RNG) {
+		t.Fatalf("RNG words = %d, want %d", len(got.RNG), len(c.RNG))
+	}
+	for i := range c.RNG {
+		if got.RNG[i] != c.RNG[i] {
+			t.Fatalf("RNG[%d] = %#x, want %#x", i, got.RNG[i], c.RNG[i])
+		}
+	}
+	for i := range c.NeighborRef {
+		if got.NeighborRef[i] != c.NeighborRef[i] {
+			t.Fatalf("NeighborRef[%d] mismatch", i)
+		}
+	}
+}
+
+func TestCheckpointReadsLegacyV1(t *testing.T) {
+	// Hand-build a SPCKP1 stream: magic, step, time, seed, n, pos, vel.
+	var buf bytes.Buffer
+	buf.WriteString("SPCKP1")
+	for _, v := range []any{int64(5), float64(2.5), uint64(77), int64(1),
+		[3]float64{1, 2, 3}, [3]float64{4, 5, 6}} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 5 || got.Seed != 77 || len(got.Pos) != 1 || got.Pos[0] != (vec.V{X: 1, Y: 2, Z: 3}) {
+		t.Fatalf("legacy checkpoint misread: %+v", got)
+	}
+	if got.RNG != nil || got.NeighborRef != nil {
+		t.Fatal("legacy checkpoint should carry no RNG/ref blocks")
+	}
+}
+
+func TestCheckpointRejectsInconsistentCounts(t *testing.T) {
+	c := &Checkpoint{Pos: make([]vec.V, 3), Vel: make([]vec.V, 3), NeighborRef: make([]vec.V, 2)}
+	if err := WriteCheckpoint(io.Discard, c); err == nil {
+		t.Fatal("mismatched neighbor ref length accepted by writer")
+	}
+	// Corrupt a valid stream's nref field so it disagrees with n.
+	c.NeighborRef = nil
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header layout: magic(6) step(8) time(8) seed(8) n(8) nrng(8) nref(8).
+	binary.LittleEndian.PutUint64(data[6+8*4:], 2) // nrng = 2 but no RNG block follows
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt RNG count accepted")
+	}
+	binary.LittleEndian.PutUint64(data[6+8*4:], 0)
+	binary.LittleEndian.PutUint64(data[6+8*5:], 1) // nref = 1 != n = 3
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("inconsistent nref: err = %v, want ErrFormat", err)
 	}
 }

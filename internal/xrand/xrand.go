@@ -12,7 +12,10 @@
 // own its own stream (use Split).
 package xrand
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Source is a xoshiro256** pseudo-random generator.
 type Source struct {
@@ -85,6 +88,36 @@ func (s *Source) SplitN(n int) []*Source {
 		out[i] = s.Split()
 	}
 	return out
+}
+
+// SnapshotLen is the number of words in a Source snapshot.
+const SnapshotLen = 6
+
+// Snapshot returns the complete generator state — the four xoshiro words
+// plus the cached Gaussian spare — so a checkpointed simulation can resume
+// bit-exactly. The layout is stable: [s0 s1 s2 s3 hasSpare spareBits].
+func (s *Source) Snapshot() []uint64 {
+	out := make([]uint64, SnapshotLen)
+	copy(out, s.s[:])
+	if s.hasSpare {
+		out[4] = 1
+	}
+	out[5] = math.Float64bits(s.spare)
+	return out
+}
+
+// RestoreSnapshot loads a state produced by Snapshot.
+func (s *Source) RestoreSnapshot(w []uint64) error {
+	if len(w) != SnapshotLen {
+		return fmt.Errorf("xrand: snapshot has %d words, want %d", len(w), SnapshotLen)
+	}
+	if w[0]|w[1]|w[2]|w[3] == 0 {
+		return fmt.Errorf("xrand: snapshot has all-zero stream state")
+	}
+	copy(s.s[:], w[:4])
+	s.hasSpare = w[4] != 0
+	s.spare = math.Float64frombits(w[5])
+	return nil
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.

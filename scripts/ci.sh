@@ -13,6 +13,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== dist multi-process integration (-race) =="
+# Real coordinator + spiced worker processes: one is frozen mid-job so
+# its lease expires and the job resumes from a streamed checkpoint on
+# another process; the merged PMF must be bit-identical to a local run.
+go test -race -run 'TestEndToEndWorkerProcesses' -count=1 -v ./internal/dist
+
 echo "== bench smoke (benchtime=1x) =="
 go test -run '^$' -bench 'Ablation' -benchtime 1x -benchmem .
 
