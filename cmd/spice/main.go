@@ -50,6 +50,7 @@ func main() {
 		imdAddr    = flag.String("imd", "", "serve an interactive session on this address instead")
 		frames     = flag.Int("frames", 100, "IMD frames to serve")
 		coordAddr  = flag.String("coordinator", "", "distribute pulls: listen on this address for spiced workers (-workers then spawns in-process ones)")
+		stateDir   = flag.String("state", "", "with -coordinator: journal job state under this directory so a killed coordinator can be restarted with the same -state and resume the campaign")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 	var co *dist.Coordinator
 	if *coordAddr != "" {
 		var cancel context.CancelFunc
-		co, cancel, err = startCoordinator(*coordAddr, &cfg.System, *workers)
+		co, cancel, err = startCoordinator(*coordAddr, *stateDir, &cfg.System, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -142,7 +143,7 @@ func main() {
 // process — local or remote — sums forces in the same chunk order;
 // that, plus bit-exact checkpoints, is what makes distributed results
 // byte-identical to local ones.
-func startCoordinator(addr string, sys *core.SystemConfig, workers int) (*dist.Coordinator, context.CancelFunc, error) {
+func startCoordinator(addr, stateDir string, sys *core.SystemConfig, workers int) (*dist.Coordinator, context.CancelFunc, error) {
 	if sys.EngineWorkers == 0 {
 		sys.EngineWorkers = 1
 	}
@@ -155,7 +156,7 @@ func startCoordinator(addr string, sys *core.SystemConfig, workers int) (*dist.C
 		ln.Close()
 		return nil, nil, err
 	}
-	co := &dist.Coordinator{Listener: ln, System: sysJSON}
+	co := &dist.Coordinator{Listener: ln, System: sysJSON, StateDir: stateDir}
 	ctx, cancel := context.WithCancel(context.Background())
 	for i := 0; i < workers; i++ {
 		w := &dist.Worker{
@@ -175,6 +176,13 @@ func printDistStats(co *dist.Coordinator) {
 	st := co.Stats()
 	fmt.Printf("\ndist: %d jobs, %d assignments (%d retries, %d resumes), %d lease expiries, %d KiB in / %d KiB out\n",
 		st.Jobs, st.Assignments, st.Retries, st.Resumes, st.LeaseExpiries, st.BytesIn/1024, st.BytesOut/1024)
+	if st.Restarts > 0 || st.DuplicateResultsDropped > 0 || st.Adoptions > 0 {
+		fmt.Printf("dist recovery: %d restart(s), %d journal records replayed, %d adoptions, %d duplicate results dropped\n",
+			st.Restarts, st.ReplayedRecords, st.Adoptions, st.DuplicateResultsDropped)
+	}
+	if st.TornTail != nil {
+		fmt.Printf("dist recovery: dropped %d-byte torn journal tail (%v)\n", st.TruncatedTailBytes, st.TornTail)
+	}
 }
 
 func printSweep(res *core.SweepResult) {

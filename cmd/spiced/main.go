@@ -38,6 +38,7 @@ func main() {
 		ckptEvery   = flag.Int("ckpt-every", 8, "recorded samples between streamed checkpoints")
 		throttle    = flag.Duration("throttle", 0, "artificial sleep per checkpoint (testing/demo)")
 		window      = flag.Duration("reconnect-window", 10*time.Second, "give up after failing to reach the coordinator for this long")
+		backoffMax  = flag.Duration("reconnect-backoff", time.Second, "cap on the exponential re-dial backoff while the coordinator is unreachable")
 	)
 	flag.Parse()
 
@@ -53,15 +54,16 @@ func main() {
 	}
 
 	w := &dist.Worker{
-		Name:            *name,
-		Addr:            *coordinator,
-		Slots:           *slots,
-		Build:           core.BuildFromJSON,
-		BeatInterval:    *beat,
-		CheckpointEvery: *ckptEvery,
-		Throttle:        *throttle,
-		Reconnect:       true,
-		ReconnectWindow: *window,
+		Name:                *name,
+		Addr:                *coordinator,
+		Slots:               *slots,
+		Build:               core.BuildFromJSON,
+		BeatInterval:        *beat,
+		CheckpointEvery:     *ckptEvery,
+		Throttle:            *throttle,
+		Reconnect:           true,
+		ReconnectWindow:     *window,
+		ReconnectBackoffMax: *backoffMax,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

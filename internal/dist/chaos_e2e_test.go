@@ -1,0 +1,320 @@
+package dist_test
+
+// The chaos end-to-end test: a spice -coordinator -state process drives
+// a full priming sweep over two live in-test workers, gets SIGKILLed
+// mid-campaign, and an in-process coordinator restarted over the same
+// state directory finishes the sweep. While it recovers, one worker is
+// network-partitioned (netsim.Gate) and the other has a result ack cut
+// off so its outbox retransmits an already-delivered result. The final
+// PMF must be bit-identical to a single-process run, no spooled job may
+// restart from step 0, and the duplicate delivery must be dropped.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spice/internal/core"
+	"spice/internal/dist"
+	"spice/internal/netsim"
+	"spice/internal/trace"
+)
+
+func buildSpice(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "spice")
+	cmd := exec.Command("go", "build", "-o", bin, "spice/cmd/spice")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building spice: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// chaosSweepConfig mirrors the flags the test passes to the spice
+// subprocess, so the local baseline and the restarted coordinator run
+// the exact same pipeline — the campaign spec JSON doubles as the
+// journal's replay key, so it must match byte for byte.
+func chaosSweepConfig() core.SweepConfig {
+	cfg := core.PaperSweep()
+	cfg.System.Beads = 3
+	cfg.System.EngineWorkers = 1 // spice -coordinator pins this
+	cfg.Kappas = []float64{100, 1000}
+	cfg.Velocities = []float64{800}
+	cfg.Replicas = 2
+	cfg.Distance = 3
+	cfg.Seed = 31
+	return cfg
+}
+
+// spoolIDs lists job IDs with a spooled checkpoint under stateDir.
+func spoolIDs(t *testing.T, stateDir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(stateDir, "spool", "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, len(matches))
+	for _, m := range matches {
+		ids = append(ids, strings.TrimSuffix(filepath.Base(m), ".ckpt"))
+	}
+	return ids
+}
+
+// journalDoneJobs reads the (possibly still-growing) journal and
+// returns the IDs with a durable done record.
+func journalDoneJobs(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	scan, err := trace.ScanRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("journal unreadable: %v", err)
+	}
+	done := make(map[string]bool)
+	for _, rec := range scan.Records {
+		var r struct {
+			T   string `json:"t"`
+			Job string `json:"job"`
+		}
+		if json.Unmarshal(rec, &r) == nil && r.T == "done" {
+			done[r.Job] = true
+		}
+	}
+	return done
+}
+
+// dupConn injects a duplicate result delivery: while armed, after a
+// result line is written it waits for the coordinator's ack — proof
+// the result was applied — swallows it, and kills the connection. The
+// worker never sees the ack, so its outbox retransmits a result the
+// coordinator has already merged. (Closing before the ack arrives
+// would risk an RST discarding the un-read result on the coordinator
+// side, making the retransmit a first delivery instead of a
+// duplicate.) Exactly one duplicate is injected per arming.
+type dupConn struct {
+	net.Conn
+	armed   *atomic.Bool
+	swallow bool // set by Write, consumed by Read; same goroutine
+}
+
+func (d *dupConn) Write(p []byte) (int, error) {
+	n, err := d.Conn.Write(p)
+	if err == nil && bytes.Contains(p, []byte(`"type":"result"`)) && d.armed.CompareAndSwap(true, false) {
+		d.swallow = true
+	}
+	return n, err
+}
+
+func (d *dupConn) Read(p []byte) (int, error) {
+	if d.swallow {
+		n, err := d.Conn.Read(p)
+		if err == nil && n > 0 {
+			d.swallow = false
+			d.Conn.Close()
+			return 0, errors.New("chaos: result ack swallowed")
+		}
+		return n, err
+	}
+	return d.Conn.Read(p)
+}
+
+func TestChaosCoordinatorKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the spice binary and kills processes")
+	}
+	cfg := chaosSweepConfig()
+	sysJSON, err := json.Marshal(cfg.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-process baseline of the full sweep.
+	localCfg := cfg
+	localCfg.Workers = 1
+	want, err := core.RunSweep(localCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildSpice(t)
+	// Pre-pick the port so the restarted coordinator can rebind the
+	// address the workers keep dialing.
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln0.Addr().String()
+	ln0.Close()
+
+	stateDir := t.TempDir()
+	logPath := filepath.Join(t.TempDir(), "spice.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logFile.Close()
+	cmd := exec.Command(bin,
+		"-coordinator", addr,
+		"-state", stateDir,
+		"-workers", "0",
+		"-beads", "3",
+		"-kappas", "100,1000",
+		"-velocities", "800",
+		"-replicas", "2",
+		"-distance", "3",
+		"-seed", "31",
+	)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+
+	// Two live workers that outlive the coordinator. Both are slow
+	// enough (checkpoint every sample, throttled) to be mid-job when the
+	// kill lands; one dials through a partition gate, the other through
+	// the duplicate injector.
+	gate := netsim.NewGate()
+	var armDup atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startChaosWorker := func(name string, dial func(string) (net.Conn, error)) {
+		w := &dist.Worker{
+			Name:            name,
+			Addr:            addr,
+			Build:           core.BuildFromJSON,
+			BeatInterval:    20 * time.Millisecond,
+			CheckpointEvery: 1,
+			Throttle:        20 * time.Millisecond,
+			Reconnect:       true,
+			ReconnectWindow: 60 * time.Second,
+			Dial:            dial,
+		}
+		go w.Run(ctx)
+	}
+	startChaosWorker("gated", gate.Dial(nil))
+	startChaosWorker("duplicator", func(a string) (net.Conn, error) {
+		c, err := net.Dial("tcp", a)
+		if err != nil {
+			return nil, err
+		}
+		return &dupConn{Conn: c, armed: &armDup}, nil
+	})
+
+	// Kill point: both workers mid-job with spooled checkpoints AND at
+	// least one job durably completed, so the recovery exercises both
+	// the restored-result and the resumed-checkpoint paths.
+	journalPath := filepath.Join(stateDir, "journal.log")
+	deadline := time.Now().Add(120 * time.Second)
+	for len(spoolIDs(t, stateDir)) < 2 || len(journalDoneJobs(t, journalPath)) < 1 {
+		if time.Now().After(deadline) {
+			out, _ := os.ReadFile(logPath)
+			t.Fatalf("campaign never reached the kill point; spice output:\n%s", out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// SIGKILL: no drain, no journal close, no goodbyes.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	doneAtKill := journalDoneJobs(t, journalPath)
+	var spooledAtKill []string
+	for _, id := range spoolIDs(t, stateDir) {
+		if !doneAtKill[id] {
+			spooledAtKill = append(spooledAtKill, id)
+		}
+	}
+	if len(spooledAtKill) == 0 {
+		t.Fatal("no in-flight spooled jobs at kill time")
+	}
+
+	// Partition one worker across the restart window (it heals and
+	// rejoins mid-campaign) and arm the duplicate injection on the other.
+	gate.Blackhole(600 * time.Millisecond)
+	armDup.Store(true)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &dist.Coordinator{
+		Listener:  ln,
+		System:    sysJSON,
+		LeaseTTL:  2 * time.Second,
+		RetryBase: 10 * time.Millisecond,
+		StateDir:  stateDir,
+	}
+	t.Cleanup(func() { _ = co.Close() })
+	restartCfg := cfg
+	restartCfg.Runner = co
+	got, err := core.RunSweep(restartCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered sweep must be indistinguishable from the
+	// uninterrupted single-process one, down to the last bit.
+	requireBitIdenticalLogs(t, want.Logs, got.Logs)
+	if len(got.Reference) != len(want.Reference) || len(got.Best.PMF) != len(want.Best.PMF) {
+		t.Fatalf("grid sizes diverge: ref %d/%d, pmf %d/%d",
+			len(got.Reference), len(want.Reference), len(got.Best.PMF), len(want.Best.PMF))
+	}
+	for i := range want.Reference {
+		if got.Reference[i] != want.Reference[i] {
+			t.Fatalf("reference PMF diverges at %d: %v != %v", i, got.Reference[i], want.Reference[i])
+		}
+	}
+	for i := range want.Best.PMF {
+		if got.Best.PMF[i] != want.Best.PMF[i] {
+			t.Fatalf("merged PMF diverges at %d: %v != %v", i, got.Best.PMF[i], want.Best.PMF[i])
+		}
+	}
+
+	st := co.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("stats.Restarts = %d, want 1", st.Restarts)
+	}
+	if st.ReplayedRecords == 0 {
+		t.Fatal("restart replayed no journal records")
+	}
+	if st.DuplicateResultsDropped < 1 {
+		t.Fatalf("injected duplicate result was not dropped: %+v", st)
+	}
+	if st.Adoptions < 1 {
+		t.Fatalf("no mid-pull worker was adopted across the restart: %+v", st)
+	}
+	js := co.JobStats()
+	for _, id := range spooledAtKill {
+		s, ok := js[id]
+		if !ok {
+			t.Fatalf("spooled job %s missing from job stats", id)
+		}
+		if s.Resumes+s.Adoptions < 1 {
+			t.Fatalf("job %s had a spooled checkpoint but restarted from step 0: %+v", id, s)
+		}
+	}
+}

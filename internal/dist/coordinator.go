@@ -48,8 +48,20 @@ type Coordinator struct {
 	// WrapConn, if set, wraps every accepted connection — the hook the
 	// tests use to route traffic through netsim QoS shims.
 	WrapConn func(net.Conn) net.Conn
+	// StateDir, if set, makes campaigns crash-safe: job-state transitions
+	// are journaled (and completed results fsynced) under this directory,
+	// checkpoints are spooled to disk, and a coordinator started over the
+	// same directory replays the journal — completed jobs keep their
+	// results, in-flight jobs resume from their spooled checkpoints, and
+	// the merged output stays bit-identical to an uninterrupted run.
+	// Empty means in-memory only (the pre-journal behavior).
+	StateDir string
 
-	mu          sync.Mutex
+	mu       sync.Mutex
+	journal  *journal
+	replay   *journalReplay
+	doneJobs map[string]bool // every job this process has accepted (or replayed) a result for
+
 	camp        *campaignRun
 	closed      bool
 	started     bool
@@ -186,6 +198,13 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 	if len(tasks) == 0 {
 		return map[campaign.Combo][]*trace.WorkLog{}, nil
 	}
+	// The spec's JSON form doubles as the journal's replay key, so a
+	// restarted coordinator re-running the same pipeline (possibly a
+	// different campaign order) matches each Run to its recovered state.
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding spec: %w", err)
+	}
 
 	co.mu.Lock()
 	if co.closed {
@@ -195,6 +214,34 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 	if co.camp != nil {
 		co.mu.Unlock()
 		return nil, errors.New("dist: a campaign is already running")
+	}
+	if co.doneJobs == nil {
+		co.doneJobs = make(map[string]bool)
+	}
+	if co.StateDir != "" && co.journal == nil {
+		jn, rep, err := openJournal(co.StateDir)
+		if err != nil {
+			co.mu.Unlock()
+			return nil, err
+		}
+		co.journal = jn
+		co.replay = rep
+		// Seed the completed-jobs set from the whole journal so a result
+		// retransmitted for a job finished before the crash is recognized
+		// as a duplicate even if its campaign has not been re-Run yet.
+		for _, c := range rep.campaigns {
+			for id := range c.done {
+				co.doneJobs[id] = true
+			}
+		}
+		co.stats.ReplayedRecords += rep.records
+		co.stats.TruncatedTailBytes += rep.tornBytes
+		if rep.tornErr != nil {
+			co.stats.TornTail = rep.tornErr
+		}
+		if rep.records > 0 {
+			co.stats.Restarts++
+		}
 	}
 	if !co.started {
 		co.startLocked()
@@ -207,6 +254,15 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 		remaining: len(tasks),
 		done:      make(chan struct{}),
 	}
+	var rc *replayCampaign
+	if co.journal != nil {
+		if c := co.replay.campaigns[string(specJSON)]; c != nil && !c.applied {
+			rc = c
+			// Replayed state is consumed once; if the same spec runs again
+			// in this process it starts fresh (and journals fresh records).
+			c.applied = true
+		}
+	}
 	for i, t := range tasks {
 		j := &job{id: fmt.Sprintf("smdje-%s-r%d", t.Combo, t.Index), task: t}
 		camp.jobs[i] = j
@@ -214,16 +270,48 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 		if co.jobStats[j.id] == nil {
 			co.jobStats[j.id] = &JobStats{ID: j.id}
 		}
+		if rc == nil {
+			continue
+		}
+		js := co.jobStats[j.id]
+		// Per-job lease history from before the restart; the live global
+		// counters are deliberately not inflated (see Stats doc).
+		if hist := rc.workers[j.id]; len(hist) > 0 {
+			js.Assignments += len(hist)
+			js.Retries += len(hist) - 1
+			js.Workers = append(js.Workers, hist...)
+		}
+		if wl, ok := rc.done[j.id]; ok {
+			j.state = stateDone
+			j.log = wl
+			camp.remaining--
+			co.journal.removeSpool(j.id)
+			continue
+		}
+		if a := rc.attempts[j.id]; a > j.attempts {
+			j.attempts = a
+		}
+		if ck := co.journal.loadSpool(j.id); ck != nil {
+			j.ckpt = ck
+		}
 	}
 	co.camp = camp
 	co.stats.Jobs += len(tasks)
+	if !co.journalLocked(camp, &jrec{T: jCampaign, Spec: specJSON}, true) {
+		// journalLocked already failed the campaign; fall through to the
+		// wait below, which returns the error immediately.
+	}
+	if camp.remaining == 0 && camp.failErr == nil {
+		// Every job was recovered done — nothing left to schedule.
+		camp.finish(nil)
+	}
 	co.mu.Unlock()
 
 	<-camp.done
 
 	co.mu.Lock()
 	co.camp = nil
-	err := camp.failErr
+	err = camp.failErr
 	in, out := co.bytes.snapshot()
 	co.stats.BytesIn, co.stats.BytesOut = in, out
 	co.mu.Unlock()
@@ -249,8 +337,10 @@ func (co *Coordinator) doClose() error {
 	co.mu.Lock()
 	if !co.started {
 		co.closed = true
+		jn := co.journal
+		co.journal = nil
 		co.mu.Unlock()
-		return nil
+		return jn.close()
 	}
 	co.closed = true
 	co.mu.Unlock()
@@ -268,6 +358,13 @@ func (co *Coordinator) doClose() error {
 	}
 	co.cancelServe()
 	err := <-co.serveDone
+	co.mu.Lock()
+	jn := co.journal
+	co.journal = nil
+	co.mu.Unlock()
+	if jerr := jn.close(); jerr != nil && err == nil {
+		err = jerr
+	}
 	if errors.Is(err, netutil.ErrServerClosed) {
 		return nil
 	}
@@ -300,6 +397,23 @@ func (co *Coordinator) janitor(ctx context.Context) {
 			co.mu.Unlock()
 		}
 	}
+}
+
+// journalLocked appends one record (fsyncing if sync) and reports
+// success. A write-ahead journal that cannot write is a broken
+// durability promise, so an append error fails the campaign rather
+// than silently degrading to in-memory scheduling. Caller holds mu.
+func (co *Coordinator) journalLocked(camp *campaignRun, r *jrec, sync bool) bool {
+	if co.journal == nil {
+		return true
+	}
+	if err := co.journal.append(r, sync); err != nil {
+		if camp != nil {
+			camp.finish(fmt.Errorf("dist: journal append: %w", err))
+		}
+		return false
+	}
+	return true
 }
 
 // requeueLocked returns a leased job to the pending queue with backoff,
@@ -418,16 +532,21 @@ func (co *Coordinator) assign(cs *connState) response {
 			js.Retries++
 		}
 		resp := response{Type: msgAssign, Spec: &camp.spec, Job: &wireJob{
-			ID:    j.id,
-			Combo: j.task.Combo,
-			Seed:  j.task.Seed,
-			Index: j.task.Index,
+			ID:      j.id,
+			Combo:   j.task.Combo,
+			Seed:    j.task.Seed,
+			Index:   j.task.Index,
+			Attempt: j.attempts,
 		}}
-		if len(j.ckpt) > 0 {
+		resumed := len(j.ckpt) > 0
+		if resumed {
 			resp.Resume = j.ckpt
 			co.stats.Resumes++
 			js.Resumes++
 		}
+		co.journalLocked(camp, &jrec{
+			T: jLease, Job: j.id, Worker: cs.name, Attempt: j.attempts, Resumed: resumed,
+		}, false)
 		return resp
 	}
 	// Nothing runnable: leased jobs in flight, or pending ones backing off.
@@ -443,7 +562,11 @@ func (co *Coordinator) assign(cs *connState) response {
 }
 
 // heartbeat refreshes a lease and stores any checkpoint that came with
-// it. A worker beating for a job it no longer holds is told to abandon.
+// it. A worker beating for a *pending* job is adopted: after a
+// coordinator restart (or a lease revocation that was never reacted
+// on), the worker is still mid-pull and its checkpoint lineage is
+// bit-exact, so re-leasing the job to it beats redoing the work. A
+// worker beating for a job leased elsewhere is told to abandon.
 func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -452,63 +575,138 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 		return response{Type: msgAbandon}
 	}
 	j := camp.byID[req.JobID]
-	if j == nil || j.state != stateLeased || j.owner != cs {
+	if j == nil || j.state == stateDone {
+		return response{Type: msgAbandon}
+	}
+	switch {
+	case j.state == stateLeased && j.owner == cs:
+		// The live lease holder; nothing to adjust.
+	case j.state == statePending:
+		j.state = stateLeased
+		j.owner = cs
+		j.worker = cs.name
+		if req.Attempt > 0 {
+			// The adopted worker's lease attempt becomes the current one,
+			// so its eventual result line passes the (job, attempt) check.
+			j.attempts = req.Attempt
+		}
+		co.stats.Adoptions++
+		js := co.jobStats[j.id]
+		js.Adoptions++
+		js.Assignments++
+		js.Workers = append(js.Workers, cs.name)
+		co.journalLocked(camp, &jrec{
+			T: jLease, Job: j.id, Worker: cs.name, Attempt: j.attempts, Resumed: len(j.ckpt) > 0,
+		}, false)
+	default:
+		// Leased to someone else: the beating worker lost the job.
 		return response{Type: msgAbandon}
 	}
 	j.lastBeat = time.Now()
 	if req.Type == msgProgress && len(req.Ckpt) > 0 {
 		j.ckpt = req.Ckpt
 		co.stats.Checkpoints++
+		if co.journal != nil {
+			if err := co.journal.spoolCheckpoint(j.id, req.Ckpt); err != nil {
+				camp.finish(fmt.Errorf("dist: spooling checkpoint for %s: %w", j.id, err))
+				return response{Type: msgOK}
+			}
+			co.journalLocked(camp, &jrec{T: jCkpt, Job: j.id, Attempt: j.attempts}, false)
+		}
 	}
 	return response{Type: msgOK}
 }
 
-// finish records a completed job. Results are idempotent: checkpointed
-// resumption is bit-exact, so a duplicate result from a worker whose
-// lease was revoked mid-flight is byte-identical to the one already
-// recorded and can simply be ignored.
+// finish records a completed job. Results are idempotent by (job,
+// attempt): checkpointed resumption is bit-exact, so a retransmitted
+// or late result from a retired lease is byte-identical to the one the
+// current lease will produce — it is acknowledged (so the worker stops
+// retrying) and dropped, never merged twice.
 func (co *Coordinator) finish(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	camp := co.camp
 	if camp == nil {
+		// Between campaigns: a retransmit can outlive the campaign it
+		// belongs to. If the job is known completed, count the drop.
+		if co.doneJobs[req.JobID] {
+			co.stats.DuplicateResultsDropped++
+		}
 		return response{Type: msgOK}
 	}
 	j := camp.byID[req.JobID]
 	if j == nil {
+		if co.doneJobs[req.JobID] {
+			// Completed in an earlier campaign this process (or the journal)
+			// knows about; ack so the sender clears its outbox.
+			co.stats.DuplicateResultsDropped++
+			return response{Type: msgOK}
+		}
 		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
 	}
 	if j.state == stateDone {
+		// Retransmit of a result already recorded (or raced by another
+		// lease's identical result): ack so the sender clears its outbox.
+		co.stats.DuplicateResultsDropped++
+		return response{Type: msgOK}
+	}
+	if j.state == stateLeased && (j.owner != cs || (req.Attempt > 0 && req.Attempt != j.attempts)) {
+		// The sender's lease was revoked and the job reassigned; the
+		// current lease holder will deliver the same bytes.
+		co.stats.DuplicateResultsDropped++
 		return response{Type: msgOK}
 	}
 	if req.Log == nil {
 		return response{Type: msgOK, Err: "dist: result without log"}
 	}
+	// A pending job is accepted too: its lease expired during coordinator
+	// downtime but the worker finished anyway — the result is just as
+	// bit-identical. Journal (fsynced — the log is the campaign's
+	// irreplaceable output) before the in-memory commit and the ack.
+	if !co.journalLocked(camp, &jrec{T: jDone, Job: j.id, Attempt: j.attempts, Log: req.Log}, true) {
+		return response{Type: msgOK}
+	}
+	co.doneJobs[j.id] = true
 	j.state = stateDone
 	j.owner = nil
 	j.log = req.Log
 	camp.remaining--
+	if co.journal != nil {
+		co.journal.removeSpool(j.id)
+	}
 	if camp.remaining == 0 {
 		camp.finish(nil)
 	}
 	return response{Type: msgOK}
 }
 
-// fail requeues a job its worker could not complete.
+// fail requeues a job its worker could not complete. Like finish, it is
+// idempotent by (job, attempt): a fail line from a retired lease — the
+// job finished elsewhere or was reassigned — is acked and dropped.
 func (co *Coordinator) fail(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	camp := co.camp
 	if camp == nil {
+		if co.doneJobs[req.JobID] {
+			co.stats.DuplicateResultsDropped++
+		}
 		return response{Type: msgOK}
 	}
 	j := camp.byID[req.JobID]
 	if j == nil {
+		if co.doneJobs[req.JobID] {
+			co.stats.DuplicateResultsDropped++
+			return response{Type: msgOK}
+		}
 		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
 	}
-	if j.state == stateLeased && j.owner == cs {
+	if j.state == stateLeased && j.owner == cs && (req.Attempt == 0 || req.Attempt == j.attempts) {
 		co.stats.Failures++
+		co.journalLocked(camp, &jrec{T: jFail, Job: j.id, Attempt: j.attempts, Err: req.Err}, false)
 		co.requeueLocked(camp, j)
+	} else if j.state == stateDone || j.state == stateLeased {
+		co.stats.DuplicateResultsDropped++
 	}
 	return response{Type: msgOK}
 }

@@ -1,0 +1,270 @@
+package dist
+
+// The coordinator's durable state: a write-ahead journal of job-state
+// transitions plus a checkpoint spool, both living under one state
+// directory. Between them a campaign survives the death of *any*
+// process, coordinator included — the paper's §V lessons (a security
+// quarantine took a site's middleware down for weeks mid-campaign) but
+// applied to the scheduler itself instead of a worker site.
+//
+// Layout:
+//
+//	<state>/journal.log     append-only record stream (trace framing):
+//	                        campaign / lease / ckpt / done / fail
+//	                        transitions, JSON payloads, CRC per record
+//	<state>/spool/<job>.ckpt latest streamed checkpoint per in-flight
+//	                        job, written via tmp+rename so the file is
+//	                        always a complete, CRC-framed snapshot
+//
+// Durability policy: `done` records (which carry the full work log —
+// the campaign's irreplaceable output) are fsynced before the worker's
+// result is acknowledged; everything else is flushed but not synced,
+// because every other transition is reconstructible from retries. A
+// torn tail — the crash signature of an append-only file — is detected
+// by the record CRCs, truncated away on reopen, and surfaced as a typed
+// error plus byte count in Stats.
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spice/internal/trace"
+)
+
+// journal record types, in the order a job moves through them.
+const (
+	jCampaign = "campaign" // a campaign spec was installed
+	jLease    = "lease"    // a job was leased (or adopted) by a worker
+	jCkpt     = "ckpt"     // a checkpoint was spooled for a job
+	jDone     = "done"     // a job finished; record carries the log
+	jFail     = "fail"     // a worker reported failure; job requeued
+)
+
+// jrec is one journal record. The JSON payload rides inside the CRC'd
+// trace record framing, so a torn or corrupted tail never parses.
+type jrec struct {
+	T       string          `json:"t"`
+	Spec    json.RawMessage `json:"spec,omitempty"`    // campaign: spec JSON (also the replay key)
+	Job     string          `json:"job,omitempty"`     // lease/ckpt/done/fail
+	Worker  string          `json:"worker,omitempty"`  // lease
+	Attempt int             `json:"attempt,omitempty"` // lease/ckpt/fail
+	Resumed bool            `json:"resumed,omitempty"` // lease: assignment carried a checkpoint
+	Log     *trace.WorkLog  `json:"log,omitempty"`     // done
+	Err     string          `json:"err,omitempty"`     // fail reason
+}
+
+// journal is the open write side plus the replayed read side.
+type journal struct {
+	dir string
+	f   *os.File
+	rw  *trace.RecordWriter
+}
+
+// journalReplay is everything recovered from an existing journal.
+type journalReplay struct {
+	records   int
+	tornBytes int64
+	tornErr   error
+	// campaigns keys replayed state by the campaign's spec JSON, so a
+	// restarted coordinator resumes whichever campaigns it re-runs in
+	// whatever order (core.RunSweep issues two per sweep).
+	campaigns map[string]*replayCampaign
+}
+
+// replayCampaign is the recovered job table of one campaign.
+type replayCampaign struct {
+	done     map[string]*trace.WorkLog
+	attempts map[string]int      // highest lease attempt per job
+	workers  map[string][]string // lease history per job, in order
+	fails    map[string]int
+	applied  bool // replayed state consumed by a Run already
+}
+
+func newReplayCampaign() *replayCampaign {
+	return &replayCampaign{
+		done:     make(map[string]*trace.WorkLog),
+		attempts: make(map[string]int),
+		workers:  make(map[string][]string),
+		fails:    make(map[string]int),
+	}
+}
+
+// openJournal opens (creating if needed) the journal under dir,
+// replays its records, truncates a torn tail, and positions the writer
+// for appending.
+func openJournal(dir string) (*journal, *journalReplay, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "spool"), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("dist: state dir: %w", err)
+	}
+	path := filepath.Join(dir, "journal.log")
+	rep := &journalReplay{campaigns: make(map[string]*replayCampaign)}
+
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("dist: reading journal: %w", err)
+	}
+	scan, err := trace.ScanRecords(bytes.NewReader(data))
+	if err != nil {
+		// Foreign magic: refuse to touch a file we do not own.
+		return nil, nil, fmt.Errorf("dist: %s: %w", path, err)
+	}
+	rep.tornErr = scan.TailErr
+	rep.tornBytes = scan.TornBytes
+
+	var cur *replayCampaign
+	for _, raw := range scan.Records {
+		var r jrec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, nil, fmt.Errorf("dist: undecodable journal record (CRC valid): %w", err)
+		}
+		rep.records++
+		switch r.T {
+		case jCampaign:
+			key := string(r.Spec)
+			if rep.campaigns[key] == nil {
+				rep.campaigns[key] = newReplayCampaign()
+			}
+			cur = rep.campaigns[key]
+		case jLease:
+			if cur == nil {
+				continue
+			}
+			if r.Attempt > cur.attempts[r.Job] {
+				cur.attempts[r.Job] = r.Attempt
+			}
+			cur.workers[r.Job] = append(cur.workers[r.Job], r.Worker)
+		case jCkpt:
+			// The spool file is the source of truth for checkpoint data;
+			// the record only documents the transition.
+		case jDone:
+			if cur == nil || r.Log == nil {
+				continue
+			}
+			cur.done[r.Job] = r.Log
+		case jFail:
+			if cur == nil {
+				continue
+			}
+			cur.fails[r.Job]++
+		default:
+			// Unknown record types from a newer writer are tolerated.
+		}
+	}
+
+	if scan.TailErr != nil {
+		// Drop the torn tail so the append point is a record boundary.
+		if err := os.Truncate(path, scan.CleanLen); err != nil {
+			return nil, nil, fmt.Errorf("dist: truncating torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dist: opening journal: %w", err)
+	}
+	j := &journal{
+		dir: dir,
+		f:   f,
+		rw:  trace.NewRecordWriter(f, scan.CleanLen > 0),
+	}
+	return j, rep, nil
+}
+
+// append frames, writes and flushes one record; sync additionally
+// forces it to stable storage (the done-record policy). Callers
+// serialize through the coordinator's mutex.
+func (j *journal) append(r *jrec, sync bool) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if err := j.rw.Append(payload); err != nil {
+		return err
+	}
+	if err := j.rw.Flush(); err != nil {
+		return err
+	}
+	if sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.rw.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+func (j *journal) spoolPath(jobID string) string {
+	return filepath.Join(j.dir, "spool", jobID+".ckpt")
+}
+
+// spoolCheckpoint atomically replaces the job's spooled checkpoint:
+// the new snapshot is written CRC-framed to a temp file and renamed
+// over the old one, so the spool always holds a complete checkpoint —
+// at worst one generation stale, never torn.
+func (j *journal) spoolCheckpoint(jobID string, ckpt []byte) error {
+	final := j.spoolPath(jobID)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	rw := trace.NewRecordWriter(f, false)
+	if err := rw.Append(ckpt); err == nil {
+		err = rw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// loadSpool returns the job's spooled checkpoint, or nil if there is
+// none (or the file is unreadable/torn — the job then restarts from
+// its last journaled state instead, losing progress but not safety).
+func (j *journal) loadSpool(jobID string) []byte {
+	data, err := os.ReadFile(j.spoolPath(jobID))
+	if err != nil {
+		return nil
+	}
+	scan, err := trace.ScanRecords(bytes.NewReader(data))
+	if err != nil || scan.TailErr != nil || len(scan.Records) == 0 {
+		return nil
+	}
+	return scan.Records[len(scan.Records)-1]
+}
+
+func (j *journal) removeSpool(jobID string) {
+	_ = os.Remove(j.spoolPath(jobID))
+}
+
+// spooledJobs lists job IDs with a spooled checkpoint on disk.
+func (j *journal) spooledJobs() []string {
+	ents, err := os.ReadDir(filepath.Join(j.dir, "spool"))
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if filepath.Ext(name) == ".ckpt" {
+			out = append(out, name[:len(name)-len(".ckpt")])
+		}
+	}
+	return out
+}

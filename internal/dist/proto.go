@@ -52,6 +52,11 @@ type request struct {
 	Type  string `json:"type"`
 	Name  string `json:"name,omitempty"`  // hello: worker name
 	JobID string `json:"jobId,omitempty"` // beat/progress/result/fail
+	// Attempt echoes the lease attempt the worker was assigned, making
+	// result/fail handling idempotent by (job, attempt): a line from a
+	// lease the coordinator already retired is acked and dropped rather
+	// than applied twice. 0 (old workers) is treated as a wildcard.
+	Attempt int `json:"attempt,omitempty"`
 	// Ckpt is the JSON-encoded smd.PullCheckpoint on progress lines. It
 	// stays opaque to the coordinator, which only stores and forwards it.
 	Ckpt json.RawMessage `json:"ckpt,omitempty"`
@@ -77,8 +82,9 @@ type response struct {
 
 // wireJob identifies one pull assignment.
 type wireJob struct {
-	ID    string         `json:"id"`
-	Combo campaign.Combo `json:"combo"`
-	Seed  uint64         `json:"seed"`
-	Index int            `json:"index"`
+	ID      string         `json:"id"`
+	Combo   campaign.Combo `json:"combo"`
+	Seed    uint64         `json:"seed"`
+	Index   int            `json:"index"`
+	Attempt int            `json:"attempt,omitempty"` // lease attempt to echo back
 }

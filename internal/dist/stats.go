@@ -16,14 +16,32 @@ type Stats struct {
 	Checkpoints   int // progress messages that carried a checkpoint
 	BytesIn       int64
 	BytesOut      int64
+
+	// Crash-safety counters. All are live events observed by *this*
+	// coordinator process; the journal replay restores job state and
+	// per-job lease history but never inflates the live counters, so
+	// after a restart Resumes/Adoptions measure exactly the recovery
+	// work this process did.
+	Restarts                int   // journal opens that replayed prior state
+	ReplayedRecords         int   // journal records replayed at open
+	TruncatedTailBytes      int64 // torn journal tail dropped at open
+	DuplicateResultsDropped int   // retransmitted result/fail lines acked and dropped
+	Adoptions               int   // in-flight jobs re-leased to their live worker after restart/revocation
+	// TornTail is the typed error describing the journal tail dropped at
+	// the last recovery (errors.Is: trace.ErrTruncated for a crash cut,
+	// trace.ErrFormat for a corrupted record); nil if the tail was clean.
+	TornTail error
 }
 
-// JobStats is the per-job slice of the same counters.
+// JobStats is the per-job slice of the same counters. After a journal
+// recovery, Assignments/Retries/Workers include the replayed lease
+// history; Resumes and Adoptions count live events only.
 type JobStats struct {
 	ID            string
 	Assignments   int
 	Retries       int
 	Resumes       int
+	Adoptions     int
 	LeaseExpiries int
 	Workers       []string // every worker the job was leased to, in order
 }

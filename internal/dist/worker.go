@@ -26,6 +26,13 @@ type BuildFunc func(system json.RawMessage, c campaign.Combo, seed uint64) (*md.
 // errAbandoned aborts a pull whose lease the coordinator revoked.
 var errAbandoned = errors.New("dist: lease abandoned")
 
+// fatalError marks a coordinator reply that reconnecting cannot fix
+// (e.g. a rejected hello); the transport surfaces it without retrying.
+type fatalError struct{ err error }
+
+func (e fatalError) Error() string { return e.err.Error() }
+func (e fatalError) Unwrap() error { return e.err }
+
 // Worker executes jobs for a coordinator. Each of its Slots runs an
 // independent connection: request a job, pull it with periodic
 // checkpoint-carrying heartbeats, report the result, repeat until the
@@ -48,15 +55,21 @@ type Worker struct {
 	// Throttle, if set, sleeps this long at every checkpoint — a test
 	// and demo hook that makes jobs slow enough to observe mid-flight.
 	Throttle time.Duration
-	// Reconnect makes sessions re-dial after transport errors — daemon
-	// semantics. A session gives up once it has been failing for longer
-	// than ReconnectWindow without a successful hello, so workers don't
-	// spin forever after their coordinator is gone for good. Off, the
-	// first transport error ends the session with that error.
+	// Reconnect makes the transport self-healing — daemon semantics.
+	// Every request (including an unacknowledged result held in the
+	// session's outbox) is retried across re-dials with exponential
+	// backoff; the coordinator's (job, attempt) idempotency makes the
+	// retransmits safe. A session gives up once it has been failing for
+	// longer than ReconnectWindow without a successful hello, so workers
+	// don't spin forever after their coordinator is gone for good. Off,
+	// the first transport error ends the session with that error.
 	Reconnect bool
 	// ReconnectWindow bounds consecutive reconnect failures
 	// (default 10s).
 	ReconnectWindow time.Duration
+	// ReconnectBackoffMax caps the exponential re-dial backoff
+	// (default 1s; the first retry waits half a BeatInterval).
+	ReconnectBackoffMax time.Duration
 	// Dial overrides the transport (tests wrap QoS shims here).
 	// Default: net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
@@ -74,6 +87,20 @@ func (w *Worker) checkpointEvery() int {
 		return w.CheckpointEvery
 	}
 	return 8
+}
+
+func (w *Worker) reconnectWindow() time.Duration {
+	if w.ReconnectWindow > 0 {
+		return w.ReconnectWindow
+	}
+	return 10 * time.Second
+}
+
+func (w *Worker) reconnectBackoffMax() time.Duration {
+	if w.ReconnectBackoffMax > 0 {
+		return w.ReconnectBackoffMax
+	}
+	return time.Second
 }
 
 func (w *Worker) dial() (net.Conn, error) {
@@ -111,92 +138,166 @@ func (w *Worker) Run(ctx context.Context) error {
 	return nil
 }
 
-func (w *Worker) reconnectWindow() time.Duration {
-	if w.ReconnectWindow > 0 {
-		return w.ReconnectWindow
-	}
-	return 10 * time.Second
+// rtConn is one session's transport: a JSON-lines connection that
+// (with Reconnect) transparently re-dials and re-hellos after failures.
+// Retrying a request across a reconnect may deliver it twice — once on
+// the dying conn, once on the fresh one — which is exactly the
+// duplicate-delivery case the coordinator's idempotency rules absorb.
+type rtConn struct {
+	w    *Worker
+	name string
+
+	conn     net.Conn
+	dec      *json.Decoder
+	enc      *json.Encoder
+	connDone chan struct{} // stops the ctx watcher for the current conn
+
+	system       json.RawMessage // coordinator's payload from the last hello
+	failingSince time.Time       // first failure of the current outage; zero when healthy
 }
 
-// runSession is one connection's lifetime: dial, hello, work the queue,
-// and (with Reconnect) re-dial after transport hiccups.
-func (w *Worker) runSession(ctx context.Context, name string) error {
-	var failingSince time.Time
-	for {
-		connected, err := w.workOnce(ctx, name)
-		if err == nil || ctx.Err() != nil {
-			return nil
-		}
-		if !w.Reconnect {
-			return err
-		}
-		if connected {
-			failingSince = time.Time{}
-		}
-		if failingSince.IsZero() {
-			failingSince = time.Now()
-		} else if time.Since(failingSince) > w.reconnectWindow() {
-			return err
-		}
-		select {
-		case <-ctx.Done():
-			return nil
-		case <-time.After(w.beatInterval()):
-		}
-	}
-}
-
-// workOnce runs a single connection until drain (nil) or failure. The
-// connected result reports whether the hello round-trip succeeded, so
-// the reconnect loop can distinguish a live-then-dropped coordinator
-// from one that was never there.
-func (w *Worker) workOnce(ctx context.Context, name string) (connected bool, _ error) {
-	conn, err := w.dial()
+// connect dials and performs the hello handshake, installing a watcher
+// that closes the conn when ctx is cancelled (unparking blocked I/O).
+func (c *rtConn) connect(ctx context.Context) error {
+	conn, err := c.w.dial()
 	if err != nil {
-		return false, fmt.Errorf("dist: dial %s: %w", w.Addr, err)
+		return fmt.Errorf("dist: dial %s: %w", c.w.Addr, err)
 	}
-	defer conn.Close()
-	// Unblock any pending read/write when the context is cancelled.
-	watchDone := make(chan struct{})
-	defer close(watchDone)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(&request{Type: msgHello, Name: c.name}); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	var hello response
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	if hello.Err != "" {
+		conn.Close()
+		return fatalError{errors.New(hello.Err)}
+	}
+	done := make(chan struct{})
 	go func() {
 		select {
 		case <-ctx.Done():
 			conn.Close()
-		case <-watchDone:
+		case <-done:
 		}
 	}()
+	c.conn, c.dec, c.enc, c.connDone = conn, dec, enc, done
+	c.system = hello.System
+	c.failingSince = time.Time{}
+	return nil
+}
 
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	roundTrip := func(req *request) (*response, error) {
-		if err := enc.Encode(req); err != nil {
+// drop discards the current connection (if any).
+func (c *rtConn) drop() {
+	if c.conn == nil {
+		return
+	}
+	close(c.connDone)
+	c.conn.Close()
+	c.conn = nil
+}
+
+// retry reports whether the transport should keep trying after err,
+// sleeping the (doubling) backoff if so.
+func (c *rtConn) retry(ctx context.Context, backoff *time.Duration) bool {
+	if !c.w.Reconnect || ctx.Err() != nil {
+		return false
+	}
+	if c.failingSince.IsZero() {
+		c.failingSince = time.Now()
+	} else if time.Since(c.failingSince) > c.w.reconnectWindow() {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(*backoff):
+	}
+	if *backoff *= 2; *backoff > c.w.reconnectBackoffMax() {
+		*backoff = c.w.reconnectBackoffMax()
+	}
+	return true
+}
+
+// roundTrip sends one request and reads its reply, reconnecting and
+// retransmitting as allowed by the worker's Reconnect policy.
+func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error) {
+	backoff := c.w.beatInterval() / 2
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if c.conn == nil {
+			if err := c.connect(ctx); err != nil {
+				var fe fatalError
+				if errors.As(err, &fe) {
+					return nil, fe.err
+				}
+				if !c.retry(ctx, &backoff) {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if err := c.enc.Encode(req); err != nil {
+			c.drop()
+			if !c.retry(ctx, &backoff) {
+				return nil, err
+			}
+			continue
+		}
 		var resp response
-		if err := dec.Decode(&resp); err != nil {
-			return nil, err
+		if err := c.dec.Decode(&resp); err != nil {
+			// The request may or may not have been applied; the retry
+			// after reconnecting retransmits it and the coordinator
+			// dedups by (job, attempt).
+			c.drop()
+			if !c.retry(ctx, &backoff) {
+				return nil, err
+			}
+			continue
 		}
 		return &resp, nil
 	}
+}
 
-	hello, err := roundTrip(&request{Type: msgHello, Name: name})
-	if err != nil {
-		return false, fmt.Errorf("dist: hello: %w", err)
-	}
-	if hello.Err != "" {
-		return true, errors.New(hello.Err)
-	}
-	system := hello.System
-
+// runSession is one slot's lifetime: keep a transport alive, retransmit
+// anything unacknowledged, and work the queue until drained.
+func (w *Worker) runSession(ctx context.Context, name string) error {
+	c := &rtConn{w: w, name: name}
+	defer c.drop()
+	// outbox holds result/fail lines the coordinator has not yet
+	// acknowledged. Any reply (ok, even ok-with-err) acknowledges the
+	// line; transport errors keep it queued across reconnects.
+	var outbox []*request
 	for ctx.Err() == nil {
-		resp, err := roundTrip(&request{Type: msgNext})
+		for len(outbox) > 0 {
+			if _, err := c.roundTrip(ctx, outbox[0]); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("dist: reporting %s: %w", outbox[0].JobID, err)
+			}
+			outbox = outbox[1:]
+		}
+		resp, err := c.roundTrip(ctx, &request{Type: msgNext})
 		if err != nil {
-			return true, fmt.Errorf("dist: next: %w", err)
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("dist: next: %w", err)
 		}
 		switch resp.Type {
 		case msgDrained:
-			return true, nil
+			return nil
 		case msgWait:
 			delay := time.Duration(resp.DelayMs) * time.Millisecond
 			if delay <= 0 {
@@ -204,38 +305,50 @@ func (w *Worker) workOnce(ctx context.Context, name string) (connected bool, _ e
 			}
 			select {
 			case <-ctx.Done():
-				return true, nil
+				return nil
 			case <-time.After(delay):
 			}
 		case msgAssign:
 			if resp.Spec == nil {
-				return true, errors.New("dist: assign without campaign spec")
+				return errors.New("dist: assign without campaign spec")
 			}
-			if err := w.runJob(ctx, *resp.Spec, system, resp, roundTrip); err != nil {
-				return true, err
+			unacked, err := w.runJob(ctx, *resp.Spec, c, resp)
+			if unacked != nil {
+				outbox = append(outbox, unacked)
+			}
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
 			}
 		default:
-			return true, fmt.Errorf("dist: unexpected reply %q to next", resp.Type)
+			return fmt.Errorf("dist: unexpected reply %q to next", resp.Type)
 		}
 	}
-	return true, nil
+	return nil
 }
 
 // runJob executes one assignment, heartbeating while the pull runs in a
 // separate goroutine. The connection is only ever touched from this
 // goroutine, preserving the strict one-request-one-response framing.
-func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, system json.RawMessage, assign *response, roundTrip func(*request) (*response, error)) error {
+// The finished job's result (or fail) line is returned as unacked for
+// the session's outbox rather than sent here, so a coordinator outage
+// at the worst moment — result computed, ack never seen — is retried
+// until some coordinator acknowledges it.
+func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assign *response) (unacked *request, _ error) {
 	jb := assign.Job
 	if jb == nil {
-		return errors.New("dist: assign without job")
+		return nil, errors.New("dist: assign without job")
 	}
 	task := campaign.Task{Combo: jb.Combo, Seed: jb.Seed, Index: jb.Index}
+	system := c.system
 
 	opts := smd.RunOpts{CheckpointEvery: w.checkpointEvery()}
 	if len(assign.Resume) > 0 {
 		var ck smd.PullCheckpoint
 		if err := json.Unmarshal(assign.Resume, &ck); err != nil {
-			return fmt.Errorf("dist: decoding resume checkpoint for %s: %w", jb.ID, err)
+			return nil, fmt.Errorf("dist: decoding resume checkpoint for %s: %w", jb.ID, err)
 		}
 		opts.Resume = &ck
 	}
@@ -285,40 +398,44 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, system json.Raw
 		select {
 		case res := <-resCh:
 			if errors.Is(res.err, errAbandoned) {
-				return nil
+				return nil, nil
 			}
-			req := &request{Type: msgResult, JobID: jb.ID, Log: res.log}
+			req := &request{Type: msgResult, JobID: jb.ID, Attempt: jb.Attempt, Log: res.log}
 			if res.err != nil {
-				req = &request{Type: msgFail, JobID: jb.ID, Err: res.err.Error()}
+				req = &request{Type: msgFail, JobID: jb.ID, Attempt: jb.Attempt, Err: res.err.Error()}
 			}
-			if _, err := roundTrip(req); err != nil {
-				return fmt.Errorf("dist: reporting %s: %w", jb.ID, err)
-			}
-			return nil
+			return req, nil
 		case <-beat.C:
-			req := &request{Type: msgBeat, JobID: jb.ID}
+			req := &request{Type: msgBeat, JobID: jb.ID, Attempt: jb.Attempt}
 			select {
 			case b := <-ckptCh:
-				req = &request{Type: msgProgress, JobID: jb.ID, Ckpt: b}
+				req = &request{Type: msgProgress, JobID: jb.ID, Attempt: jb.Attempt, Ckpt: b}
 			default:
 			}
-			resp, err := roundTrip(req)
+			// With Reconnect on, this round-trip rides out coordinator
+			// downtime internally (re-dial + retransmit) while the pull
+			// keeps computing; a restarted coordinator adopts the lease
+			// when the beat lands.
+			resp, err := c.roundTrip(ctx, req)
 			if err != nil {
-				// Transport gone: stop the pull before surfacing the
-				// error so the goroutine doesn't linger.
+				// Transport gone for good: stop the pull before
+				// surfacing the error so the goroutine doesn't linger.
 				abandoned.Store(true)
 				<-resCh
-				return fmt.Errorf("dist: heartbeat %s: %w", jb.ID, err)
+				if ctx.Err() != nil {
+					return nil, nil
+				}
+				return nil, fmt.Errorf("dist: heartbeat %s: %w", jb.ID, err)
 			}
 			if resp.Type == msgAbandon {
 				abandoned.Store(true)
 				<-resCh
-				return nil
+				return nil, nil
 			}
 		case <-ctx.Done():
 			abandoned.Store(true)
 			<-resCh
-			return nil
+			return nil, nil
 		}
 	}
 }

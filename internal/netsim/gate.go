@@ -1,0 +1,176 @@
+package netsim
+
+// Gate models hard network partitions — the failure mode the paper's
+// §V catalogue keeps returning to (site quarantines, firewall cutovers,
+// operator error on manual reservations) and the one QoS shims cannot
+// express: not a slow path, a *dead* one. During a blackhole window
+// every wrapped connection is severed, every gated dial is refused, and
+// after the window (or an explicit Heal) fresh connections flow again.
+// The dist chaos tests drive worker links through Gates to prove the
+// outbox/reconnect machinery rides out coordinator-side downtime.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned is returned by reads, writes and dials attempted while
+// the gate's blackhole window is open.
+var ErrPartitioned = errors.New("netsim: partitioned")
+
+// Gate injects partition windows onto the connections and dialers it
+// wraps. The zero value is an open (healthy) gate; all methods are
+// safe for concurrent use.
+type Gate struct {
+	mu      sync.Mutex
+	until   time.Time // end of the current window; zero = no window
+	forever bool      // window open until Heal
+	conns   map[*gatedConn]struct{}
+}
+
+// NewGate returns a healthy gate.
+func NewGate() *Gate { return &Gate{} }
+
+// Blackhole opens a partition window: every live gated connection is
+// severed immediately and every read, write or dial through the gate
+// fails with ErrPartitioned until the window ends. d > 0 heals
+// automatically after d; d <= 0 keeps the partition up until Heal.
+func (g *Gate) Blackhole(d time.Duration) {
+	g.mu.Lock()
+	if d > 0 {
+		g.until = time.Now().Add(d)
+		g.forever = false
+	} else {
+		g.forever = true
+	}
+	sever := make([]*gatedConn, 0, len(g.conns))
+	for c := range g.conns {
+		sever = append(sever, c)
+	}
+	g.conns = nil
+	g.mu.Unlock()
+	// Close outside the lock: Close unblocks reads parked in c.Conn.
+	for _, c := range sever {
+		c.sever()
+	}
+}
+
+// Heal closes the window early (or ends an indefinite one). New
+// connections succeed immediately; severed ones stay dead — partition
+// recovery is a reconnect, exactly like the real network.
+func (g *Gate) Heal() {
+	g.mu.Lock()
+	g.until = time.Time{}
+	g.forever = false
+	g.mu.Unlock()
+}
+
+// Partitioned reports whether the blackhole window is currently open.
+func (g *Gate) Partitioned() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.partitionedLocked()
+}
+
+func (g *Gate) partitionedLocked() bool {
+	return g.forever || (!g.until.IsZero() && time.Now().Before(g.until))
+}
+
+// Wrap gates conn. A connection wrapped while the window is open is
+// severed on first use.
+func (g *Gate) Wrap(conn net.Conn) net.Conn {
+	gc := &gatedConn{Conn: conn, g: g}
+	g.mu.Lock()
+	if g.conns == nil {
+		g.conns = make(map[*gatedConn]struct{})
+	}
+	g.conns[gc] = struct{}{}
+	g.mu.Unlock()
+	return gc
+}
+
+// Dial wraps a dialer so dials fail with ErrPartitioned while the
+// window is open and successful connections are gated thereafter. A nil
+// dial uses net.Dial("tcp", addr).
+func (g *Gate) Dial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return func(addr string) (net.Conn, error) {
+		if g.Partitioned() {
+			return nil, ErrPartitioned
+		}
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return g.Wrap(conn), nil
+	}
+}
+
+func (g *Gate) drop(gc *gatedConn) {
+	g.mu.Lock()
+	delete(g.conns, gc)
+	g.mu.Unlock()
+}
+
+// gatedConn is one partition-aware connection.
+type gatedConn struct {
+	net.Conn
+	g      *Gate
+	mu     sync.Mutex
+	severd bool
+}
+
+// sever marks the conn dead and closes the transport so blocked I/O
+// unparks with an error.
+func (gc *gatedConn) sever() {
+	gc.mu.Lock()
+	gc.severd = true
+	gc.mu.Unlock()
+	_ = gc.Conn.Close()
+}
+
+func (gc *gatedConn) dead() bool {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.severd {
+		return true
+	}
+	if gc.g.Partitioned() {
+		gc.severd = true
+		// Unpark any blocked peer I/O, then report the partition.
+		_ = gc.Conn.Close()
+		return true
+	}
+	return false
+}
+
+func (gc *gatedConn) Read(p []byte) (int, error) {
+	if gc.dead() {
+		return 0, ErrPartitioned
+	}
+	n, err := gc.Conn.Read(p)
+	if err != nil && gc.dead() {
+		return n, ErrPartitioned
+	}
+	return n, err
+}
+
+func (gc *gatedConn) Write(p []byte) (int, error) {
+	if gc.dead() {
+		return 0, ErrPartitioned
+	}
+	n, err := gc.Conn.Write(p)
+	if err != nil && gc.dead() {
+		return n, ErrPartitioned
+	}
+	return n, err
+}
+
+func (gc *gatedConn) Close() error {
+	gc.g.drop(gc)
+	return gc.Conn.Close()
+}

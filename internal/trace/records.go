@@ -1,0 +1,160 @@
+package trace
+
+// Append-only record streams: the framing the dist coordinator's
+// write-ahead journal and checkpoint spool are built on. A stream is a
+// magic header followed by [length][crc32][payload] records, so a
+// reader can always tell a cleanly-ended file from one cut short by a
+// crashed writer — the same torn-tail discipline the checkpoint reader
+// applies, factored out so every durable dist artifact shares it.
+//
+// The crucial property is that ScanRecords never returns garbage: it
+// yields the longest clean prefix of records plus the byte offset where
+// that prefix ends, and reports anything after it (a half-written
+// record, a corrupted CRC) as a typed tail error. Recovery truncates at
+// the clean offset and appends from there.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	recordMagic = "SPJNL1"
+	// maxRecordLen bounds a single record so a corrupted length field
+	// cannot drive a multi-gigabyte allocation.
+	maxRecordLen = 64 << 20
+)
+
+// RecordWriter appends framed records to w. It buffers internally;
+// call Flush before relying on the bytes having reached w.
+type RecordWriter struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+// NewRecordWriter returns a writer that emits the stream magic before
+// the first record. Pass continuing=true when appending to a stream
+// whose magic is already on disk (a reopened journal).
+func NewRecordWriter(w io.Writer, continuing bool) *RecordWriter {
+	return &RecordWriter{w: bufio.NewWriter(w), wrote: continuing}
+}
+
+// Append frames one record. Empty payloads are legal.
+func (rw *RecordWriter) Append(payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return fmt.Errorf("trace: record of %d bytes exceeds limit: %w", len(payload), ErrFormat)
+	}
+	if !rw.wrote {
+		if _, err := rw.w.WriteString(recordMagic); err != nil {
+			return err
+		}
+		rw.wrote = true
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := rw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := rw.w.Write(payload)
+	return err
+}
+
+// Flush pushes buffered records to the underlying writer.
+func (rw *RecordWriter) Flush() error { return rw.w.Flush() }
+
+// RecordScan is the result of reading a record stream defensively.
+type RecordScan struct {
+	// Records is the longest clean prefix of intact records.
+	Records [][]byte
+	// CleanLen is the byte offset where that prefix ends — the length
+	// a recovering writer should truncate the file to before appending.
+	CleanLen int64
+	// TailErr is nil for a cleanly-ended stream. A stream cut mid-record
+	// (crashed writer, partial transfer) yields ErrTruncated; a record
+	// whose CRC or length field is corrupt yields ErrFormat. Both wrap
+	// the sentinel, so errors.Is works.
+	TailErr error
+	// TornBytes is how many trailing bytes the tail error covers.
+	TornBytes int64
+}
+
+// ScanRecords reads a record stream to its end, tolerating a torn tail.
+// A completely empty input is a fresh stream: zero records, CleanLen 0,
+// no error. A stream that does not start with the record magic is
+// foreign and yields ErrFormat as a hard error (not a RecordScan), so
+// callers never truncate a file they do not own.
+func ScanRecords(r io.Reader) (*RecordScan, error) {
+	br := bufio.NewReader(r)
+	scan := &RecordScan{}
+	magic := make([]byte, len(recordMagic))
+	n, err := io.ReadFull(br, magic)
+	if err == io.EOF && n == 0 {
+		return scan, nil // fresh stream
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// A few bytes of magic then nothing: torn before the first record.
+		scan.TailErr = ErrTruncated
+		scan.TornBytes = int64(n)
+		return scan, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != recordMagic {
+		return nil, fmt.Errorf("trace: not a record stream: %w", ErrFormat)
+	}
+	offset := int64(len(recordMagic))
+	scan.CleanLen = offset
+	for {
+		var hdr [8]byte
+		n, err := io.ReadFull(br, hdr[:])
+		if err == io.EOF && n == 0 {
+			return scan, nil // clean end at a record boundary
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			scan.TailErr = ErrTruncated
+			scan.TornBytes = int64(n)
+			return scan, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordLen {
+			// A corrupt length field: everything from here on is suspect.
+			scan.TailErr = fmt.Errorf("trace: record length %d exceeds limit: %w", length, ErrFormat)
+			scan.TornBytes = countRemaining(br, int64(len(hdr)))
+			return scan, nil
+		}
+		payload := make([]byte, length)
+		pn, err := io.ReadFull(br, payload)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			scan.TailErr = ErrTruncated
+			scan.TornBytes = int64(len(hdr) + pn)
+			return scan, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			scan.TailErr = fmt.Errorf("trace: record checksum mismatch: %w", ErrFormat)
+			scan.TornBytes = countRemaining(br, int64(len(hdr))+int64(length))
+			return scan, nil
+		}
+		scan.Records = append(scan.Records, payload)
+		offset += int64(len(hdr)) + int64(length)
+		scan.CleanLen = offset
+	}
+}
+
+// countRemaining drains br and returns consumed + whatever was left,
+// sizing the torn region behind a corrupt record header.
+func countRemaining(br *bufio.Reader, consumed int64) int64 {
+	n, _ := io.Copy(io.Discard, br)
+	return consumed + n
+}

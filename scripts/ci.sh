@@ -19,6 +19,14 @@ echo "== dist multi-process integration (-race) =="
 # another process; the merged PMF must be bit-identical to a local run.
 go test -race -run 'TestEndToEndWorkerProcesses' -count=1 -v ./internal/dist
 
+echo "== dist chaos recovery (-race) =="
+# Crash-safety e2e: a spice -coordinator -state process is SIGKILLed
+# mid-campaign and restarted over the same state directory while one
+# worker is partitioned and another retransmits a duplicate result; the
+# recovered PMF must be bit-identical and no spooled job may restart
+# from step 0.
+go test -race -run 'TestChaosCoordinatorKillRecovery' -count=1 -v ./internal/dist
+
 echo "== bench smoke (benchtime=1x) =="
 go test -run '^$' -bench 'Ablation' -benchtime 1x -benchmem .
 
