@@ -21,8 +21,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"spice/internal/core"
 	"spice/internal/dist"
@@ -51,6 +53,13 @@ func main() {
 		frames     = flag.Int("frames", 100, "IMD frames to serve")
 		coordAddr  = flag.String("coordinator", "", "distribute pulls: listen on this address for spiced workers (-workers then spawns in-process ones)")
 		stateDir   = flag.String("state", "", "with -coordinator: journal job state under this directory so a killed coordinator can be restarted with the same -state and resume the campaign")
+
+		// Federation-resilience knobs (all scoped to -coordinator).
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive failure strikes (fails, lease expiries, disconnects) before a site's circuit breaker opens and it stops receiving work (0 disables)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "quarantine before an open site is re-probed with a single job (0 = 2x the lease TTL)")
+		hedgeFraction    = flag.Float64("hedge-fraction", 0.3, "hedge a job speculatively onto a second site when its checkpoint rate falls below this fraction of the fleet median; first finished attempt wins (0 disables)")
+		hedgeStall       = flag.Duration("hedge-stall", 0, "also hedge a job whose step counter has not advanced for this long while still heartbeating (0 disables)")
+		ioTimeout        = flag.Duration("io-timeout", 30*time.Second, "read/write deadline armed before every I/O on every worker connection, so a half-open peer times out instead of wedging a reader (0 disables)")
 	)
 	flag.Parse()
 
@@ -87,6 +96,20 @@ func main() {
 		co, cancel, err = startCoordinator(*coordAddr, *stateDir, &cfg.System, *workers)
 		if err != nil {
 			log.Fatal(err)
+		}
+		// Resilience knobs. The flags default the hedging on; at the
+		// library level it is opt-in (zero value = off), and "0 disables"
+		// maps onto the negative sentinels.
+		co.BreakerThreshold = *breakerThreshold
+		if *breakerThreshold <= 0 {
+			co.BreakerThreshold = -1
+		}
+		co.BreakerCooldown = *breakerCooldown
+		co.HedgeFraction = *hedgeFraction
+		co.HedgeStall = *hedgeStall
+		co.IOTimeout = *ioTimeout
+		if *ioTimeout <= 0 {
+			co.IOTimeout = -1
 		}
 		defer cancel()
 		defer co.Close()
@@ -182,6 +205,33 @@ func printDistStats(co *dist.Coordinator) {
 	}
 	if st.TornTail != nil {
 		fmt.Printf("dist recovery: dropped %d-byte torn journal tail (%v)\n", st.TruncatedTailBytes, st.TornTail)
+	}
+	if st.StragglersDetected > 0 || st.SpeculationsLaunched > 0 || st.BreakerTrips > 0 {
+		fmt.Printf("dist resilience: %d straggler(s), %d speculation(s) (%d won, %d wasted), %d breaker trip(s) / %d probe(s) / %d close(s)\n",
+			st.StragglersDetected, st.SpeculationsLaunched, st.SpeculationsWon, st.SpeculationsWasted,
+			st.BreakerTrips, st.BreakerProbes, st.BreakerCloses)
+	}
+	printSiteStats(co.SiteStats())
+}
+
+// printSiteStats renders the per-site health table — one row per
+// federation site, skipped when everything ran as a single site.
+func printSiteStats(sites map[string]dist.SiteStats) {
+	if len(sites) < 2 {
+		return
+	}
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-16s %7s %7s %7s %8s %9s %9s %10s %12s\n",
+		"site", "leased", "done", "failed", "expired", "spec won", "spec lost", "breaker", "rate (st/s)")
+	for _, name := range names {
+		s := sites[name]
+		fmt.Printf("%-16s %7d %7d %7d %8d %9d %9d %10s %12.0f\n",
+			s.Site, s.Assignments, s.Completions, s.Failures, s.LeaseExpiries,
+			s.SpecWon, s.SpecLost, s.Breaker, s.RateEWMA)
 	}
 }
 

@@ -33,6 +33,8 @@ func main() {
 	var (
 		coordinator = flag.String("coordinator", "", "coordinator address to pull jobs from (required)")
 		name        = flag.String("name", "", "worker name in coordinator stats (default hostname)")
+		site        = flag.String("site", "", "federation site identity: the grain at which the coordinator tracks health, trips circuit breakers, and places speculative hedges; every spiced on one machine/cluster should share it (default: worker name)")
+		ioTimeout   = flag.Duration("io-timeout", 30*time.Second, "read/write deadline armed before every I/O on the coordinator connection, so a half-open peer times out instead of wedging (0 disables)")
 		slots       = flag.Int("slots", 1, "jobs to run concurrently")
 		beat        = flag.Duration("beat", 200*time.Millisecond, "lease heartbeat period")
 		ckptEvery   = flag.Int("ckpt-every", 8, "recorded samples between streamed checkpoints")
@@ -55,6 +57,7 @@ func main() {
 
 	w := &dist.Worker{
 		Name:                *name,
+		Site:                *site,
 		Addr:                *coordinator,
 		Slots:               *slots,
 		Build:               core.BuildFromJSON,
@@ -64,12 +67,20 @@ func main() {
 		Reconnect:           true,
 		ReconnectWindow:     *window,
 		ReconnectBackoffMax: *backoffMax,
+		IOTimeout:           *ioTimeout,
+	}
+	if *ioTimeout <= 0 {
+		w.IOTimeout = -1 // flag 0 means off; the zero value means default
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("spiced %s: %d slot(s), pulling from %s\n", *name, *slots, *coordinator)
+	siteName := *site
+	if siteName == "" {
+		siteName = *name
+	}
+	fmt.Printf("spiced %s (site %s): %d slot(s), pulling from %s\n", *name, siteName, *slots, *coordinator)
 	if err := w.Run(ctx); err != nil {
 		log.Fatal(err)
 	}

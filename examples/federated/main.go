@@ -18,6 +18,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
+	"time"
 
 	"spice/internal/campaign"
 	"spice/internal/core"
@@ -80,7 +82,12 @@ func main() {
 	// resumes elsewhere. The merged result must match the local run
 	// bit-for-bit. StateDir makes the campaign crash-safe: job state is
 	// journaled so a coordinator killed mid-sweep can be restarted over
-	// the same directory and resume instead of starting over.
+	// the same directory and resume instead of starting over. Each worker
+	// carries a site identity mirroring the federation above, the "uk"
+	// site is artificially throttled, and the coordinator's resilience
+	// layer — per-site circuit breakers plus straggler hedging — is free
+	// to re-execute crawling jobs speculatively on a healthier site;
+	// determinism makes the duplicated work invisible in the output.
 	fmt.Println("\nre-executing the sweep over the dist coordinator/worker runtime...")
 	sysJSON, err := json.Marshal(cfg.System)
 	if err != nil {
@@ -95,15 +102,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	co := &dist.Coordinator{Listener: ln, System: sysJSON, StateDir: stateDir}
+	co := &dist.Coordinator{
+		Listener:      ln,
+		System:        sysJSON,
+		StateDir:      stateDir,
+		HedgeFraction: 0.3,
+		HedgeAfter:    200 * time.Millisecond,
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	for i := 0; i < 3; i++ {
+	for i, site := range []string{"us-east", "us-west", "uk"} {
 		w := &dist.Worker{
-			Name:      fmt.Sprintf("site-%d", i),
-			Addr:      ln.Addr().String(),
-			Build:     core.BuildFromJSON,
-			Reconnect: true,
+			Name:            fmt.Sprintf("%s-0", site),
+			Site:            site,
+			Addr:            ln.Addr().String(),
+			Build:           core.BuildFromJSON,
+			BeatInterval:    20 * time.Millisecond,
+			CheckpointEvery: 1,
+			Reconnect:       true,
+		}
+		if i == 2 {
+			// The degraded-but-alive site: heartbeats on time, progress
+			// at a crawl — the shape that triggers a speculative hedge.
+			w.Throttle = 40 * time.Millisecond
 		}
 		go w.Run(ctx)
 	}
@@ -128,7 +149,24 @@ func main() {
 		st.Jobs, st.Assignments, st.Retries, st.Resumes, st.BytesIn/1024, st.BytesOut/1024)
 	fmt.Printf("  crash-safety journal: %d restart(s), %d records replayed, %d adoptions, %d duplicates dropped\n",
 		st.Restarts, st.ReplayedRecords, st.Adoptions, st.DuplicateResultsDropped)
+	fmt.Printf("  resilience: %d straggler(s) flagged, %d speculation(s) launched (%d won, %d wasted), %d breaker trip(s)\n",
+		st.StragglersDetected, st.SpeculationsLaunched, st.SpeculationsWon, st.SpeculationsWasted, st.BreakerTrips)
 	fmt.Printf("  distributed PMF bit-identical to local run: %v\n", identical)
+
+	// Per-site health, the coordinator's live model of the fleet.
+	sites := co.SiteStats()
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n  %-10s %7s %7s %9s %9s %10s %12s\n",
+		"site", "leased", "done", "spec won", "spec lost", "breaker", "rate (st/s)")
+	for _, name := range names {
+		s := sites[name]
+		fmt.Printf("  %-10s %7d %7d %9d %9d %10s %12.0f\n",
+			s.Site, s.Assignments, s.Completions, s.SpecWon, s.SpecLost, s.Breaker, s.RateEWMA)
+	}
 
 	// SMD-JE vs vanilla accounting (§II's 50-100x claim).
 	vanilla := cm.VanillaCPUHours(10)

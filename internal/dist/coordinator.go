@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"sync"
 	"time"
@@ -26,6 +27,15 @@ import (
 // serving between campaigns (workers idle on wait replies), so a
 // pipeline like core.RunSweep can issue several campaigns over one
 // worker fleet. Close tells workers to drain and shuts the server down.
+//
+// Beyond hard worker death (leases + heartbeats), the coordinator
+// defends against the paper's §V degraded-but-alive pathologies:
+// per-site circuit breakers quarantine sites that keep failing or
+// blackholing (site.go), straggler detection hedges crawling jobs with
+// a speculative second lease on another site — safe because pulls are
+// bit-exact deterministic, so the losing attempt's bytes are identical
+// and simply dropped — and every connection carries per-I/O deadlines
+// so a half-open TCP peer can never wedge a reader forever.
 type Coordinator struct {
 	// Listener is where workers connect. Required.
 	Listener net.Listener
@@ -39,7 +49,9 @@ type Coordinator struct {
 	LeaseTTL time.Duration
 	// RetryBase and RetryMax bound the exponential backoff applied
 	// before a revoked or failed job becomes runnable again
-	// (defaults 50ms, 2s).
+	// (defaults 50ms, 2s). The delay carries deterministic per-(job,
+	// attempt) jitter so a mass lease-expiry event — every job revoked
+	// at once when a coordinator restarts — does not retry in lockstep.
 	RetryBase time.Duration
 	RetryMax  time.Duration
 	// MaxAttempts caps lease grants per job before the campaign is
@@ -57,10 +69,41 @@ type Coordinator struct {
 	// Empty means in-memory only (the pre-journal behavior).
 	StateDir string
 
+	// BreakerThreshold is the consecutive-failure strike count (explicit
+	// fails, lease expiries, disconnects with an active lease, lost
+	// speculations with streamed progress) that opens a site's circuit
+	// breaker. 0 defaults to 3; negative disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker quarantines its site
+	// before admitting a single half-open probe job (default 2×LeaseTTL).
+	BreakerCooldown time.Duration
+	// HedgeFraction enables rate-based straggler detection: a job whose
+	// checkpoint-derived steps/sec falls below this fraction of the
+	// fleet-median site rate gets a speculative second lease on a
+	// different site — first finished attempt wins, the loser is dropped
+	// through the (job, attempt) idempotency. 0 (the zero value)
+	// disables rate hedging; 0.3 is a sensible production setting.
+	HedgeFraction float64
+	// HedgeStall enables stall-based straggler detection: a lease whose
+	// step counter has not advanced for this long (while still
+	// heartbeating — alive but stuck, e.g. behind a congested link) is
+	// hedged the same way. 0 disables stall hedging.
+	HedgeStall time.Duration
+	// HedgeAfter is the minimum lease age before either hedge trigger
+	// may fire, so short jobs never get duplicated (default LeaseTTL/2).
+	HedgeAfter time.Duration
+	// IOTimeout arms a fresh read/write deadline before every I/O call
+	// on every worker connection (netutil.WithDeadlines): a peer that
+	// stops making byte progress for this long is treated as dead
+	// instead of wedging its reader. 0 defaults to 30s; negative
+	// disables the deadlines.
+	IOTimeout time.Duration
+
 	mu       sync.Mutex
 	journal  *journal
 	replay   *journalReplay
 	doneJobs map[string]bool // every job this process has accepted (or replayed) a result for
+	sites    map[string]*siteHealth
 
 	camp        *campaignRun
 	closed      bool
@@ -102,23 +145,53 @@ const (
 	stateDone
 )
 
+// lease is one live grant of a job to a worker connection. A job
+// normally has one; a straggling job may briefly carry two — the
+// original and a speculative hedge on a different site.
+type lease struct {
+	owner       *connState
+	worker      string
+	site        string
+	attempt     int
+	speculative bool
+	granted     time.Time
+	lastBeat    time.Time
+
+	// checkpoint-derived progress, for straggler detection
+	steps    int       // latest step count streamed by this lease
+	stepsAt  time.Time // when steps last advanced (granted until then)
+	rate     float64   // EWMA steps/sec
+	haveRate bool
+}
+
 // job is one schedulable pull and its scheduling history.
 type job struct {
 	id        string
 	task      campaign.Task
 	state     jobState
-	owner     *connState // current lease holder's connection
-	worker    string
-	lastBeat  time.Time
+	leases    []*lease
 	notBefore time.Time
-	attempts  int             // lease grants so far
-	ckpt      json.RawMessage // latest checkpoint streamed back
+	attempts  int // lease grants so far
+	straggler bool
+	ckpt      json.RawMessage // latest (farthest) checkpoint streamed back
+	ckptSteps int             // step count inside ckpt, for farthest-wins
 	log       *trace.WorkLog
+}
+
+// leaseOf returns the job's lease held by cs, if any.
+func (j *job) leaseOf(cs *connState) *lease {
+	for _, l := range j.leases {
+		if l.owner == cs {
+			return l
+		}
+	}
+	return nil
 }
 
 // connState tracks one worker connection.
 type connState struct {
 	name string
+	site string
 }
 
 func (co *Coordinator) leaseTTL() time.Duration {
@@ -149,19 +222,69 @@ func (co *Coordinator) maxAttempts() int {
 	return 8
 }
 
-// backoff returns the delay before attempt n+1 of a job may start.
-func (co *Coordinator) backoff(attempts int) time.Duration {
+func (co *Coordinator) breakerThreshold() int {
+	switch {
+	case co.BreakerThreshold > 0:
+		return co.BreakerThreshold
+	case co.BreakerThreshold < 0:
+		return 0 // disabled: strikes never trip
+	default:
+		return 3
+	}
+}
+
+func (co *Coordinator) breakerCooldown() time.Duration {
+	if co.BreakerCooldown > 0 {
+		return co.BreakerCooldown
+	}
+	return 2 * co.leaseTTL()
+}
+
+func (co *Coordinator) hedgingEnabled() bool {
+	return co.HedgeFraction > 0 || co.HedgeStall > 0
+}
+
+func (co *Coordinator) hedgeAfter() time.Duration {
+	if co.HedgeAfter > 0 {
+		return co.HedgeAfter
+	}
+	return co.leaseTTL() / 2
+}
+
+func (co *Coordinator) ioTimeout() time.Duration {
+	switch {
+	case co.IOTimeout > 0:
+		return co.IOTimeout
+	case co.IOTimeout < 0:
+		return 0
+	default:
+		return 30 * time.Second
+	}
+}
+
+// backoff returns the delay before the next lease of jobID after
+// `attempts` grants. The exponential base delay carries deterministic
+// jitter in [d/2, d) keyed by (job, attempt): a mass revocation event
+// (coordinator restart, site quarantine) spreads its retries across
+// half an interval instead of hammering the queue in lockstep, and the
+// same schedule replays identically across runs — no shared RNG state,
+// no scheduling nondeterminism.
+func (co *Coordinator) backoff(jobID string, attempts int) time.Duration {
 	d := co.retryBase()
 	for i := 1; i < attempts; i++ {
 		d *= 2
 		if d >= co.retryMax() {
-			return co.retryMax()
+			d = co.retryMax()
+			break
 		}
 	}
 	if d > co.retryMax() {
 		d = co.retryMax()
 	}
-	return d
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", jobID, attempts)
+	frac := 0.5 + 0.5*float64(h.Sum64()&0xfff)/4096
+	return time.Duration(float64(d) * frac)
 }
 
 // startLocked spins up the accept loop and the lease janitor. Caller
@@ -293,6 +416,7 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 		}
 		if ck := co.journal.loadSpool(j.id); ck != nil {
 			j.ckpt = ck
+			j.ckptSteps = ckptSteps(ck)
 		}
 	}
 	co.camp = camp
@@ -371,9 +495,20 @@ func (co *Coordinator) doClose() error {
 	return err
 }
 
-// janitor periodically revokes leases that missed their heartbeat TTL.
+// janitor periodically revokes leases that missed their heartbeat TTL
+// and scans for straggling leases to hedge. The period tracks the
+// finer of the lease TTL and the hedge windows so both state machines
+// advance promptly.
 func (co *Coordinator) janitor(ctx context.Context) {
 	period := co.leaseTTL() / 4
+	if co.hedgingEnabled() {
+		if p := co.hedgeAfter() / 2; p < period {
+			period = p
+		}
+		if s := co.HedgeStall; s > 0 && s/4 < period {
+			period = s / 4
+		}
+	}
 	if period < 5*time.Millisecond {
 		period = 5 * time.Millisecond
 	}
@@ -387,14 +522,68 @@ func (co *Coordinator) janitor(ctx context.Context) {
 			co.mu.Lock()
 			if camp := co.camp; camp != nil {
 				for _, j := range camp.jobs {
-					if j.state == stateLeased && now.Sub(j.lastBeat) > co.leaseTTL() {
-						co.stats.LeaseExpiries++
-						co.jobStats[j.id].LeaseExpiries++
+					if j.state != stateLeased {
+						continue
+					}
+					keep := j.leases[:0]
+					for _, l := range j.leases {
+						if now.Sub(l.lastBeat) > co.leaseTTL() {
+							co.stats.LeaseExpiries++
+							co.jobStats[j.id].LeaseExpiries++
+							co.siteStrikeLocked(l.site, j.id, now, func(sh *siteHealth) { sh.leaseExpiries++ })
+							continue
+						}
+						keep = append(keep, l)
+					}
+					j.leases = keep
+					if len(j.leases) == 0 {
 						co.requeueLocked(camp, j)
 					}
 				}
+				co.stragglerScanLocked(camp, now)
 			}
 			co.mu.Unlock()
+		}
+	}
+}
+
+// siteStrikeLocked records one failure signal against a site, updating
+// a per-category counter and the breaker. Caller holds mu.
+func (co *Coordinator) siteStrikeLocked(site, jobID string, now time.Time, count func(*siteHealth)) {
+	sh := co.siteLocked(site)
+	if count != nil {
+		count(sh)
+	}
+	sh.clearProbe(jobID)
+	if sh.strike(now, co.breakerThreshold()) {
+		co.stats.BreakerTrips++
+	}
+}
+
+// stragglerScanLocked flags single-leased jobs whose checkpoint-derived
+// progress crawls — either in absolute terms (steps stalled for
+// HedgeStall while the lease still heartbeats) or relative to the fleet
+// (rate below HedgeFraction of the median site rate). Flagged jobs
+// become hedge candidates: assign grants them a speculative second
+// lease on a different site. Caller holds mu.
+func (co *Coordinator) stragglerScanLocked(camp *campaignRun, now time.Time) {
+	if !co.hedgingEnabled() {
+		return
+	}
+	median, haveMedian := co.fleetMedianRate()
+	for _, j := range camp.jobs {
+		if j.state != stateLeased || j.straggler || len(j.leases) != 1 {
+			continue
+		}
+		l := j.leases[0]
+		if now.Sub(l.granted) < co.hedgeAfter() {
+			continue
+		}
+		slow := co.HedgeFraction > 0 && haveMedian && l.haveRate && l.rate < co.HedgeFraction*median
+		stalled := co.HedgeStall > 0 && now.Sub(l.stepsAt) > co.HedgeStall
+		if slow || stalled {
+			j.straggler = true
+			co.stats.StragglersDetected++
 		}
 	}
 }
@@ -416,12 +605,14 @@ func (co *Coordinator) journalLocked(camp *campaignRun, r *jrec, sync bool) bool
 	return true
 }
 
-// requeueLocked returns a leased job to the pending queue with backoff,
-// or fails the campaign if the job is out of attempts. Caller holds mu.
+// requeueLocked returns a job with no remaining leases to the pending
+// queue with jittered backoff, or fails the campaign if the job is out
+// of attempts. Caller holds mu.
 func (co *Coordinator) requeueLocked(camp *campaignRun, j *job) {
 	j.state = statePending
-	j.owner = nil
-	j.notBefore = time.Now().Add(co.backoff(j.attempts))
+	j.leases = nil
+	j.straggler = false
+	j.notBefore = time.Now().Add(co.backoff(j.id, j.attempts))
 	if j.attempts >= co.maxAttempts() {
 		camp.finish(fmt.Errorf("dist: job %s exhausted %d attempts", j.id, j.attempts))
 	}
@@ -429,6 +620,12 @@ func (co *Coordinator) requeueLocked(camp *campaignRun, j *job) {
 
 // serveConn handles one worker connection. hello must come first.
 func (co *Coordinator) serveConn(conn net.Conn) {
+	// Deadlines wrap the raw transport, inside any WrapConn shims, so
+	// injected test delays model the network without eating the
+	// watchdog budget of the real socket.
+	if to := co.ioTimeout(); to > 0 {
+		conn = netutil.WithDeadlines(conn, to, to)
+	}
 	if co.WrapConn != nil {
 		conn = co.WrapConn(conn)
 	}
@@ -447,6 +644,11 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		return
 	}
 	cs.name = hello.Name
+	cs.site = hello.Site
+	if cs.site == "" {
+		// Unconfigured workers are their own one-machine site.
+		cs.site = hello.Name
+	}
 	if err := enc.Encode(&response{Type: msgOK, System: co.System}); err != nil {
 		return
 	}
@@ -483,17 +685,94 @@ func (co *Coordinator) dropConn(cs *connState) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.liveConns--
-	if camp := co.camp; camp != nil {
-		for _, j := range camp.jobs {
-			if j.state == stateLeased && j.owner == cs {
+	camp := co.camp
+	if camp == nil {
+		return
+	}
+	now := time.Now()
+	for _, j := range camp.jobs {
+		if j.state != stateLeased {
+			continue
+		}
+		keep := j.leases[:0]
+		for _, l := range j.leases {
+			if l.owner == cs {
 				co.stats.Disconnects++
-				co.requeueLocked(camp, j)
+				co.siteStrikeLocked(l.site, j.id, now, func(sh *siteHealth) { sh.disconnects++ })
+				continue
 			}
+			keep = append(keep, l)
+		}
+		j.leases = keep
+		if len(j.leases) == 0 {
+			co.requeueLocked(camp, j)
 		}
 	}
 }
 
-// assign leases the first runnable job to the requesting worker.
+// grantLocked creates a lease of j for cs and builds the assign reply.
+// speculative marks a hedge — a second concurrent lease racing a
+// straggler on another site. Caller holds mu.
+func (co *Coordinator) grantLocked(camp *campaignRun, j *job, cs *connState, now time.Time, speculative bool) response {
+	j.state = stateLeased
+	j.attempts++
+	l := &lease{
+		owner:       cs,
+		worker:      cs.name,
+		site:        cs.site,
+		attempt:     j.attempts,
+		speculative: speculative,
+		granted:     now,
+		lastBeat:    now,
+		stepsAt:     now,
+		steps:       j.ckptSteps,
+	}
+	j.leases = append(j.leases, l)
+	sh := co.siteLocked(cs.site)
+	if sh.state == breakerOpen {
+		// Cooldown elapsed (admissibleSiteLocked gated on it): this
+		// grant is the half-open probe.
+		sh.state = breakerHalfOpen
+		co.stats.BreakerProbes++
+	}
+	if sh.state == breakerHalfOpen && sh.probeJob == "" {
+		sh.probeJob = j.id
+	}
+	sh.assignments++
+	co.stats.Assignments++
+	js := co.jobStats[j.id]
+	js.Assignments++
+	js.Workers = append(js.Workers, cs.name)
+	if speculative {
+		co.stats.SpeculationsLaunched++
+		js.Speculations++
+	} else if j.attempts > 1 {
+		co.stats.Retries++
+		js.Retries++
+	}
+	resp := response{Type: msgAssign, Spec: &camp.spec, Job: &wireJob{
+		ID:      j.id,
+		Combo:   j.task.Combo,
+		Seed:    j.task.Seed,
+		Index:   j.task.Index,
+		Attempt: j.attempts,
+	}}
+	resumed := len(j.ckpt) > 0
+	if resumed {
+		resp.Resume = j.ckpt
+		co.stats.Resumes++
+		js.Resumes++
+	}
+	co.journalLocked(camp, &jrec{
+		T: jLease, Job: j.id, Worker: cs.name, Site: cs.site,
+		Attempt: j.attempts, Resumed: resumed, Hedge: speculative,
+	}, false)
+	return resp
+}
+
+// assign leases the first runnable job to the requesting worker:
+// pending jobs first, then — if the worker's site differs from the
+// holder's — a speculative hedge on a flagged straggler.
 func (co *Coordinator) assign(cs *connState) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -507,6 +786,12 @@ func (co *Coordinator) assign(cs *connState) response {
 		return response{Type: msgWait, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
 	}
 	now := time.Now()
+	if !co.siteLocked(cs.site).admissible(now, co.breakerCooldown()) {
+		// Quarantined site (or a probe already in flight): no work until
+		// the breaker relents. The paper's §V.C.4 outage as a scheduling
+		// decision rather than an operator post-mortem.
+		return response{Type: msgWait, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
+	}
 	var soonest time.Duration
 	for _, j := range camp.jobs {
 		if j.state != statePending {
@@ -518,41 +803,33 @@ func (co *Coordinator) assign(cs *connState) response {
 			}
 			continue
 		}
-		j.state = stateLeased
-		j.owner = cs
-		j.worker = cs.name
-		j.lastBeat = now
-		j.attempts++
-		co.stats.Assignments++
-		js := co.jobStats[j.id]
-		js.Assignments++
-		js.Workers = append(js.Workers, cs.name)
-		if j.attempts > 1 {
-			co.stats.Retries++
-			js.Retries++
+		return co.grantLocked(camp, j, cs, now, false)
+	}
+	if co.hedgingEnabled() {
+		for _, j := range camp.jobs {
+			if j.state != stateLeased || !j.straggler || len(j.leases) != 1 {
+				continue
+			}
+			if j.leases[0].site == cs.site {
+				// Hedging onto the straggling site itself would inherit
+				// whatever is wrong with it.
+				continue
+			}
+			return co.grantLocked(camp, j, cs, now, true)
 		}
-		resp := response{Type: msgAssign, Spec: &camp.spec, Job: &wireJob{
-			ID:      j.id,
-			Combo:   j.task.Combo,
-			Seed:    j.task.Seed,
-			Index:   j.task.Index,
-			Attempt: j.attempts,
-		}}
-		resumed := len(j.ckpt) > 0
-		if resumed {
-			resp.Resume = j.ckpt
-			co.stats.Resumes++
-			js.Resumes++
-		}
-		co.journalLocked(camp, &jrec{
-			T: jLease, Job: j.id, Worker: cs.name, Attempt: j.attempts, Resumed: resumed,
-		}, false)
-		return resp
 	}
 	// Nothing runnable: leased jobs in flight, or pending ones backing off.
 	delay := soonest
 	if delay <= 0 || delay > co.leaseTTL() {
 		delay = co.leaseTTL() / 2
+	}
+	if co.hedgingEnabled() {
+		// Idle workers are the hedge pool: they must poll fast enough to
+		// pick up a straggler flag soon after the janitor raises it, not
+		// half a lease TTL later when the crawling job may have limped home.
+		if lim := co.hedgeAfter() / 2; lim > 0 && delay > lim {
+			delay = lim
+		}
 	}
 	ms := int(delay / time.Millisecond)
 	if ms < 1 {
@@ -561,12 +838,24 @@ func (co *Coordinator) assign(cs *connState) response {
 	return response{Type: msgWait, DelayMs: ms}
 }
 
+// ckptSteps extracts the engine step counter from an opaque checkpoint
+// payload (smd.PullCheckpoint's Steps field). 0 if absent.
+func ckptSteps(ckpt json.RawMessage) int {
+	var prog struct {
+		Steps int `json:"Steps"`
+	}
+	_ = json.Unmarshal(ckpt, &prog)
+	return prog.Steps
+}
+
 // heartbeat refreshes a lease and stores any checkpoint that came with
 // it. A worker beating for a *pending* job is adopted: after a
 // coordinator restart (or a lease revocation that was never reacted
 // on), the worker is still mid-pull and its checkpoint lineage is
 // bit-exact, so re-leasing the job to it beats redoing the work. A
-// worker beating for a job leased elsewhere is told to abandon.
+// worker beating for a job leased elsewhere is told to abandon — which
+// is also how the losing side of a speculation race learns it lost:
+// the job is done, the beat gets abandon, the pull is dropped.
 func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -578,40 +867,72 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 	if j == nil || j.state == stateDone {
 		return response{Type: msgAbandon}
 	}
+	now := time.Now()
+	l := j.leaseOf(cs)
 	switch {
-	case j.state == stateLeased && j.owner == cs:
-		// The live lease holder; nothing to adjust.
+	case l != nil:
+		// A live lease holder (original or hedge); nothing to adjust.
 	case j.state == statePending:
 		j.state = stateLeased
-		j.owner = cs
-		j.worker = cs.name
 		if req.Attempt > 0 {
 			// The adopted worker's lease attempt becomes the current one,
 			// so its eventual result line passes the (job, attempt) check.
 			j.attempts = req.Attempt
 		}
+		l = &lease{
+			owner:    cs,
+			worker:   cs.name,
+			site:     cs.site,
+			attempt:  j.attempts,
+			granted:  now,
+			lastBeat: now,
+			stepsAt:  now,
+			steps:    j.ckptSteps,
+		}
+		j.leases = append(j.leases, l)
+		co.siteLocked(cs.site).assignments++
 		co.stats.Adoptions++
 		js := co.jobStats[j.id]
 		js.Adoptions++
 		js.Assignments++
 		js.Workers = append(js.Workers, cs.name)
 		co.journalLocked(camp, &jrec{
-			T: jLease, Job: j.id, Worker: cs.name, Attempt: j.attempts, Resumed: len(j.ckpt) > 0,
+			T: jLease, Job: j.id, Worker: cs.name, Site: cs.site, Attempt: j.attempts, Resumed: len(j.ckpt) > 0,
 		}, false)
 	default:
 		// Leased to someone else: the beating worker lost the job.
 		return response{Type: msgAbandon}
 	}
-	j.lastBeat = time.Now()
+	l.lastBeat = now
 	if req.Type == msgProgress && len(req.Ckpt) > 0 {
-		j.ckpt = req.Ckpt
 		co.stats.Checkpoints++
-		if co.journal != nil {
-			if err := co.journal.spoolCheckpoint(j.id, req.Ckpt); err != nil {
-				camp.finish(fmt.Errorf("dist: spooling checkpoint for %s: %w", j.id, err))
-				return response{Type: msgOK}
+		steps := ckptSteps(req.Ckpt)
+		if steps > l.steps {
+			if dt := now.Sub(l.stepsAt); dt > 0 {
+				r := float64(steps-l.steps) / dt.Seconds()
+				if l.haveRate {
+					l.rate = (1-ewmaAlpha)*l.rate + ewmaAlpha*r
+				} else {
+					l.rate, l.haveRate = r, true
+				}
+				co.siteLocked(l.site).observeRate(r)
 			}
-			co.journalLocked(camp, &jrec{T: jCkpt, Job: j.id, Attempt: j.attempts}, false)
+			l.steps = steps
+			l.stepsAt = now
+		}
+		if steps >= j.ckptSteps {
+			// Farthest-wins: with two concurrent leases on the same
+			// bit-exact trajectory, the checkpoint farther along strictly
+			// dominates — any future resume hands it out.
+			j.ckpt = req.Ckpt
+			j.ckptSteps = steps
+			if co.journal != nil {
+				if err := co.journal.spoolCheckpoint(j.id, req.Ckpt); err != nil {
+					camp.finish(fmt.Errorf("dist: spooling checkpoint for %s: %w", j.id, err))
+					return response{Type: msgOK}
+				}
+				co.journalLocked(camp, &jrec{T: jCkpt, Job: j.id, Attempt: l.attempt}, false)
+			}
 		}
 	}
 	return response{Type: msgOK}
@@ -621,7 +942,9 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 // attempt): checkpointed resumption is bit-exact, so a retransmitted
 // or late result from a retired lease is byte-identical to the one the
 // current lease will produce — it is acknowledged (so the worker stops
-// retrying) and dropped, never merged twice.
+// retrying) and dropped, never merged twice. The same rule settles
+// speculation races: the first attempt to deliver wins, and the other
+// lease's eventual result is just another duplicate.
 func (co *Coordinator) finish(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -650,9 +973,14 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 		co.stats.DuplicateResultsDropped++
 		return response{Type: msgOK}
 	}
-	if j.state == stateLeased && (j.owner != cs || (req.Attempt > 0 && req.Attempt != j.attempts)) {
-		// The sender's lease was revoked and the job reassigned; the
-		// current lease holder will deliver the same bytes.
+	var winner *lease
+	if l := j.leaseOf(cs); l != nil && (req.Attempt == 0 || req.Attempt == l.attempt) {
+		winner = l
+	}
+	if j.state == stateLeased && winner == nil {
+		// The sender's lease was revoked and the job reassigned (or it
+		// lost a speculation race); the surviving lease will deliver the
+		// same bytes.
 		co.stats.DuplicateResultsDropped++
 		return response{Type: msgOK}
 	}
@@ -663,12 +991,46 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 	// downtime but the worker finished anyway — the result is just as
 	// bit-identical. Journal (fsynced — the log is the campaign's
 	// irreplaceable output) before the in-memory commit and the ack.
-	if !co.journalLocked(camp, &jrec{T: jDone, Job: j.id, Attempt: j.attempts, Log: req.Log}, true) {
+	attempt := j.attempts
+	if winner != nil {
+		attempt = winner.attempt
+	}
+	if !co.journalLocked(camp, &jrec{T: jDone, Job: j.id, Attempt: attempt, Log: req.Log}, true) {
 		return response{Type: msgOK}
+	}
+	now := time.Now()
+	sh := co.siteLocked(cs.site)
+	sh.completions++
+	if winner != nil {
+		sh.observeLatency(now.Sub(winner.granted))
+	}
+	if sh.success() {
+		co.stats.BreakerCloses++
+	}
+	// Settle the speculation race: every other concurrent lease lost.
+	for _, l := range j.leases {
+		if l == winner {
+			continue
+		}
+		co.stats.SpeculationsWasted++
+		loser := co.siteLocked(l.site)
+		loser.specLost++
+		loser.clearProbe(j.id)
+		if !l.speculative && l.steps > 0 {
+			// The original lease demonstrably crawled and lost to its
+			// hedge: that is a health verdict on its site, the same kind
+			// of strike a failure would be.
+			co.siteStrikeLocked(l.site, j.id, now, nil)
+		}
+	}
+	if winner != nil && winner.speculative {
+		co.stats.SpeculationsWon++
+		sh.specWon++
 	}
 	co.doneJobs[j.id] = true
 	j.state = stateDone
-	j.owner = nil
+	j.leases = nil
+	j.straggler = false
 	j.log = req.Log
 	camp.remaining--
 	if co.journal != nil {
@@ -701,10 +1063,21 @@ func (co *Coordinator) fail(cs *connState, req *request) response {
 		}
 		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
 	}
-	if j.state == stateLeased && j.owner == cs && (req.Attempt == 0 || req.Attempt == j.attempts) {
+	l := j.leaseOf(cs)
+	if j.state == stateLeased && l != nil && (req.Attempt == 0 || req.Attempt == l.attempt) {
 		co.stats.Failures++
-		co.journalLocked(camp, &jrec{T: jFail, Job: j.id, Attempt: j.attempts, Err: req.Err}, false)
-		co.requeueLocked(camp, j)
+		co.journalLocked(camp, &jrec{T: jFail, Job: j.id, Attempt: l.attempt, Err: req.Err}, false)
+		co.siteStrikeLocked(l.site, j.id, time.Now(), func(sh *siteHealth) { sh.failures++ })
+		keep := j.leases[:0]
+		for _, other := range j.leases {
+			if other != l {
+				keep = append(keep, other)
+			}
+		}
+		j.leases = keep
+		if len(j.leases) == 0 {
+			co.requeueLocked(camp, j)
+		}
 	} else if j.state == stateDone || j.state == stateLeased {
 		co.stats.DuplicateResultsDropped++
 	}

@@ -50,8 +50,10 @@ type jrec struct {
 	Spec    json.RawMessage `json:"spec,omitempty"`    // campaign: spec JSON (also the replay key)
 	Job     string          `json:"job,omitempty"`     // lease/ckpt/done/fail
 	Worker  string          `json:"worker,omitempty"`  // lease
+	Site    string          `json:"site,omitempty"`    // lease: worker's site identity
 	Attempt int             `json:"attempt,omitempty"` // lease/ckpt/fail
 	Resumed bool            `json:"resumed,omitempty"` // lease: assignment carried a checkpoint
+	Hedge   bool            `json:"hedge,omitempty"`   // lease: speculative second lease on a straggling job
 	Log     *trace.WorkLog  `json:"log,omitempty"`     // done
 	Err     string          `json:"err,omitempty"`     // fail reason
 }
@@ -132,6 +134,13 @@ func openJournal(dir string) (*journal, *journalReplay, error) {
 			if cur == nil {
 				continue
 			}
+			// A speculative (hedged) lease replays like any other: the
+			// highest attempt wins the idempotency key and the full lease
+			// history is preserved, so an in-flight hedge pair collapses to
+			// one pending job that any post-restart result — from either
+			// attempt, both bit-identical — can complete. Site health is
+			// deliberately NOT replayed: breakers and EWMAs restart fresh,
+			// because pre-crash weather says little about post-crash sites.
 			if r.Attempt > cur.attempts[r.Job] {
 				cur.attempts[r.Job] = r.Attempt
 			}

@@ -49,8 +49,14 @@ const (
 
 // request is a worker → coordinator line.
 type request struct {
-	Type  string `json:"type"`
-	Name  string `json:"name,omitempty"`  // hello: worker name
+	Type string `json:"type"`
+	Name string `json:"name,omitempty"` // hello: worker name
+	// Site is the worker's site identity on hello (spiced -site) — the
+	// grain at which the coordinator tracks health, runs circuit
+	// breakers, and places speculative hedges (never on the site already
+	// holding the lease). Empty falls back to the worker name, so every
+	// unconfigured worker is its own one-machine site.
+	Site  string `json:"site,omitempty"`
 	JobID string `json:"jobId,omitempty"` // beat/progress/result/fail
 	// Attempt echoes the lease attempt the worker was assigned, making
 	// result/fail handling idempotent by (job, attempt): a line from a

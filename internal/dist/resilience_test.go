@@ -1,0 +1,562 @@
+package dist
+
+// Tests for the federation-resilience layer: per-site circuit breakers,
+// deterministic retry jitter, straggler detection, and speculative
+// hedged re-execution — including the invariant everything else leans
+// on, that a speculation race merges bit-identically to a local run
+// because both attempts compute the same bytes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/md"
+	"spice/internal/smd"
+	"spice/internal/trace"
+)
+
+// TestBreakerStateMachine drives siteHealth through the full
+// closed → open → half-open → closed circuit, plus the probe-failure
+// re-open edge.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Now()
+	cooldown := 50 * time.Millisecond
+	sh := &siteHealth{name: "s"}
+
+	// Closed: strikes below threshold neither trip nor quarantine.
+	if sh.strike(now, 3) {
+		t.Fatal("first strike tripped a threshold-3 breaker")
+	}
+	if sh.strike(now, 3) {
+		t.Fatal("second strike tripped a threshold-3 breaker")
+	}
+	if !sh.admissible(now, cooldown) {
+		t.Fatal("closed breaker not admissible")
+	}
+
+	// A success resets the consecutive count; the next strike starts over.
+	if sh.success() {
+		t.Fatal("success on a closed breaker reported a close transition")
+	}
+	if sh.strikes != 0 {
+		t.Fatalf("strikes = %d after success, want 0", sh.strikes)
+	}
+
+	// Threshold consecutive strikes open it.
+	sh.strike(now, 3)
+	sh.strike(now, 3)
+	if !sh.strike(now, 3) {
+		t.Fatal("third consecutive strike did not trip")
+	}
+	if sh.state != breakerOpen || sh.trips != 1 {
+		t.Fatalf("state = %v trips = %d after trip", sh.state, sh.trips)
+	}
+
+	// Open: quarantined until the cooldown elapses.
+	if sh.admissible(now, cooldown) {
+		t.Fatal("open breaker admissible before cooldown")
+	}
+	later := now.Add(cooldown)
+	if !sh.admissible(later, cooldown) {
+		t.Fatal("open breaker not admissible after cooldown")
+	}
+
+	// Grant-time transition (grantLocked's logic): open → half-open with
+	// a probe job; a second grant is refused while the probe is out.
+	sh.state = breakerHalfOpen
+	sh.probeJob = "j1"
+	if sh.admissible(later, cooldown) {
+		t.Fatal("half-open breaker admissible with a probe in flight")
+	}
+
+	// Probe failure re-opens immediately, at any strike count.
+	if !sh.strike(later, 3) {
+		t.Fatal("strike during half-open did not re-open")
+	}
+	if sh.state != breakerOpen || sh.trips != 2 || sh.probeJob != "" {
+		t.Fatalf("after probe failure: state = %v trips = %d probe = %q", sh.state, sh.trips, sh.probeJob)
+	}
+
+	// Probe success closes and resets.
+	sh.state = breakerHalfOpen
+	sh.probeJob = "j2"
+	sh.strikes = 5
+	if !sh.success() {
+		t.Fatal("success on half-open did not report a close")
+	}
+	if sh.state != breakerClosed || sh.strikes != 0 || sh.probeJob != "" {
+		t.Fatalf("after probe success: state = %v strikes = %d probe = %q", sh.state, sh.strikes, sh.probeJob)
+	}
+
+	// clearProbe only forgets its own job.
+	sh.state = breakerHalfOpen
+	sh.probeJob = "j3"
+	sh.clearProbe("other")
+	if sh.probeJob != "j3" {
+		t.Fatal("clearProbe(other) cleared the wrong probe")
+	}
+	sh.clearProbe("j3")
+	if sh.probeJob != "" {
+		t.Fatal("clearProbe(j3) did not clear")
+	}
+}
+
+// TestBackoffDeterministicJitter pins the requeue delay contract: the
+// jittered delay stays inside [d/2, d) of the exponential base, is a
+// pure function of (job, attempt), and decorrelates different jobs.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	co := &Coordinator{RetryBase: 100 * time.Millisecond, RetryMax: 2 * time.Second}
+
+	base := func(attempts int) time.Duration {
+		d := co.retryBase()
+		for i := 1; i < attempts; i++ {
+			d *= 2
+			if d >= co.retryMax() {
+				return co.retryMax()
+			}
+		}
+		return d
+	}
+	for attempts := 1; attempts <= 10; attempts++ {
+		d := base(attempts)
+		got := co.backoff("smdje-k100v800-r0", attempts)
+		if got < d/2 || got >= d {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempts, got, d/2, d)
+		}
+		if again := co.backoff("smdje-k100v800-r0", attempts); again != got {
+			t.Fatalf("attempt %d: backoff not deterministic: %v then %v", attempts, got, again)
+		}
+	}
+
+	// Different jobs at the same attempt must not retry in lockstep.
+	seen := map[time.Duration]bool{}
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[co.backoff(id, 1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("8 jobs share one jittered delay: %v", seen)
+	}
+}
+
+// TestFleetMedianRate checks the straggler baseline: no median below
+// two observed sites, upper median above.
+func TestFleetMedianRate(t *testing.T) {
+	co := &Coordinator{}
+	if _, ok := co.fleetMedianRate(); ok {
+		t.Fatal("median reported with zero sites")
+	}
+	co.siteLocked("a").observeRate(100)
+	if _, ok := co.fleetMedianRate(); ok {
+		t.Fatal("median reported with one site")
+	}
+	co.siteLocked("b").observeRate(10)
+	if m, ok := co.fleetMedianRate(); !ok || m != 100 {
+		t.Fatalf("median of {10, 100} = %v, %v; want upper median 100", m, ok)
+	}
+	co.siteLocked("c").observeRate(50)
+	if m, ok := co.fleetMedianRate(); !ok || m != 50 {
+		t.Fatalf("median of {10, 50, 100} = %v, %v; want 50", m, ok)
+	}
+}
+
+// TestStragglerScanTriggers exercises both hedge triggers against a
+// synthetic job table: a lease crawling below the fleet-median fraction
+// and a lease whose steps stalled outright.
+func TestStragglerScanTriggers(t *testing.T) {
+	now := time.Now()
+	mkCamp := func(l *lease) (*campaignRun, *job) {
+		j := &job{id: "j", state: stateLeased, leases: []*lease{l}}
+		return &campaignRun{jobs: []*job{j}}, j
+	}
+
+	// Rate trigger: lease at 1 step/s against a fleet median of 100.
+	co := &Coordinator{HedgeFraction: 0.3, HedgeAfter: 10 * time.Millisecond}
+	co.siteLocked("fast1").observeRate(100)
+	co.siteLocked("fast2").observeRate(100)
+	camp, j := mkCamp(&lease{site: "slow", granted: now.Add(-time.Second), stepsAt: now, rate: 1, haveRate: true})
+	co.stragglerScanLocked(camp, now)
+	if !j.straggler || co.stats.StragglersDetected != 1 {
+		t.Fatalf("rate trigger did not flag: straggler=%v detected=%d", j.straggler, co.stats.StragglersDetected)
+	}
+
+	// Below HedgeAfter the same lease is left alone — short jobs are
+	// never hedged.
+	co2 := &Coordinator{HedgeFraction: 0.3, HedgeAfter: 10 * time.Second}
+	co2.siteLocked("fast1").observeRate(100)
+	co2.siteLocked("fast2").observeRate(100)
+	camp2, j2 := mkCamp(&lease{site: "slow", granted: now.Add(-time.Second), stepsAt: now, rate: 1, haveRate: true})
+	co2.stragglerScanLocked(camp2, now)
+	if j2.straggler {
+		t.Fatal("lease younger than HedgeAfter was flagged")
+	}
+
+	// Stall trigger: steps frozen longer than HedgeStall, no rates at all.
+	co3 := &Coordinator{HedgeStall: 100 * time.Millisecond, HedgeAfter: 10 * time.Millisecond}
+	camp3, j3 := mkCamp(&lease{site: "s", granted: now.Add(-time.Second), stepsAt: now.Add(-200 * time.Millisecond)})
+	co3.stragglerScanLocked(camp3, now)
+	if !j3.straggler {
+		t.Fatal("stall trigger did not flag")
+	}
+
+	// Zero-value coordinator: hedging disabled, nothing flagged.
+	co4 := &Coordinator{}
+	camp4, j4 := mkCamp(&lease{site: "s", granted: now.Add(-time.Hour), stepsAt: now.Add(-time.Hour)})
+	co4.stragglerScanLocked(camp4, now)
+	if j4.straggler || co4.stats.StragglersDetected != 0 {
+		t.Fatal("zero-value coordinator hedged a job")
+	}
+}
+
+// dialSiteClient is dialTestClient with an explicit site identity.
+func dialSiteClient(t *testing.T, addr, name, site string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	c := &testClient{t: t, conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+	if resp := c.rt(&request{Type: msgHello, Name: name, Site: site}); resp.Err != "" {
+		t.Fatalf("hello rejected: %s", resp.Err)
+	}
+	return c
+}
+
+// pullLog computes the bit-exact result for an assignment the way a
+// real worker would.
+func pullLog(t *testing.T, assign *response) *trace.WorkLog {
+	t.Helper()
+	task := campaign.Task{Combo: assign.Job.Combo, Seed: assign.Job.Seed, Index: assign.Job.Index}
+	log, err := campaign.ExecutePull(*assign.Spec, task, func(c campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+		return localBuild(c, seed)
+	}, smd.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestSpeculativeHedgeRace pins the hedge protocol end to end with
+// hand-rolled clients: a lease that heartbeats but never progresses is
+// flagged as a straggler, a second site is granted a speculative lease
+// on the same job, the hedge's result wins, the original's late result
+// is dropped as a duplicate, and the merged campaign output is
+// bit-identical to a LocalRunner run — duplicated execution is
+// invisible in the science.
+func TestSpeculativeHedgeRace(t *testing.T) {
+	spec := campaign.Spec{
+		Kappas:     []float64{100},
+		Velocities: []float64{800},
+		Replicas:   1,
+		Distance:   3,
+		Seed:       21,
+	}
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	co.HedgeStall = 40 * time.Millisecond
+	co.HedgeAfter = 20 * time.Millisecond
+	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		logs, err := co.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- logs
+	}()
+	addr := co.Listener.Addr().String()
+
+	// The straggler: holds the only job, beats dutifully, advances
+	// nothing — alive but stuck, the shape a congested site has.
+	stuck := dialSiteClient(t, addr, "stuck-0", "congested")
+	assign1 := stuck.next()
+	jobID, attempt1 := assign1.Job.ID, assign1.Job.Attempt
+
+	deadline := time.Now().Add(10 * time.Second)
+	for co.Stats().StragglersDetected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled lease never flagged as straggler")
+		}
+		if resp := stuck.rt(&request{Type: msgBeat, JobID: jobID, Attempt: attempt1}); resp.Type != msgOK {
+			t.Fatalf("beat got %q", resp.Type)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A healthy second site asks for work: the only job is leased, so
+	// the grant it gets must be the speculative hedge.
+	healthy := dialSiteClient(t, addr, "healthy-0", "healthy")
+	assign2 := healthy.next()
+	if assign2.Job.ID != jobID {
+		t.Fatalf("hedge leased %s, want straggling job %s", assign2.Job.ID, jobID)
+	}
+	if assign2.Job.Attempt != attempt1+1 {
+		t.Fatalf("hedge attempt = %d, want %d", assign2.Job.Attempt, attempt1+1)
+	}
+	if st := co.Stats(); st.SpeculationsLaunched != 1 {
+		t.Fatalf("SpeculationsLaunched = %d, want 1", st.SpeculationsLaunched)
+	}
+
+	// The hedge computes and delivers first; same-site determinism means
+	// its bytes equal whatever the straggler would eventually produce.
+	log := pullLog(t, assign2)
+	if resp := healthy.rt(&request{Type: msgResult, JobID: jobID, Attempt: assign2.Job.Attempt, Log: log}); resp.Type != msgOK || resp.Err != "" {
+		t.Fatalf("hedge result rejected: %+v", resp)
+	}
+	// The loser reports late: acked, dropped, not merged.
+	if resp := stuck.rt(&request{Type: msgResult, JobID: jobID, Attempt: attempt1, Log: log}); resp.Type != msgOK {
+		t.Fatalf("losing result not acked: %+v", resp)
+	}
+	// And a loser heartbeat is told to abandon.
+	if resp := stuck.rt(&request{Type: msgBeat, JobID: jobID, Attempt: attempt1}); resp.Type != msgAbandon {
+		t.Fatalf("losing beat got %q, want abandon", resp.Type)
+	}
+
+	select {
+	case logs := <-resCh:
+		requireBitIdentical(t, want, logs)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not finish")
+	}
+
+	st := co.Stats()
+	if st.SpeculationsWon != 1 || st.SpeculationsWasted != 1 {
+		t.Fatalf("speculation settlement: won = %d wasted = %d, want 1/1", st.SpeculationsWon, st.SpeculationsWasted)
+	}
+	if st.DuplicateResultsDropped != 1 {
+		t.Fatalf("DuplicateResultsDropped = %d, want 1", st.DuplicateResultsDropped)
+	}
+	js := co.JobStats()[jobID]
+	if js.Speculations != 1 || js.Assignments != 2 {
+		t.Fatalf("job stats: %+v, want 1 speculation over 2 assignments", js)
+	}
+	sites := co.SiteStats()
+	if s := sites["healthy"]; s.SpecWon != 1 || s.Completions != 1 {
+		t.Fatalf("winner site stats: %+v", s)
+	}
+	if s := sites["congested"]; s.SpecLost != 1 {
+		t.Fatalf("loser site stats: %+v", s)
+	}
+	// The stuck lease streamed no steps, so losing the race is not held
+	// against its breaker.
+	if s := sites["congested"]; s.Breaker != "closed" || s.Strikes != 0 {
+		t.Fatalf("loser site struck without evidence: %+v", sites["congested"])
+	}
+}
+
+// TestBreakerQuarantinesFailingSite drives the breaker through the wire
+// protocol: consecutive failures from one site open its breaker (next
+// gets wait, not work, while the queue is non-empty), the cooldown
+// admits a single probe, and the probe's success closes the breaker and
+// lets the campaign finish bit-identically.
+func TestBreakerQuarantinesFailingSite(t *testing.T) {
+	spec := campaign.Spec{
+		Kappas:     []float64{100},
+		Velocities: []float64{800},
+		Replicas:   1,
+		Distance:   3,
+		Seed:       21,
+	}
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	co.BreakerThreshold = 2
+	co.BreakerCooldown = 60 * time.Millisecond
+	co.RetryBase = time.Millisecond
+	co.RetryMax = 2 * time.Millisecond
+	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		logs, err := co.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- logs
+	}()
+
+	flaky := dialSiteClient(t, co.Listener.Addr().String(), "flaky-0", "flaky")
+	for i := 0; i < 2; i++ {
+		assign := flaky.next()
+		if resp := flaky.rt(&request{Type: msgFail, JobID: assign.Job.ID, Attempt: assign.Job.Attempt, Err: "induced"}); resp.Type != msgOK {
+			t.Fatalf("fail %d not acked: %+v", i, resp)
+		}
+	}
+	st := co.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d after 2 failures at threshold 2, want 1", st.BreakerTrips)
+	}
+	if s := co.SiteStats()["flaky"]; s.Breaker != "open" || s.Failures != 2 {
+		t.Fatalf("site not quarantined: %+v", s)
+	}
+	// Quarantined: the job is pending (its 2ms backoff long past) but
+	// the site gets wait, not work.
+	time.Sleep(10 * time.Millisecond)
+	if resp := flaky.rt(&request{Type: msgNext}); resp.Type != msgWait {
+		t.Fatalf("quarantined site got %q, want wait", resp.Type)
+	}
+
+	// After the cooldown the breaker half-opens for exactly one probe.
+	probe := flaky.next()
+	st = co.Stats()
+	if st.BreakerProbes != 1 {
+		t.Fatalf("BreakerProbes = %d, want 1", st.BreakerProbes)
+	}
+	if s := co.SiteStats()["flaky"]; s.Breaker != "half-open" {
+		t.Fatalf("site not half-open during probe: %+v", s)
+	}
+
+	// The probe succeeds: breaker closes, campaign completes, output
+	// still bit-identical despite the failures.
+	if resp := flaky.rt(&request{Type: msgResult, JobID: probe.Job.ID, Attempt: probe.Job.Attempt, Log: pullLog(t, probe)}); resp.Type != msgOK || resp.Err != "" {
+		t.Fatalf("probe result rejected: %+v", resp)
+	}
+	select {
+	case logs := <-resCh:
+		requireBitIdentical(t, want, logs)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not finish")
+	}
+	st = co.Stats()
+	if st.BreakerCloses != 1 {
+		t.Fatalf("BreakerCloses = %d, want 1", st.BreakerCloses)
+	}
+	if s := co.SiteStats()["flaky"]; s.Breaker != "closed" || s.Strikes != 0 || s.Completions != 1 {
+		t.Fatalf("site not rehabilitated: %+v", s)
+	}
+}
+
+// TestJournalReplaySpeculativeLeasePair crashes a coordinator while a
+// job holds both its original lease and a speculative hedge, then
+// replays the journal: the pair must collapse to one pending job whose
+// attempt counter sits above both leases, so any post-crash result
+// passes the idempotency check, and the re-run campaign must stay
+// bit-identical.
+func TestJournalReplaySpeculativeLeasePair(t *testing.T) {
+	spec := campaign.Spec{
+		Kappas:     []float64{100},
+		Velocities: []float64{800},
+		Replicas:   1,
+		Distance:   3,
+		Seed:       21,
+	}
+	want := localBaseline(t, spec)
+	stateDir := t.TempDir()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co1 := &Coordinator{
+		Listener:   ln,
+		System:     json.RawMessage(`{"beads":3}`),
+		LeaseTTL:   2 * time.Second,
+		HedgeStall: 40 * time.Millisecond,
+		HedgeAfter: 20 * time.Millisecond,
+		StateDir:   stateDir,
+	}
+	go func() {
+		// Dies with the simulated crash; only the journal matters.
+		_, _ = co1.Run(spec)
+	}()
+	addr := ln.Addr().String()
+
+	// Original lease stalls until a hedge is granted on a second site.
+	stuck := dialSiteClient(t, addr, "stuck-0", "congested")
+	assign1 := stuck.next()
+	jobID := assign1.Job.ID
+	deadline := time.Now().Add(10 * time.Second)
+	for co1.Stats().StragglersDetected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled lease never flagged")
+		}
+		stuck.rt(&request{Type: msgBeat, JobID: jobID, Attempt: assign1.Job.Attempt})
+		time.Sleep(5 * time.Millisecond)
+	}
+	healthy := dialSiteClient(t, addr, "healthy-0", "healthy")
+	assign2 := healthy.next()
+	if assign2.Job.ID != jobID {
+		t.Fatalf("hedge leased %s, want %s", assign2.Job.ID, jobID)
+	}
+
+	// Crash with the speculative pair in flight: listener closed, conns
+	// severed, no shutdown path runs.
+	ln.Close()
+	stuck.conn.Close()
+	healthy.conn.Close()
+
+	// The journal must carry both lease records, the hedge marked as such.
+	data, err := os.ReadFile(filepath.Join(stateDir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := trace.ScanRecords(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leases, hedges int
+	for _, raw := range scan.Records {
+		var r jrec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.T != jLease {
+			continue
+		}
+		leases++
+		if r.Hedge {
+			hedges++
+			if r.Site != "healthy" {
+				t.Fatalf("hedge lease journaled for site %q, want healthy", r.Site)
+			}
+		}
+	}
+	if leases != 2 || hedges != 1 {
+		t.Fatalf("journal has %d lease records (%d hedges), want 2 (1)", leases, hedges)
+	}
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := &Coordinator{
+		Listener:  ln2,
+		System:    json.RawMessage(`{"beads":3}`),
+		LeaseTTL:  2 * time.Second,
+		RetryBase: 5 * time.Millisecond,
+		StateDir:  stateDir,
+	}
+	t.Cleanup(func() { _ = co2.Close() })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co2, 1, nil)
+
+	got, err := co2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+
+	st := co2.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", st.Restarts)
+	}
+	js := co2.JobStats()[jobID]
+	// Replayed history (original + hedge) plus the live post-crash lease.
+	if js.Assignments != 3 || len(js.Workers) != 3 {
+		t.Fatalf("job stats after replay: %+v, want 3 assignments", js)
+	}
+}

@@ -1,0 +1,185 @@
+package dist_test
+
+// The slow-site chaos scenario: a federated sweep where one site is
+// degraded but alive — its compute throttled roughly 10× and its link
+// shaped with latency and a bandwidth cap (netsim.Gate) — while a
+// healthy site runs at full speed. Nothing ever times out a lease: the
+// slow worker heartbeats on schedule the whole way. Recovery has to
+// come from the resilience layer instead: the coordinator must notice
+// the crawling checkpoint rate, hedge the job speculatively onto the
+// healthy site, accept whichever attempt finishes first, and strike the
+// slow site's breaker for losing a race it was demonstrably crawling
+// through. The merged PMF must be bit-identical to an unhindered run —
+// duplicated execution may never show up in the science.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"spice/internal/core"
+	"spice/internal/dist"
+	"spice/internal/netsim"
+)
+
+// siteWorker declares one in-process worker for startSiteWorkers.
+type siteWorker struct {
+	name, site string
+	throttle   time.Duration
+	dial       func(string) (net.Conn, error)
+}
+
+// startSiteWorkers launches in-process workers carrying explicit site
+// identities; the returned stop cancels them all.
+func startSiteWorkers(t *testing.T, addr string, defs []siteWorker) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	for _, d := range defs {
+		w := &dist.Worker{
+			Name:            d.name,
+			Site:            d.site,
+			Addr:            addr,
+			Build:           core.BuildFromJSON,
+			BeatInterval:    20 * time.Millisecond,
+			CheckpointEvery: 1,
+			Throttle:        d.throttle,
+			Dial:            d.dial,
+		}
+		go w.Run(ctx)
+	}
+	return cancel
+}
+
+func TestChaosSlowSiteSpeculation(t *testing.T) {
+	cfg := chaosSweepConfig()
+	// Slower pulls than the kill-recovery scenario: more samples per job
+	// means both sites stream enough checkpoints for the coordinator to
+	// learn per-site progress rates, and the straggling job is still in
+	// flight when the hedge window opens.
+	cfg.Velocities = []float64{100}
+	sysJSON, err := json.Marshal(cfg.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unhindered single-process baseline.
+	localCfg := cfg
+	localCfg.Workers = 1
+	want, err := core.RunSweep(localCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &dist.Coordinator{
+		Listener: ln,
+		System:   sysJSON,
+		// A generous TTL so lease expiry cannot be the recovery path:
+		// the slow site beats faithfully, and if the job comes back it
+		// must be because speculation raced it home.
+		LeaseTTL:         10 * time.Second,
+		RetryBase:        10 * time.Millisecond,
+		HedgeFraction:    0.3,
+		HedgeAfter:       150 * time.Millisecond,
+		BreakerThreshold: 1,
+		IOTimeout:        10 * time.Second,
+	}
+	t.Cleanup(func() { _ = co.Close() })
+	addr := ln.Addr().String()
+
+	// The slow site: compute throttled ~10× relative to the healthy
+	// workers' pace, dialing through a gate that adds 25ms of latency
+	// and caps the link at 256 KB/s in each direction.
+	slowLink := netsim.NewGate()
+	slowLink.SetShape(
+		netsim.Shape{Latency: 25 * time.Millisecond, KBps: 256},
+		netsim.Shape{Latency: 25 * time.Millisecond, KBps: 256},
+	)
+	// Both sites nap at every checkpoint so both stream measurable
+	// progress rates; the tarpit naps ~60× longer — degraded but alive.
+	stopWorkers := startSiteWorkers(t, addr, []siteWorker{
+		{name: "tarpit-0", site: "tarpit", throttle: 300 * time.Millisecond, dial: slowLink.Dial(nil)},
+		{name: "quick-0", site: "quick", throttle: 5 * time.Millisecond},
+		{name: "quick-1", site: "quick", throttle: 5 * time.Millisecond},
+	})
+	defer stopWorkers()
+
+	distCfg := cfg
+	distCfg.Runner = co
+	type sweepOut struct {
+		res *core.SweepResult
+		err error
+	}
+	resCh := make(chan sweepOut, 1)
+	go func() {
+		res, err := core.RunSweep(distCfg)
+		resCh <- sweepOut{res, err}
+	}()
+
+	// The hard timeout doubles as the connection-hygiene assertion: with
+	// per-I/O deadlines armed everywhere, a shaped, saturated link can
+	// slow the campaign but never wedge a read forever.
+	var got *core.SweepResult
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		got = out.res
+	case <-time.After(120 * time.Second):
+		t.Fatal("sweep wedged: a read outlived every deadline")
+	}
+
+	requireBitIdenticalLogs(t, want.Logs, got.Logs)
+	for i := range want.Reference {
+		if got.Reference[i] != want.Reference[i] {
+			t.Fatalf("reference PMF diverges at %d: %v != %v", i, got.Reference[i], want.Reference[i])
+		}
+	}
+	for i := range want.Best.PMF {
+		if got.Best.PMF[i] != want.Best.PMF[i] {
+			t.Fatalf("merged PMF diverges at %d: %v != %v", i, got.Best.PMF[i], want.Best.PMF[i])
+		}
+	}
+
+	st := co.Stats()
+	if st.StragglersDetected < 1 {
+		t.Fatalf("slow site was never flagged as a straggler: %+v", st)
+	}
+	if st.SpeculationsLaunched < 1 || st.SpeculationsWon < 1 {
+		t.Fatalf("speculation did not launch and win: launched=%d won=%d",
+			st.SpeculationsLaunched, st.SpeculationsWon)
+	}
+	if st.LeaseExpiries != 0 {
+		t.Fatalf("recovery leaked into lease expiry (TTL should never fire here): %+v", st)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("unexpected worker failures: %+v", st)
+	}
+
+	sites := co.SiteStats()
+	slow, ok := sites["tarpit"]
+	if !ok {
+		t.Fatalf("slow site missing from site stats: %v", sites)
+	}
+	if slow.SpecLost < 1 {
+		t.Fatalf("slow site never lost a speculation race: %+v", slow)
+	}
+	// Losing while demonstrably crawling is a strike, and at threshold 1
+	// a strike is a quarantine: the breaker must have recorded the trip.
+	if slow.BreakerTrips < 1 {
+		t.Fatalf("slow site's breaker never tripped: %+v", slow)
+	}
+	quick, ok := sites["quick"]
+	if !ok || quick.SpecWon < 1 {
+		t.Fatalf("healthy site never won a speculation: %+v", quick)
+	}
+	if quick.Breaker != "closed" || quick.BreakerTrips != 0 {
+		t.Fatalf("healthy site's breaker disturbed: %+v", quick)
+	}
+}

@@ -31,6 +31,16 @@ type Stats struct {
 	// the last recovery (errors.Is: trace.ErrTruncated for a crash cut,
 	// trace.ErrFormat for a corrupted record); nil if the tail was clean.
 	TornTail error
+
+	// Federation-resilience counters: straggler hedging and per-site
+	// circuit breakers (the per-site breakdown is in SiteStats).
+	StragglersDetected   int // leases flagged as stragglers (rate or stall)
+	SpeculationsLaunched int // hedge leases granted on a second site
+	SpeculationsWon      int // jobs whose accepted result came from a hedge lease
+	SpeculationsWasted   int // concurrent leases dropped when the other attempt won
+	BreakerTrips         int // site breakers opened (quarantine events)
+	BreakerProbes        int // half-open probe jobs dispatched
+	BreakerCloses        int // breakers closed again by a successful result
 }
 
 // JobStats is the per-job slice of the same counters. After a journal
@@ -43,6 +53,7 @@ type JobStats struct {
 	Resumes       int
 	Adoptions     int
 	LeaseExpiries int
+	Speculations  int      // hedge leases granted for this job
 	Workers       []string // every worker the job was leased to, in order
 }
 

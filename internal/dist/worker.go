@@ -13,6 +13,7 @@ import (
 
 	"spice/internal/campaign"
 	"spice/internal/md"
+	"spice/internal/netutil"
 	"spice/internal/smd"
 	"spice/internal/trace"
 )
@@ -40,6 +41,12 @@ func (e fatalError) Unwrap() error { return e.err }
 type Worker struct {
 	// Name identifies the worker in coordinator stats.
 	Name string
+	// Site is the federation site this worker belongs to (spiced -site).
+	// The coordinator tracks health, runs circuit breakers, and places
+	// speculative hedges at site granularity, so every worker on one
+	// machine/cluster should share a Site. Empty defaults to Name — an
+	// unconfigured worker is its own one-machine site.
+	Site string
 	// Addr is the coordinator's TCP address.
 	Addr string
 	// Slots is the number of jobs run concurrently (default 1).
@@ -73,6 +80,11 @@ type Worker struct {
 	// Dial overrides the transport (tests wrap QoS shims here).
 	// Default: net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// IOTimeout arms a fresh read/write deadline before every I/O call on
+	// the coordinator connection (netutil.WithDeadlines), so a half-open
+	// peer surfaces as a timeout the Reconnect machinery can heal instead
+	// of a read blocked forever. 0 defaults to 30s; negative disables.
+	IOTimeout time.Duration
 }
 
 func (w *Worker) beatInterval() time.Duration {
@@ -103,11 +115,44 @@ func (w *Worker) reconnectBackoffMax() time.Duration {
 	return time.Second
 }
 
-func (w *Worker) dial() (net.Conn, error) {
-	if w.Dial != nil {
-		return w.Dial(w.Addr)
+func (w *Worker) site() string {
+	if w.Site != "" {
+		return w.Site
 	}
-	return net.Dial("tcp", w.Addr)
+	return w.Name
+}
+
+func (w *Worker) ioTimeout() time.Duration {
+	switch {
+	case w.IOTimeout > 0:
+		return w.IOTimeout
+	case w.IOTimeout < 0:
+		return 0
+	default:
+		return 30 * time.Second
+	}
+}
+
+func (w *Worker) dial() (net.Conn, error) {
+	var (
+		c   net.Conn
+		err error
+	)
+	if w.Dial != nil {
+		c, err = w.Dial(w.Addr)
+	} else {
+		c, err = net.Dial("tcp", w.Addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Deadlines wrap outermost — any Dial shim (netsim gates in tests)
+	// sits inside, so injected latency counts against the watchdog
+	// exactly like real network stalls would.
+	if to := w.ioTimeout(); to > 0 {
+		c = netutil.WithDeadlines(c, to, to)
+	}
+	return c, nil
 }
 
 // Run works the coordinator's queue until it drains or ctx is
@@ -165,7 +210,7 @@ func (c *rtConn) connect(ctx context.Context) error {
 	}
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
-	if err := enc.Encode(&request{Type: msgHello, Name: c.name}); err != nil {
+	if err := enc.Encode(&request{Type: msgHello, Name: c.name, Site: c.w.site()}); err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: hello: %w", err)
 	}

@@ -1,11 +1,19 @@
 package netsim
 
-// Gate models hard network partitions — the failure mode the paper's
-// §V catalogue keeps returning to (site quarantines, firewall cutovers,
-// operator error on manual reservations) and the one QoS shims cannot
-// express: not a slow path, a *dead* one. During a blackhole window
-// every wrapped connection is severed, every gated dial is refused, and
-// after the window (or an explicit Heal) fresh connections flow again.
+// Gate models degraded networks — the failure modes the paper's §V
+// catalogue keeps returning to (site quarantines, firewall cutovers,
+// operator error on manual reservations, and sites that stay reachable
+// but slow). Two injectors compose on the same wrapped connections:
+//
+//   - Blackhole/Heal: a hard partition window — not a slow path, a
+//     *dead* one. Every wrapped connection is severed, every gated dial
+//     refused, and after the window fresh connections flow again.
+//   - SetShape: per-direction latency/bandwidth shaping — a congested
+//     or throttled link that still delivers every byte, just late. The
+//     dist slow-site chaos scenario uses it to stretch one worker's
+//     checkpoint and result transfers until the coordinator's straggler
+//     detector hedges its jobs elsewhere.
+//
 // The dist chaos tests drive worker links through Gates to prove the
 // outbox/reconnect machinery rides out coordinator-side downtime.
 
@@ -20,14 +28,39 @@ import (
 // the gate's blackhole window is open.
 var ErrPartitioned = errors.New("netsim: partitioned")
 
-// Gate injects partition windows onto the connections and dialers it
-// wraps. The zero value is an open (healthy) gate; all methods are
-// safe for concurrent use.
+// Shape describes one direction of a gated link. The zero value is an
+// unshaped (ideal) direction.
+type Shape struct {
+	// Latency is added to every I/O operation crossing the direction —
+	// propagation delay, paid once per message.
+	Latency time.Duration
+	// KBps caps throughput at this many kilobytes per second; the
+	// serialization delay len/KBps queues behind earlier traffic like a
+	// single in-order link. 0 = unbounded.
+	KBps float64
+}
+
+func (s Shape) active() bool { return s.Latency > 0 || s.KBps > 0 }
+
+// delay returns the link occupancy of an n-byte transfer.
+func (s Shape) delay(n int) time.Duration {
+	d := s.Latency
+	if s.KBps > 0 && n > 0 {
+		d += time.Duration(float64(n) / (s.KBps * 1024) * float64(time.Second))
+	}
+	return d
+}
+
+// Gate injects partition windows and link shaping onto the connections
+// and dialers it wraps. The zero value is an open (healthy) gate with
+// ideal links; all methods are safe for concurrent use.
 type Gate struct {
 	mu      sync.Mutex
 	until   time.Time // end of the current window; zero = no window
 	forever bool      // window open until Heal
 	conns   map[*gatedConn]struct{}
+	wshape  Shape // applied to Writes on gated conns
+	rshape  Shape // applied to Reads on gated conns
 }
 
 // NewGate returns a healthy gate.
@@ -65,6 +98,26 @@ func (g *Gate) Heal() {
 	g.until = time.Time{}
 	g.forever = false
 	g.mu.Unlock()
+}
+
+// SetShape installs per-direction latency/bandwidth shaping on every
+// current and future gated connection: write applies to Writes (the
+// wrapped endpoint's uplink), read to Reads (its downlink). Shaping is
+// live — traffic already in flight pays the new price on its next
+// operation — and zero Shapes restore the ideal link. Unlike Blackhole
+// it never severs anything: every byte is delivered, just late, which
+// is exactly the §V "reachable but slow" pathology a partition cannot
+// express.
+func (g *Gate) SetShape(write, read Shape) {
+	g.mu.Lock()
+	g.wshape, g.rshape = write, read
+	g.mu.Unlock()
+}
+
+func (g *Gate) shapes() (write, read Shape) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.wshape, g.rshape
 }
 
 // Partitioned reports whether the blackhole window is currently open.
@@ -116,10 +169,39 @@ func (g *Gate) drop(gc *gatedConn) {
 	g.mu.Unlock()
 }
 
-// gatedConn is one partition-aware connection.
+// pacer serializes shaped transfers in one direction: each transfer
+// occupies the link for its delay, and later transfers queue behind it
+// exactly like frames on a real in-order pipe.
+type pacer struct {
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// pace blocks until an n-byte transfer under s would have cleared the
+// link.
+func (pc *pacer) pace(s Shape, n int) {
+	if !s.active() {
+		return
+	}
+	d := s.delay(n)
+	pc.mu.Lock()
+	now := time.Now()
+	start := pc.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	done := start.Add(d)
+	pc.nextFree = done
+	pc.mu.Unlock()
+	time.Sleep(done.Sub(now))
+}
+
+// gatedConn is one partition-aware, shape-aware connection.
 type gatedConn struct {
 	net.Conn
 	g      *Gate
+	rpace  pacer
+	wpace  pacer
 	mu     sync.Mutex
 	severd bool
 }
@@ -156,6 +238,12 @@ func (gc *gatedConn) Read(p []byte) (int, error) {
 	if err != nil && gc.dead() {
 		return n, ErrPartitioned
 	}
+	if n > 0 {
+		// Receiver-pays shaping: the bytes exist but have not "arrived"
+		// until the shaped link would have delivered them.
+		_, rs := gc.g.shapes()
+		gc.rpace.pace(rs, n)
+	}
 	return n, err
 }
 
@@ -163,6 +251,10 @@ func (gc *gatedConn) Write(p []byte) (int, error) {
 	if gc.dead() {
 		return 0, ErrPartitioned
 	}
+	// Sender-pays shaping: the message occupies the uplink before it is
+	// handed to the transport, serializing behind earlier writes.
+	ws, _ := gc.g.shapes()
+	gc.wpace.pace(ws, len(p))
 	n, err := gc.Conn.Write(p)
 	if err != nil && gc.dead() {
 		return n, ErrPartitioned

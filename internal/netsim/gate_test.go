@@ -152,3 +152,102 @@ func TestGateComposesWithShim(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGateShapeLatencyDelaysWrites(t *testing.T) {
+	g := NewGate()
+	g.SetShape(Shape{Latency: 60 * time.Millisecond}, Shape{})
+	c, s := net.Pipe()
+	defer s.Close()
+	gc := g.Wrap(c)
+	defer gc.Close()
+
+	go func() {
+		buf := make([]byte, 4)
+		_, _ = io.ReadFull(s, buf)
+	}()
+	start := time.Now()
+	if _, err := gc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 55*time.Millisecond {
+		t.Fatalf("shaped write took %v, want >= latency", el)
+	}
+}
+
+func TestGateShapeBandwidthSerializesTransfers(t *testing.T) {
+	g := NewGate()
+	// 100 KB/s: a 4 KiB message occupies the link for 40 ms; two
+	// back-to-back messages must queue to >= 80 ms total.
+	g.SetShape(Shape{KBps: 100}, Shape{})
+	c, s := net.Pipe()
+	defer s.Close()
+	gc := g.Wrap(c)
+	defer gc.Close()
+
+	go func() { _, _ = io.Copy(io.Discard, s) }()
+	msg := make([]byte, 4096)
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if _, err := gc.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 75*time.Millisecond {
+		t.Fatalf("two shaped 4 KiB writes took %v, want >= ~80ms serialization", el)
+	}
+}
+
+func TestGateShapeReadDirectionIndependent(t *testing.T) {
+	g := NewGate()
+	// Only the read (downlink) direction is shaped; writes stay ideal.
+	g.SetShape(Shape{}, Shape{Latency: 60 * time.Millisecond})
+	c, s := net.Pipe()
+	defer s.Close()
+	gc := g.Wrap(c)
+	defer gc.Close()
+
+	go func() {
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(s, buf); err == nil {
+			_, _ = s.Write(buf)
+		}
+	}()
+	start := time.Now()
+	if _, err := gc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 40*time.Millisecond {
+		t.Fatalf("unshaped write took %v", el)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(gc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 55*time.Millisecond {
+		t.Fatalf("shaped read completed in %v, want >= latency", el)
+	}
+}
+
+func TestGateShapeClearsAndComposesWithBlackhole(t *testing.T) {
+	g := NewGate()
+	g.SetShape(Shape{Latency: 50 * time.Millisecond}, Shape{Latency: 50 * time.Millisecond})
+	g.SetShape(Shape{}, Shape{}) // back to ideal
+	c, s := net.Pipe()
+	defer s.Close()
+	gc := g.Wrap(c)
+	defer gc.Close()
+	go func() { _, _ = io.Copy(io.Discard, s) }()
+	start := time.Now()
+	if _, err := gc.Write([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 40*time.Millisecond {
+		t.Fatalf("cleared shape still delaying: %v", el)
+	}
+	// A shaped gate still partitions: severing wins over shaping.
+	g.SetShape(Shape{Latency: 5 * time.Millisecond}, Shape{})
+	g.Blackhole(0)
+	if _, err := gc.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write during partition err = %v, want ErrPartitioned", err)
+	}
+}

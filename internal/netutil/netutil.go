@@ -8,11 +8,55 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrServerClosed is returned by Serve after a clean context-driven
 // shutdown, mirroring net/http.ErrServerClosed.
 var ErrServerClosed = errors.New("netutil: server closed")
+
+// WithDeadlines wraps conn so every Read arms a fresh read deadline of
+// read and every Write a fresh write deadline of write before touching
+// the transport. It is an idle watchdog, not a transfer budget: a large
+// message delivered slowly keeps making progress call by call, each one
+// re-arming the deadline, while a half-open peer — reachable enough to
+// keep TCP alive but never delivering another byte — fails the blocked
+// call with a timeout error instead of wedging its reader forever. A
+// zero (or negative) duration disables the watchdog for that direction.
+//
+// Note Write deadlines cover one Write call end to end: net.TCPConn
+// retries partial writes internally under a single armed deadline, so
+// the write window must cover a full message at worst-case link speed,
+// not just first-byte progress.
+func WithDeadlines(conn net.Conn, read, write time.Duration) net.Conn {
+	if read <= 0 && write <= 0 {
+		return conn
+	}
+	return &deadlineConn{Conn: conn, read: read, write: write}
+}
+
+type deadlineConn struct {
+	net.Conn
+	read, write time.Duration
+}
+
+func (dc *deadlineConn) Read(p []byte) (int, error) {
+	if dc.read > 0 {
+		if err := dc.Conn.SetReadDeadline(time.Now().Add(dc.read)); err != nil {
+			return 0, err
+		}
+	}
+	return dc.Conn.Read(p)
+}
+
+func (dc *deadlineConn) Write(p []byte) (int, error) {
+	if dc.write > 0 {
+		if err := dc.Conn.SetWriteDeadline(time.Now().Add(dc.write)); err != nil {
+			return 0, err
+		}
+	}
+	return dc.Conn.Write(p)
+}
 
 // Serve accepts connections on ln and dispatches each to handle on its
 // own goroutine until ctx is cancelled or the listener fails. On

@@ -67,3 +67,86 @@ func TestServeReportsListenerError(t *testing.T) {
 		t.Fatal("Serve did not return after listener close")
 	}
 }
+
+func TestWithDeadlinesUnwedgesSilentPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// The half-open peer: accepts, then never sends a byte.
+		defer conn.Close()
+		time.Sleep(2 * time.Second)
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	conn := WithDeadlines(raw, 50*time.Millisecond, 50*time.Millisecond)
+
+	start := time.Now()
+	_, err = conn.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("read of a silent peer returned without error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read err = %v, want a timeout", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("read blocked %v past its 50ms deadline", el)
+	}
+}
+
+func TestWithDeadlinesRefreshesPerCall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Trickle bytes slower than the per-call deadline would allow a
+		// single blocked read, but fast enough that every call makes
+		// progress: the watchdog must not fire.
+		for i := 0; i < 5; i++ {
+			time.Sleep(30 * time.Millisecond)
+			if _, err := conn.Write([]byte{byte(i)}); err != nil {
+				return
+			}
+		}
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	conn := WithDeadlines(raw, 100*time.Millisecond, 100*time.Millisecond)
+	buf := make([]byte, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatalf("read %d under per-call deadline refresh: %v", i, err)
+		}
+	}
+}
+
+func TestWithDeadlinesZeroIsPassthrough(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	if got := WithDeadlines(c, 0, 0); got != c {
+		t.Fatal("zero deadlines should return the conn unchanged")
+	}
+}

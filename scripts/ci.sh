@@ -27,6 +27,15 @@ echo "== dist chaos recovery (-race) =="
 # from step 0.
 go test -race -run 'TestChaosCoordinatorKillRecovery' -count=1 -v ./internal/dist
 
+echo "== dist slow-site speculation (-race) =="
+# Federation-resilience e2e: one site is throttled ~10x behind a shaped
+# (latency + bandwidth-capped) link while healthy workers run free; the
+# coordinator must hedge the straggling job onto the healthy site, the
+# hedge must win, the slow site's breaker must record the trip, and the
+# merged PMF must stay bit-identical to an unhindered run. The test's
+# hard timeout doubles as the no-read-blocks-past-deadline check.
+go test -race -timeout 180s -run 'TestChaosSlowSiteSpeculation' -count=1 -v ./internal/dist
+
 echo "== bench smoke (benchtime=1x) =="
 go test -run '^$' -bench 'Ablation' -benchtime 1x -benchmem .
 
