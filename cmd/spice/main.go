@@ -18,19 +18,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"spice/internal/campaign"
 	"spice/internal/core"
 	"spice/internal/dist"
+	"spice/internal/dist/statsfmt"
 	"spice/internal/imd"
 	"spice/internal/jarzynski"
 	"spice/internal/md"
+	"spice/internal/obs"
 	"spice/internal/trace"
 )
 
@@ -60,6 +63,10 @@ func main() {
 		hedgeFraction    = flag.Float64("hedge-fraction", 0.3, "hedge a job speculatively onto a second site when its checkpoint rate falls below this fraction of the fleet median; first finished attempt wins (0 disables)")
 		hedgeStall       = flag.Duration("hedge-stall", 0, "also hedge a job whose step counter has not advanced for this long while still heartbeating (0 disables)")
 		ioTimeout        = flag.Duration("io-timeout", 30*time.Second, "read/write deadline armed before every I/O on every worker connection, so a half-open peer times out instead of wedging a reader (0 disables)")
+
+		// Observability.
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
+		obsEvents = flag.String("obs-events", "", "append the structured JSON-lines scheduling event log to this file (- for stderr)")
 	)
 	flag.Parse()
 
@@ -90,30 +97,80 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Seed = *seed
 
-	var co *dist.Coordinator
-	if *coordAddr != "" {
-		var cancel context.CancelFunc
-		co, cancel, err = startCoordinator(*coordAddr, *stateDir, &cfg.System, *workers)
+	// Observability plumbing: one registry + event log feed the debug
+	// server, the coordinator (or the local runner) and the event file.
+	var (
+		reg    *obs.Registry
+		events *obs.EventLog
+	)
+	if *obsAddr != "" || *obsEvents != "" {
+		reg = obs.NewRegistry()
+		var evw io.Writer
+		switch *obsEvents {
+		case "":
+		case "-":
+			evw = os.Stderr
+		default:
+			f, err := os.OpenFile(*obsEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("-obs-events: %v", err)
+			}
+			defer f.Close()
+			evw = f
+		}
+		events = obs.NewEventLog(evw, 512)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg, events, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Resilience knobs. The flags default the hedging on; at the
-		// library level it is opt-in (zero value = off), and "0 disables"
-		// maps onto the negative sentinels.
-		co.BreakerThreshold = *breakerThreshold
-		if *breakerThreshold <= 0 {
-			co.BreakerThreshold = -1
-		}
-		co.BreakerCooldown = *breakerCooldown
-		co.HedgeFraction = *hedgeFraction
-		co.HedgeStall = *hedgeStall
-		co.IOTimeout = *ioTimeout
-		if *ioTimeout <= 0 {
-			co.IOTimeout = -1
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /healthz, /debug/pprof/, /debug/events)\n", srv.Addr())
+	}
+
+	// The dist runtime knobs, built from flags in one place. The flag
+	// semantics ("0 disables") are the Config semantics, so no sentinel
+	// mapping is needed here.
+	dcfg := dist.Defaults()
+	dcfg.StateDir = *stateDir
+	dcfg.BreakerThreshold = *breakerThreshold
+	dcfg.BreakerCooldown = *breakerCooldown
+	dcfg.HedgeFraction = *hedgeFraction
+	dcfg.HedgeStall = *hedgeStall
+	dcfg.IOTimeout = *ioTimeout
+	dcfg.Metrics = reg
+	dcfg.Events = events
+
+	var co *dist.Coordinator
+	if *coordAddr != "" {
+		var cancel context.CancelFunc
+		co, cancel, err = startCoordinator(*coordAddr, &cfg.System, *workers, dcfg)
+		if err != nil {
+			log.Fatal(err)
 		}
 		defer cancel()
 		defer co.Close()
 		cfg.Runner = co
+	} else {
+		// Local runs go through dist.LocalRunner — the same execution
+		// path and the same stats/metrics surface as a federated run,
+		// just without the network.
+		lr := &dist.LocalRunner{
+			Build: func(_ campaign.Combo, seed uint64) (*md.Engine, []int, error) {
+				eng, sel, err := cfg.System.Build(seed)
+				if err == nil {
+					dist.InstrumentEngine(reg, eng)
+				}
+				return eng, sel, err
+			},
+			Workers: cfg.Workers,
+			Events:  events,
+		}
+		if reg != nil {
+			dist.RegisterMetrics(reg, lr)
+		}
+		cfg.Runner = lr
 	}
 
 	fmt.Printf("SPICE priming sweep: %d κ × %d v, %g Å sub-trajectory, estimator %v\n\n",
@@ -166,7 +223,7 @@ func main() {
 // process — local or remote — sums forces in the same chunk order;
 // that, plus bit-exact checkpoints, is what makes distributed results
 // byte-identical to local ones.
-func startCoordinator(addr, stateDir string, sys *core.SystemConfig, workers int) (*dist.Coordinator, context.CancelFunc, error) {
+func startCoordinator(addr string, sys *core.SystemConfig, workers int, dcfg dist.Config) (*dist.Coordinator, context.CancelFunc, error) {
 	if sys.EngineWorkers == 0 {
 		sys.EngineWorkers = 1
 	}
@@ -179,14 +236,18 @@ func startCoordinator(addr, stateDir string, sys *core.SystemConfig, workers int
 		ln.Close()
 		return nil, nil, err
 	}
-	co := &dist.Coordinator{Listener: ln, System: sysJSON, StateDir: stateDir}
+	co, err := dist.NewCoordinator(ln, sysJSON, dcfg)
+	if err != nil {
+		ln.Close()
+		return nil, nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	for i := 0; i < workers; i++ {
-		w := &dist.Worker{
-			Name:      fmt.Sprintf("local-%d", i),
-			Addr:      ln.Addr().String(),
-			Build:     core.BuildFromJSON,
-			Reconnect: true,
+		w, err := dist.NewWorker(fmt.Sprintf("local-%d", i), "", ln.Addr().String(), core.BuildFromJSON, dist.Defaults())
+		if err != nil {
+			cancel()
+			ln.Close()
+			return nil, nil, err
 		}
 		go w.Run(ctx)
 	}
@@ -195,44 +256,11 @@ func startCoordinator(addr, stateDir string, sys *core.SystemConfig, workers int
 	return co, cancel, nil
 }
 
-func printDistStats(co *dist.Coordinator) {
-	st := co.Stats()
-	fmt.Printf("\ndist: %d jobs, %d assignments (%d retries, %d resumes), %d lease expiries, %d KiB in / %d KiB out\n",
-		st.Jobs, st.Assignments, st.Retries, st.Resumes, st.LeaseExpiries, st.BytesIn/1024, st.BytesOut/1024)
-	if st.Restarts > 0 || st.DuplicateResultsDropped > 0 || st.Adoptions > 0 {
-		fmt.Printf("dist recovery: %d restart(s), %d journal records replayed, %d adoptions, %d duplicate results dropped\n",
-			st.Restarts, st.ReplayedRecords, st.Adoptions, st.DuplicateResultsDropped)
-	}
-	if st.TornTail != nil {
-		fmt.Printf("dist recovery: dropped %d-byte torn journal tail (%v)\n", st.TruncatedTailBytes, st.TornTail)
-	}
-	if st.StragglersDetected > 0 || st.SpeculationsLaunched > 0 || st.BreakerTrips > 0 {
-		fmt.Printf("dist resilience: %d straggler(s), %d speculation(s) (%d won, %d wasted), %d breaker trip(s) / %d probe(s) / %d close(s)\n",
-			st.StragglersDetected, st.SpeculationsLaunched, st.SpeculationsWon, st.SpeculationsWasted,
-			st.BreakerTrips, st.BreakerProbes, st.BreakerCloses)
-	}
-	printSiteStats(co.SiteStats())
-}
-
-// printSiteStats renders the per-site health table — one row per
-// federation site, skipped when everything ran as a single site.
-func printSiteStats(sites map[string]dist.SiteStats) {
-	if len(sites) < 2 {
-		return
-	}
-	names := make([]string, 0, len(sites))
-	for name := range sites {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fmt.Printf("\n%-16s %7s %7s %7s %8s %9s %9s %10s %12s\n",
-		"site", "leased", "done", "failed", "expired", "spec won", "spec lost", "breaker", "rate (st/s)")
-	for _, name := range names {
-		s := sites[name]
-		fmt.Printf("%-16s %7d %7d %7d %8d %9d %9d %10s %12.0f\n",
-			s.Site, s.Assignments, s.Completions, s.Failures, s.LeaseExpiries,
-			s.SpecWon, s.SpecLost, s.Breaker, s.RateEWMA)
-	}
+// printDistStats renders the unified stats snapshot — the same
+// numbers /metrics scrapes, via the shared statsfmt renderer.
+func printDistStats(src dist.StatsSource) {
+	fmt.Println()
+	statsfmt.Render(os.Stdout, src.StatsSnapshot(), "dist: ")
 }
 
 func printSweep(res *core.SweepResult) {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -24,6 +25,7 @@ import (
 
 	"spice/internal/core"
 	"spice/internal/dist"
+	"spice/internal/obs"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		throttle    = flag.Duration("throttle", 0, "artificial sleep per checkpoint (testing/demo)")
 		window      = flag.Duration("reconnect-window", 10*time.Second, "give up after failing to reach the coordinator for this long")
 		backoffMax  = flag.Duration("reconnect-backoff", time.Second, "cap on the exponential re-dial backoff while the coordinator is unreachable")
+		obsAddr     = flag.String("obs-addr", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof/ on this address (e.g. 127.0.0.1:9091)")
+		obsEvents   = flag.String("obs-events", "", "append the structured JSON-lines worker event log to this file (- for stderr)")
 	)
 	flag.Parse()
 
@@ -55,22 +59,52 @@ func main() {
 		*name = host
 	}
 
-	w := &dist.Worker{
-		Name:                *name,
-		Site:                *site,
-		Addr:                *coordinator,
-		Slots:               *slots,
-		Build:               core.BuildFromJSON,
-		BeatInterval:        *beat,
-		CheckpointEvery:     *ckptEvery,
-		Throttle:            *throttle,
-		Reconnect:           true,
-		ReconnectWindow:     *window,
-		ReconnectBackoffMax: *backoffMax,
-		IOTimeout:           *ioTimeout,
+	// Observability plumbing, same shape as spice -obs-addr.
+	var (
+		reg    *obs.Registry
+		events *obs.EventLog
+	)
+	if *obsAddr != "" || *obsEvents != "" {
+		reg = obs.NewRegistry()
+		var evw io.Writer
+		switch *obsEvents {
+		case "":
+		case "-":
+			evw = os.Stderr
+		default:
+			f, err := os.OpenFile(*obsEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("-obs-events: %v", err)
+			}
+			defer f.Close()
+			evw = f
+		}
+		events = obs.NewEventLog(evw, 512)
 	}
-	if *ioTimeout <= 0 {
-		w.IOTimeout = -1 // flag 0 means off; the zero value means default
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg, events, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics (also /healthz, /debug/pprof/, /debug/events)\n", srv.Addr())
+	}
+
+	// All runtime knobs flow through one validated dist.Config ("0
+	// disables" flag semantics, no per-field sentinel mapping).
+	dcfg := dist.Defaults()
+	dcfg.Slots = *slots
+	dcfg.BeatInterval = *beat
+	dcfg.CheckpointEvery = *ckptEvery
+	dcfg.Throttle = *throttle
+	dcfg.ReconnectWindow = *window
+	dcfg.ReconnectBackoffMax = *backoffMax
+	dcfg.IOTimeout = *ioTimeout
+	dcfg.Metrics = reg
+	dcfg.Events = events
+	w, err := dist.NewWorker(*name, *site, *coordinator, core.BuildFromJSON, dcfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

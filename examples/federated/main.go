@@ -18,14 +18,15 @@ import (
 	"log"
 	"net"
 	"os"
-	"sort"
 	"time"
 
 	"spice/internal/campaign"
 	"spice/internal/core"
 	"spice/internal/dist"
+	"spice/internal/dist/statsfmt"
 	"spice/internal/federation"
 	"spice/internal/jarzynski"
+	"spice/internal/obs"
 )
 
 func main() {
@@ -102,29 +103,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	co := &dist.Coordinator{
-		Listener:      ln,
-		System:        sysJSON,
-		StateDir:      stateDir,
-		HedgeFraction: 0.3,
-		HedgeAfter:    200 * time.Millisecond,
+	// One validated Config, plus the obs layer: metrics generated from
+	// the coordinator's snapshot and a live scheduling-event stream. In
+	// production the registry is served with obs.Serve (spice -obs-addr);
+	// here the demo scrapes it in-process after the run.
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(nil, 512)
+	dcfg := dist.Defaults()
+	dcfg.StateDir = stateDir
+	dcfg.HedgeAfter = 200 * time.Millisecond
+	dcfg.BeatInterval = 20 * time.Millisecond
+	dcfg.CheckpointEvery = 1
+	dcfg.Metrics = reg
+	dcfg.Events = events
+	co, err := dist.NewCoordinator(ln, sysJSON, dcfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	for i, site := range []string{"us-east", "us-west", "uk"} {
-		w := &dist.Worker{
-			Name:            fmt.Sprintf("%s-0", site),
-			Site:            site,
-			Addr:            ln.Addr().String(),
-			Build:           core.BuildFromJSON,
-			BeatInterval:    20 * time.Millisecond,
-			CheckpointEvery: 1,
-			Reconnect:       true,
-		}
+		wcfg := dcfg
+		wcfg.Metrics, wcfg.Events = nil, nil
 		if i == 2 {
 			// The degraded-but-alive site: heartbeats on time, progress
 			// at a crawl — the shape that triggers a speculative hedge.
-			w.Throttle = 40 * time.Millisecond
+			wcfg.Throttle = 40 * time.Millisecond
+		}
+		w, err := dist.NewWorker(fmt.Sprintf("%s-0", site), site, ln.Addr().String(), core.BuildFromJSON, wcfg)
+		if err != nil {
+			log.Fatal(err)
 		}
 		go w.Run(ctx)
 	}
@@ -144,29 +152,23 @@ func main() {
 			break
 		}
 	}
-	st := co.Stats()
-	fmt.Printf("  %d jobs over %d assignments (%d retries, %d resumes), %d KiB in / %d KiB out\n",
-		st.Jobs, st.Assignments, st.Retries, st.Resumes, st.BytesIn/1024, st.BytesOut/1024)
-	fmt.Printf("  crash-safety journal: %d restart(s), %d records replayed, %d adoptions, %d duplicates dropped\n",
-		st.Restarts, st.ReplayedRecords, st.Adoptions, st.DuplicateResultsDropped)
-	fmt.Printf("  resilience: %d straggler(s) flagged, %d speculation(s) launched (%d won, %d wasted), %d breaker trip(s)\n",
-		st.StragglersDetected, st.SpeculationsLaunched, st.SpeculationsWon, st.SpeculationsWasted, st.BreakerTrips)
+	// One snapshot feeds the console tables, the Prometheus registry,
+	// and any assertion a test wants to make — no drift between views.
+	snap := co.StatsSnapshot()
+	statsfmt.Render(os.Stdout, snap, "  ")
 	fmt.Printf("  distributed PMF bit-identical to local run: %v\n", identical)
 
-	// Per-site health, the coordinator's live model of the fleet.
-	sites := co.SiteStats()
-	names := make([]string, 0, len(sites))
-	for name := range sites {
-		names = append(names, name)
+	// The same numbers as scraped from /metrics, plus the event stream's
+	// view of the scheduling decisions the coordinator made along the way.
+	fmt.Printf("\n  obs: %d events recorded", events.Seq())
+	if n := events.Count("speculation_launched") + events.Count("lease_granted"); n > 0 {
+		fmt.Printf(" (%d lease grants", events.Count("lease_granted"))
+		if h := events.Count("straggler_flagged"); h > 0 {
+			fmt.Printf(", %d straggler(s) flagged", h)
+		}
+		fmt.Printf(")")
 	}
-	sort.Strings(names)
-	fmt.Printf("\n  %-10s %7s %7s %9s %9s %10s %12s\n",
-		"site", "leased", "done", "spec won", "spec lost", "breaker", "rate (st/s)")
-	for _, name := range names {
-		s := sites[name]
-		fmt.Printf("  %-10s %7d %7d %9d %9d %10s %12.0f\n",
-			s.Site, s.Assignments, s.Completions, s.SpecWon, s.SpecLost, s.Breaker, s.RateEWMA)
-	}
+	fmt.Println()
 
 	// SMD-JE vs vanilla accounting (§II's 50-100x claim).
 	vanilla := cm.VanillaCPUHours(10)

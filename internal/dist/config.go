@@ -1,0 +1,263 @@
+package dist
+
+// Config is the one knob surface for the dist runtime. The Coordinator
+// and Worker structs grew a field per PR — lease TTL, retry backoff,
+// breaker, hedging, io-timeout, state dir, reconnect policy, and now
+// observability hooks — each with its own zero-value convention
+// ("0 means default" here, "0 disables, negative sentinel" there,
+// mapped by hand in every flag parser). Config collapses them into one
+// validated struct with flag semantics throughout: what you set is what
+// runs, 0 disables the optional machinery, and Defaults() is the single
+// statement of production defaults. cmd/spice and cmd/spiced build a
+// Config from flags in one place and hand it to NewCoordinator /
+// NewWorker, which translate to the legacy field conventions.
+//
+// Direct struct construction (&Coordinator{...}, &Worker{...}) keeps
+// its historical zero-value behavior — nothing is silently deprecated;
+// DESIGN.md §10 documents the field mapping.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"spice/internal/obs"
+)
+
+// Config carries every dist runtime knob. Semantics are uniform flag
+// semantics: the value set is the value used, and 0 disables optional
+// subsystems (breaker, hedging, io-timeout, reconnect window has no
+// disable — it bounds a retry loop). Start from Defaults() and override.
+type Config struct {
+	// --- Scheduling (coordinator) ---
+
+	// LeaseTTL is how long a job survives without a heartbeat before it
+	// is revoked and requeued.
+	LeaseTTL time.Duration
+	// RetryBase and RetryMax bound the exponential, deterministically
+	// jittered backoff before a revoked or failed job is re-leased.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// MaxAttempts caps lease grants per job before the campaign fails.
+	MaxAttempts int
+	// StateDir, if non-empty, makes campaigns crash-safe (write-ahead
+	// journal + checkpoint spool under this directory).
+	StateDir string
+
+	// --- Resilience (coordinator) ---
+
+	// BreakerThreshold is the consecutive-failure strike count that
+	// opens a site's circuit breaker. 0 disables the breakers.
+	BreakerThreshold int
+	// BreakerCooldown is the quarantine before an open site is re-probed
+	// with a single job. 0 means 2×LeaseTTL.
+	BreakerCooldown time.Duration
+	// HedgeFraction hedges a job speculatively onto a second site when
+	// its checkpoint rate falls below this fraction of the fleet median.
+	// 0 disables rate hedging.
+	HedgeFraction float64
+	// HedgeStall also hedges a job whose step counter has not advanced
+	// for this long while still heartbeating. 0 disables stall hedging.
+	HedgeStall time.Duration
+	// HedgeAfter is the minimum lease age before either hedge trigger
+	// may fire. 0 means LeaseTTL/2.
+	HedgeAfter time.Duration
+
+	// --- Transport (both sides) ---
+
+	// IOTimeout arms a fresh read/write deadline before every I/O on
+	// every dist connection. 0 disables the deadlines.
+	IOTimeout time.Duration
+	// WrapConn, if set, wraps every connection the coordinator accepts
+	// (test QoS shims).
+	WrapConn func(net.Conn) net.Conn
+	// Dial overrides the worker's transport (test QoS shims). Default
+	// net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+
+	// --- Execution (worker) ---
+
+	// Slots is the number of jobs a worker runs concurrently (min 1).
+	Slots int
+	// BeatInterval is the worker heartbeat period. Keep well under
+	// LeaseTTL.
+	BeatInterval time.Duration
+	// CheckpointEvery is the number of recorded samples between
+	// checkpoints streamed to the coordinator (min 1).
+	CheckpointEvery int
+	// Throttle sleeps this long at every checkpoint (test/demo hook).
+	Throttle time.Duration
+	// Reconnect makes the worker transport self-healing (daemon
+	// semantics): re-dial with backoff, retransmit unacked results.
+	Reconnect bool
+	// ReconnectWindow bounds consecutive reconnect failures before a
+	// worker session gives up.
+	ReconnectWindow time.Duration
+	// ReconnectBackoffMax caps the exponential re-dial backoff.
+	ReconnectBackoffMax time.Duration
+
+	// --- Observability (both sides) ---
+
+	// Metrics, if set, gets the dist collectors registered on it: the
+	// coordinator contributes its full Snapshot (campaign counters +
+	// per-site gauges), the worker its execution counters. Serve it with
+	// obs.Serve.
+	Metrics *obs.Registry
+	// Events, if set, receives the structured scheduling event stream
+	// (lease grants/expiries, breaker transitions, speculation
+	// settlements) with monotonic sequence numbers and the same
+	// (job, attempt) keys as the journal.
+	Events *obs.EventLog
+}
+
+// Defaults returns the production default Config — the same values the
+// legacy zero-valued Coordinator/Worker structs resolve to, with the
+// resilience layer (breaker + rate hedging) switched on.
+func Defaults() Config {
+	return Config{
+		LeaseTTL:            5 * time.Second,
+		RetryBase:           50 * time.Millisecond,
+		RetryMax:            2 * time.Second,
+		MaxAttempts:         8,
+		BreakerThreshold:    3,
+		HedgeFraction:       0.3,
+		IOTimeout:           30 * time.Second,
+		Slots:               1,
+		BeatInterval:        200 * time.Millisecond,
+		CheckpointEvery:     8,
+		Reconnect:           true,
+		ReconnectWindow:     10 * time.Second,
+		ReconnectBackoffMax: time.Second,
+	}
+}
+
+// Validate checks the Config for values that cannot run. It returns the
+// first problem found; a nil error means NewCoordinator/NewWorker will
+// accept the Config as-is.
+func (c Config) Validate() error {
+	switch {
+	case c.LeaseTTL <= 0:
+		return errors.New("dist: Config.LeaseTTL must be positive")
+	case c.RetryBase <= 0:
+		return errors.New("dist: Config.RetryBase must be positive")
+	case c.RetryMax < c.RetryBase:
+		return fmt.Errorf("dist: Config.RetryMax (%v) below RetryBase (%v)", c.RetryMax, c.RetryBase)
+	case c.MaxAttempts < 1:
+		return errors.New("dist: Config.MaxAttempts must be at least 1")
+	case c.BreakerThreshold < 0:
+		return errors.New("dist: Config.BreakerThreshold must be >= 0 (0 disables)")
+	case c.BreakerCooldown < 0:
+		return errors.New("dist: Config.BreakerCooldown must be >= 0")
+	case c.HedgeFraction < 0 || c.HedgeFraction >= 1:
+		return fmt.Errorf("dist: Config.HedgeFraction %g outside [0, 1)", c.HedgeFraction)
+	case c.HedgeStall < 0:
+		return errors.New("dist: Config.HedgeStall must be >= 0")
+	case c.HedgeAfter < 0:
+		return errors.New("dist: Config.HedgeAfter must be >= 0")
+	case c.IOTimeout < 0:
+		return errors.New("dist: Config.IOTimeout must be >= 0 (0 disables)")
+	case c.Slots < 1:
+		return errors.New("dist: Config.Slots must be at least 1")
+	case c.BeatInterval <= 0:
+		return errors.New("dist: Config.BeatInterval must be positive")
+	case c.BeatInterval >= c.LeaseTTL:
+		return fmt.Errorf("dist: Config.BeatInterval (%v) must be below LeaseTTL (%v) or every lease expires",
+			c.BeatInterval, c.LeaseTTL)
+	case c.CheckpointEvery < 1:
+		return errors.New("dist: Config.CheckpointEvery must be at least 1")
+	case c.Throttle < 0:
+		return errors.New("dist: Config.Throttle must be >= 0")
+	case c.ReconnectWindow <= 0:
+		return errors.New("dist: Config.ReconnectWindow must be positive")
+	case c.ReconnectBackoffMax <= 0:
+		return errors.New("dist: Config.ReconnectBackoffMax must be positive")
+	}
+	return nil
+}
+
+// disabledOr maps Config flag semantics ("0 disables") onto the legacy
+// field convention ("zero value means default, negative disables").
+func disabledOrDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return -1
+	}
+	return d
+}
+
+func disabledOrInt(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// NewCoordinator validates cfg and builds a Coordinator listening on
+// ln, distributing the opaque system payload to workers. The obs hooks
+// are wired: cfg.Metrics gets the Snapshot collector registered,
+// cfg.Events receives the scheduling event stream.
+func NewCoordinator(ln net.Listener, system json.RawMessage, cfg Config) (*Coordinator, error) {
+	if ln == nil {
+		return nil, errors.New("dist: NewCoordinator needs a listener")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		Listener:         ln,
+		System:           system,
+		LeaseTTL:         cfg.LeaseTTL,
+		RetryBase:        cfg.RetryBase,
+		RetryMax:         cfg.RetryMax,
+		MaxAttempts:      cfg.MaxAttempts,
+		WrapConn:         cfg.WrapConn,
+		StateDir:         cfg.StateDir,
+		BreakerThreshold: disabledOrInt(cfg.BreakerThreshold),
+		BreakerCooldown:  cfg.BreakerCooldown,
+		HedgeFraction:    cfg.HedgeFraction,
+		HedgeStall:       cfg.HedgeStall,
+		HedgeAfter:       cfg.HedgeAfter,
+		IOTimeout:        disabledOrDuration(cfg.IOTimeout),
+		Events:           cfg.Events,
+	}
+	if cfg.Metrics != nil {
+		RegisterMetrics(cfg.Metrics, co)
+	}
+	return co, nil
+}
+
+// NewWorker validates cfg and builds a Worker that pulls jobs from the
+// coordinator at addr, building each job's simulation with build. The
+// worker's execution counters register on cfg.Metrics when set.
+func NewWorker(name, site, addr string, build BuildFunc, cfg Config) (*Worker, error) {
+	if addr == "" {
+		return nil, errors.New("dist: NewWorker needs a coordinator address")
+	}
+	if build == nil {
+		return nil, errors.New("dist: NewWorker needs a Build function")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		Name:                name,
+		Site:                site,
+		Addr:                addr,
+		Slots:               cfg.Slots,
+		Build:               build,
+		BeatInterval:        cfg.BeatInterval,
+		CheckpointEvery:     cfg.CheckpointEvery,
+		Throttle:            cfg.Throttle,
+		Reconnect:           cfg.Reconnect,
+		ReconnectWindow:     cfg.ReconnectWindow,
+		ReconnectBackoffMax: cfg.ReconnectBackoffMax,
+		Dial:                cfg.Dial,
+		IOTimeout:           disabledOrDuration(cfg.IOTimeout),
+		Events:              cfg.Events,
+	}
+	if cfg.Metrics != nil {
+		w.RegisterMetrics(cfg.Metrics)
+	}
+	return w, nil
+}

@@ -1,0 +1,147 @@
+package dist
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/md"
+	"spice/internal/obs"
+)
+
+// stubBuild satisfies BuildFunc for constructor tests that never run a job.
+func stubBuild(json.RawMessage, campaign.Combo, uint64) (*md.Engine, []int, error) {
+	panic("stubBuild must not run")
+}
+
+func TestDefaultsValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Fatalf("Defaults() must validate: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the error
+	}{
+		{"zero lease TTL", func(c *Config) { c.LeaseTTL = 0 }, "LeaseTTL"},
+		{"zero retry base", func(c *Config) { c.RetryBase = 0 }, "RetryBase"},
+		{"retry max below base", func(c *Config) { c.RetryMax = c.RetryBase / 2 }, "RetryMax"},
+		{"zero max attempts", func(c *Config) { c.MaxAttempts = 0 }, "MaxAttempts"},
+		{"negative breaker threshold", func(c *Config) { c.BreakerThreshold = -1 }, "BreakerThreshold"},
+		{"negative breaker cooldown", func(c *Config) { c.BreakerCooldown = -time.Second }, "BreakerCooldown"},
+		{"hedge fraction one", func(c *Config) { c.HedgeFraction = 1 }, "HedgeFraction"},
+		{"negative hedge fraction", func(c *Config) { c.HedgeFraction = -0.1 }, "HedgeFraction"},
+		{"negative hedge stall", func(c *Config) { c.HedgeStall = -time.Second }, "HedgeStall"},
+		{"negative io timeout", func(c *Config) { c.IOTimeout = -1 }, "IOTimeout"},
+		{"zero slots", func(c *Config) { c.Slots = 0 }, "Slots"},
+		{"zero beat", func(c *Config) { c.BeatInterval = 0 }, "BeatInterval"},
+		{"beat at lease TTL", func(c *Config) { c.BeatInterval = c.LeaseTTL }, "BeatInterval"},
+		{"zero checkpoint every", func(c *Config) { c.CheckpointEvery = 0 }, "CheckpointEvery"},
+		{"negative throttle", func(c *Config) { c.Throttle = -time.Second }, "Throttle"},
+		{"zero reconnect window", func(c *Config) { c.ReconnectWindow = 0 }, "ReconnectWindow"},
+		{"zero reconnect backoff", func(c *Config) { c.ReconnectBackoffMax = 0 }, "ReconnectBackoffMax"},
+	}
+	for _, tc := range cases {
+		cfg := Defaults()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestConfigZeroDisables checks the "0 disables" flag semantics survive
+// the translation onto the legacy field conventions (where zero means
+// "use the default" and a negative value disables).
+func TestConfigZeroDisables(t *testing.T) {
+	cfg := Defaults()
+	cfg.BreakerThreshold = 0
+	cfg.IOTimeout = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("disabling breaker and io-timeout must validate: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	co, err := NewCoordinator(ln, json.RawMessage(`{}`), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	if co.BreakerThreshold >= 0 {
+		t.Fatalf("BreakerThreshold 0 must map to the negative disable sentinel, got %d", co.BreakerThreshold)
+	}
+	if co.IOTimeout >= 0 {
+		t.Fatalf("IOTimeout 0 must map to the negative disable sentinel, got %v", co.IOTimeout)
+	}
+
+	w, err := NewWorker("w0", "site", "127.0.0.1:1", stubBuild, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.IOTimeout >= 0 {
+		t.Fatalf("worker IOTimeout 0 must map to the negative disable sentinel, got %v", w.IOTimeout)
+	}
+}
+
+func TestNewCoordinatorRejects(t *testing.T) {
+	if _, err := NewCoordinator(nil, nil, Defaults()); err == nil {
+		t.Fatal("nil listener accepted")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	bad := Defaults()
+	bad.LeaseTTL = 0
+	if _, err := NewCoordinator(ln, nil, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNewWorkerRejects(t *testing.T) {
+	if _, err := NewWorker("w0", "", "", stubBuild, Defaults()); err == nil {
+		t.Fatal("empty coordinator address accepted")
+	}
+	if _, err := NewWorker("w0", "", "127.0.0.1:1", nil, Defaults()); err == nil {
+		t.Fatal("nil build function accepted")
+	}
+}
+
+// TestNewWorkerWiresMetrics: the constructor must both register the
+// worker's collector and retain the registry so engines built later get
+// the md-layer observers.
+func TestNewWorkerWiresMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Defaults()
+	cfg.Metrics = reg
+	w, err := NewWorker("w0", "", "127.0.0.1:1", stubBuild, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.reg != reg {
+		t.Fatal("worker did not retain the metrics registry for engine instrumentation")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `spice_worker_jobs_started_total{worker="w0"} 0`) {
+		t.Fatalf("worker collector not registered; scrape:\n%s", sb.String())
+	}
+}

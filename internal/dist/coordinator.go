@@ -13,6 +13,7 @@ import (
 
 	"spice/internal/campaign"
 	"spice/internal/netutil"
+	"spice/internal/obs"
 	"spice/internal/trace"
 )
 
@@ -98,6 +99,12 @@ type Coordinator struct {
 	// instead of wedging its reader. 0 defaults to 30s; negative
 	// disables the deadlines.
 	IOTimeout time.Duration
+	// Events, if set, receives the structured scheduling event stream:
+	// every lease grant/expiry/adoption, breaker transition, speculation
+	// settlement and journal replay, carrying the same (job, attempt)
+	// keys as the journal so an event trace can be cross-checked against
+	// the final Stats. Nil disables (the EventLog type is nil-safe).
+	Events *obs.EventLog
 
 	mu       sync.Mutex
 	journal  *journal
@@ -287,6 +294,15 @@ func (co *Coordinator) backoff(jobID string, attempts int) time.Duration {
 	return time.Duration(float64(d) * frac)
 }
 
+// campaignKey derives a short stable identifier for a campaign from its
+// spec JSON — the same bytes that key journal replay, so the event
+// stream's campaign scope survives coordinator restarts.
+func campaignKey(specJSON []byte) string {
+	h := fnv.New64a()
+	h.Write(specJSON)
+	return fmt.Sprintf("c-%08x", uint32(h.Sum64()))
+}
+
 // startLocked spins up the accept loop and the lease janitor. Caller
 // holds mu.
 func (co *Coordinator) startLocked() {
@@ -360,10 +376,19 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 		co.stats.ReplayedRecords += rep.records
 		co.stats.TruncatedTailBytes += rep.tornBytes
 		if rep.tornErr != nil {
-			co.stats.TornTail = rep.tornErr
+			co.stats.TornTail = TailTorn
+			if errors.Is(rep.tornErr, trace.ErrFormat) {
+				co.stats.TornTail = TailCorrupt
+			}
+			co.stats.TornTailMsg = rep.tornErr.Error()
 		}
 		if rep.records > 0 {
 			co.stats.Restarts++
+			co.Events.Emit(obs.Event{Name: "journal_replayed", Fields: map[string]any{
+				"records":    rep.records,
+				"torn_bytes": rep.tornBytes,
+				"tail":       co.stats.TornTail.String(),
+			}})
 		}
 	}
 	if !co.started {
@@ -421,6 +446,9 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 	}
 	co.camp = camp
 	co.stats.Jobs += len(tasks)
+	co.Events.Emit(obs.Event{Name: "campaign_start", Campaign: campaignKey(specJSON), Fields: map[string]any{
+		"jobs": len(tasks), "recovered_done": len(tasks) - camp.remaining,
+	}})
 	if !co.journalLocked(camp, &jrec{T: jCampaign, Spec: specJSON}, true) {
 		// journalLocked already failed the campaign; fall through to the
 		// wait below, which returns the error immediately.
@@ -438,6 +466,11 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 	err = camp.failErr
 	in, out := co.bytes.snapshot()
 	co.stats.BytesIn, co.stats.BytesOut = in, out
+	done := obs.Event{Name: "campaign_done", Campaign: campaignKey(specJSON)}
+	if err != nil {
+		done.Fields = map[string]any{"error": err.Error()}
+	}
+	co.Events.Emit(done)
 	co.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -530,6 +563,8 @@ func (co *Coordinator) janitor(ctx context.Context) {
 						if now.Sub(l.lastBeat) > co.leaseTTL() {
 							co.stats.LeaseExpiries++
 							co.jobStats[j.id].LeaseExpiries++
+							co.Events.Emit(obs.Event{Name: "lease_expired", Job: j.id,
+								Attempt: l.attempt, Site: l.site, Worker: l.worker})
 							co.siteStrikeLocked(l.site, j.id, now, func(sh *siteHealth) { sh.leaseExpiries++ })
 							continue
 						}
@@ -557,6 +592,8 @@ func (co *Coordinator) siteStrikeLocked(site, jobID string, now time.Time, count
 	sh.clearProbe(jobID)
 	if sh.strike(now, co.breakerThreshold()) {
 		co.stats.BreakerTrips++
+		co.Events.Emit(obs.Event{Name: "breaker_open", Job: jobID, Site: site,
+			Fields: map[string]any{"strikes": sh.strikes}})
 	}
 }
 
@@ -584,6 +621,9 @@ func (co *Coordinator) stragglerScanLocked(camp *campaignRun, now time.Time) {
 		if slow || stalled {
 			j.straggler = true
 			co.stats.StragglersDetected++
+			co.Events.Emit(obs.Event{Name: "straggler_flagged", Job: j.id,
+				Attempt: l.attempt, Site: l.site, Worker: l.worker,
+				Fields: map[string]any{"slow": slow, "stalled": stalled, "rate": l.rate}})
 		}
 	}
 }
@@ -613,6 +653,8 @@ func (co *Coordinator) requeueLocked(camp *campaignRun, j *job) {
 	j.leases = nil
 	j.straggler = false
 	j.notBefore = time.Now().Add(co.backoff(j.id, j.attempts))
+	co.Events.Emit(obs.Event{Name: "job_requeued", Job: j.id, Attempt: j.attempts,
+		Fields: map[string]any{"not_before": j.notBefore.UTC().Format(time.RFC3339Nano)}})
 	if j.attempts >= co.maxAttempts() {
 		camp.finish(fmt.Errorf("dist: job %s exhausted %d attempts", j.id, j.attempts))
 	}
@@ -649,6 +691,7 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		// Unconfigured workers are their own one-machine site.
 		cs.site = hello.Name
 	}
+	co.Events.Emit(obs.Event{Name: "worker_connected", Site: cs.site, Worker: cs.name})
 	if err := enc.Encode(&response{Type: msgOK, System: co.System}); err != nil {
 		return
 	}
@@ -698,6 +741,8 @@ func (co *Coordinator) dropConn(cs *connState) {
 		for _, l := range j.leases {
 			if l.owner == cs {
 				co.stats.Disconnects++
+				co.Events.Emit(obs.Event{Name: "worker_disconnected", Job: j.id,
+					Attempt: l.attempt, Site: l.site, Worker: l.worker})
 				co.siteStrikeLocked(l.site, j.id, now, func(sh *siteHealth) { sh.disconnects++ })
 				continue
 			}
@@ -734,6 +779,7 @@ func (co *Coordinator) grantLocked(camp *campaignRun, j *job, cs *connState, now
 		// grant is the half-open probe.
 		sh.state = breakerHalfOpen
 		co.stats.BreakerProbes++
+		co.Events.Emit(obs.Event{Name: "breaker_probe", Job: j.id, Site: cs.site, Worker: cs.name})
 	}
 	if sh.state == breakerHalfOpen && sh.probeJob == "" {
 		sh.probeJob = j.id
@@ -763,6 +809,9 @@ func (co *Coordinator) grantLocked(camp *campaignRun, j *job, cs *connState, now
 		co.stats.Resumes++
 		js.Resumes++
 	}
+	co.Events.Emit(obs.Event{Name: "lease_granted", Job: j.id, Attempt: j.attempts,
+		Site: cs.site, Worker: cs.name,
+		Fields: map[string]any{"hedge": speculative, "resumed": resumed}})
 	co.journalLocked(camp, &jrec{
 		T: jLease, Job: j.id, Worker: cs.name, Site: cs.site,
 		Attempt: j.attempts, Resumed: resumed, Hedge: speculative,
@@ -892,6 +941,8 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 		j.leases = append(j.leases, l)
 		co.siteLocked(cs.site).assignments++
 		co.stats.Adoptions++
+		co.Events.Emit(obs.Event{Name: "lease_adopted", Job: j.id, Attempt: j.attempts,
+			Site: cs.site, Worker: cs.name})
 		js := co.jobStats[j.id]
 		js.Adoptions++
 		js.Assignments++
@@ -920,6 +971,9 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 			l.steps = steps
 			l.stepsAt = now
 		}
+		co.Events.Emit(obs.Event{Name: "checkpoint", Job: j.id, Attempt: l.attempt,
+			Site: l.site, Worker: l.worker,
+			Fields: map[string]any{"steps": steps, "bytes": len(req.Ckpt)}})
 		if steps >= j.ckptSteps {
 			// Farthest-wins: with two concurrent leases on the same
 			// bit-exact trajectory, the checkpoint farther along strictly
@@ -1006,6 +1060,7 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 	}
 	if sh.success() {
 		co.stats.BreakerCloses++
+		co.Events.Emit(obs.Event{Name: "breaker_closed", Job: j.id, Site: cs.site})
 	}
 	// Settle the speculation race: every other concurrent lease lost.
 	for _, l := range j.leases {
@@ -1013,6 +1068,8 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 			continue
 		}
 		co.stats.SpeculationsWasted++
+		co.Events.Emit(obs.Event{Name: "speculation_lost", Job: j.id, Attempt: l.attempt,
+			Site: l.site, Worker: l.worker})
 		loser := co.siteLocked(l.site)
 		loser.specLost++
 		loser.clearProbe(j.id)
@@ -1033,6 +1090,9 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 	j.straggler = false
 	j.log = req.Log
 	camp.remaining--
+	co.Events.Emit(obs.Event{Name: "result_accepted", Job: j.id, Attempt: attempt,
+		Site: cs.site, Worker: cs.name,
+		Fields: map[string]any{"remaining": camp.remaining}})
 	if co.journal != nil {
 		co.journal.removeSpool(j.id)
 	}
@@ -1066,6 +1126,8 @@ func (co *Coordinator) fail(cs *connState, req *request) response {
 	l := j.leaseOf(cs)
 	if j.state == stateLeased && l != nil && (req.Attempt == 0 || req.Attempt == l.attempt) {
 		co.stats.Failures++
+		co.Events.Emit(obs.Event{Name: "job_failed", Job: j.id, Attempt: l.attempt,
+			Site: l.site, Worker: l.worker, Fields: map[string]any{"error": req.Err}})
 		co.journalLocked(camp, &jrec{T: jFail, Job: j.id, Attempt: l.attempt, Err: req.Err}, false)
 		co.siteStrikeLocked(l.site, j.id, time.Now(), func(sh *siteHealth) { sh.failures++ })
 		keep := j.leases[:0]
@@ -1084,11 +1146,15 @@ func (co *Coordinator) fail(cs *connState, req *request) response {
 	return response{Type: msgOK}
 }
 
-// Stats implements StatsSource. Counters aggregate over every campaign
-// the coordinator has run.
+// Stats returns the campaign counters. Counters aggregate over every
+// campaign the coordinator has run.
 func (co *Coordinator) Stats() Stats {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	return co.statsLocked()
+}
+
+func (co *Coordinator) statsLocked() Stats {
 	s := co.stats
 	s.BytesIn, s.BytesOut = co.bytes.snapshot()
 	return s
@@ -1098,6 +1164,10 @@ func (co *Coordinator) Stats() Stats {
 func (co *Coordinator) JobStats() map[string]JobStats {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	return co.jobStatsLocked()
+}
+
+func (co *Coordinator) jobStatsLocked() map[string]JobStats {
 	out := make(map[string]JobStats, len(co.jobStats))
 	for id, js := range co.jobStats {
 		cp := *js
@@ -1105,6 +1175,20 @@ func (co *Coordinator) JobStats() map[string]JobStats {
 		out[id] = cp
 	}
 	return out
+}
+
+// StatsSnapshot implements StatsSource: the campaign counters, per-job
+// lease histories and per-site health table captured under one lock
+// acquisition, so the three views are mutually coherent — the snapshot
+// the statsfmt tables print and the obs /metrics collector scrapes.
+func (co *Coordinator) StatsSnapshot() Snapshot {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return Snapshot{
+		Stats: co.statsLocked(),
+		Jobs:  co.jobStatsLocked(),
+		Sites: co.siteStatsLocked(),
+	}
 }
 
 // countConn counts bytes crossing a connection.

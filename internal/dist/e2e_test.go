@@ -7,10 +7,12 @@ package dist_test
 // campaign must still be bit-identical to a single-process run.
 
 import (
+	"bufio"
 	"encoding/json"
 	"net"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"spice/internal/core"
 	"spice/internal/dist"
 	"spice/internal/md"
+	"spice/internal/obs"
 	"spice/internal/trace"
 )
 
@@ -78,6 +81,50 @@ func spawnSpiced(t *testing.T, bin, addr, name string, extra ...string) *exec.Cm
 	return cmd
 }
 
+// spawnSpicedObs is spawnSpiced with -obs-addr 127.0.0.1:0; it parses
+// the daemon's "observability: http://..." banner off stdout and
+// returns the debug server's base URL alongside the process.
+func spawnSpicedObs(t *testing.T, bin, addr, name string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{
+		"-coordinator", addr,
+		"-name", name,
+		"-beat", "20ms",
+		"-obs-addr", "127.0.0.1:0",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "observability: http://"); ok {
+				urlCh <- "http://" + strings.TrimSuffix(strings.Fields(rest)[0], "/metrics")
+			}
+		}
+	}()
+	select {
+	case base := <-urlCh:
+		return cmd, base
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s never printed its observability banner", name)
+		return nil, ""
+	}
+}
+
 func TestEndToEndWorkerProcesses(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs worker processes")
@@ -108,13 +155,22 @@ func TestEndToEndWorkerProcesses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(nil, 2048)
 	co := &dist.Coordinator{
 		Listener:  ln,
 		System:    sysJSON,
 		LeaseTTL:  500 * time.Millisecond,
 		RetryBase: 10 * time.Millisecond,
+		Events:    events,
 	}
 	t.Cleanup(func() { _ = co.Close() })
+	dist.RegisterMetrics(reg, co)
+	srv, err := obs.Serve("127.0.0.1:0", reg, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
 
 	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
 	errCh := make(chan error, 1)
@@ -146,9 +202,21 @@ func TestEndToEndWorkerProcesses(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Two healthy worker processes finish the campaign.
-	spawnSpiced(t, bin, addr, "alpha")
+	// Two healthy worker processes finish the campaign. Alpha carries
+	// the full observability surface; smoke-check every endpoint while
+	// it runs (the daemon exits when the coordinator drains, taking its
+	// debug server with it, so this is the moment they are reachable).
+	_, alphaBase := spawnSpicedObs(t, bin, addr, "alpha")
 	spawnSpiced(t, bin, addr, "beta")
+
+	requireHealthy(t, alphaBase)
+	wm := scrapeProm(t, alphaBase+"/metrics")
+	if _, ok := wm[`spice_worker_jobs_started_total{worker="alpha"}`]; !ok {
+		t.Fatalf("worker scrape missing spice_worker_jobs_started_total: %v", wm)
+	}
+	if code, _ := httpGet(t, alphaBase+"/debug/pprof/"); code != 200 {
+		t.Fatalf("worker /debug/pprof/ = %d, want 200", code)
+	}
 
 	var got map[campaign.Combo][]*trace.WorkLog
 	select {
@@ -183,6 +251,27 @@ func TestEndToEndWorkerProcesses(t *testing.T) {
 	}
 	if len(names) < 2 {
 		t.Fatalf("expected >= 2 worker processes to participate, saw %v", names)
+	}
+
+	// Coordinator-side obs smoke: /healthz, /debug/pprof/, and the
+	// scraped counters for the recovery story must equal the Stats the
+	// assertions above just read — same snapshot, no drift. These
+	// counters are settled once the campaign is over (worker processes
+	// hanging up can only move Disconnects, which we leave out).
+	base := "http://" + srv.Addr()
+	requireHealthy(t, base)
+	if code, _ := httpGet(t, base+"/debug/pprof/"); code != 200 {
+		t.Fatalf("coordinator /debug/pprof/ = %d, want 200", code)
+	}
+	m := scrapeProm(t, base+"/metrics")
+	st = co.Stats()
+	requireMetric(t, m, "spice_dist_jobs_total", float64(st.Jobs))
+	requireMetric(t, m, "spice_dist_assignments_total", float64(st.Assignments))
+	requireMetric(t, m, "spice_dist_retries_total", float64(st.Retries))
+	requireMetric(t, m, "spice_dist_resumes_total", float64(st.Resumes))
+	requireMetric(t, m, "spice_dist_lease_expiries_total", float64(st.LeaseExpiries))
+	if n := events.Count("lease_expired"); n != int64(st.LeaseExpiries) {
+		t.Fatalf("event log saw %d lease_expired, stats say %d", n, st.LeaseExpiries)
 	}
 }
 

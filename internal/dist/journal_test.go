@@ -277,8 +277,11 @@ func TestJournalTornTailSurfacedInStats(t *testing.T) {
 	requireBitIdentical(t, want, got)
 
 	st := co.Stats()
-	if !errors.Is(st.TornTail, trace.ErrTruncated) {
-		t.Fatalf("stats.TornTail = %v, want ErrTruncated", st.TornTail)
+	if st.TornTail != TailTorn {
+		t.Fatalf("stats.TornTail = %v, want TailTorn", st.TornTail)
+	}
+	if !errors.Is(st.TornTailErr(), trace.ErrTruncated) {
+		t.Fatalf("stats.TornTailErr() = %v, want ErrTruncated", st.TornTailErr())
 	}
 	if st.TruncatedTailBytes != torn {
 		t.Fatalf("stats.TruncatedTailBytes = %d, want %d", st.TruncatedTailBytes, torn)

@@ -1,0 +1,82 @@
+package dist_test
+
+// Shared observability helpers for the e2e/chaos tests: a tiny
+// Prometheus text-format scraper and an HTTP smoke-check, so the chaos
+// scenarios can assert that the scraped /metrics counters equal the
+// final Stats snapshot field for field.
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpGet fetches url with a short timeout and returns the body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// scrapeProm GETs a /metrics endpoint and parses the exposition into a
+// map keyed by the full sample name including labels, e.g.
+// "spice_dist_assignments_total" or `spice_dist_site_spec_won{site="quick"}`.
+func scrapeProm(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	code, body := httpGet(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, code)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// requireMetric asserts a scraped sample exists and equals want.
+func requireMetric(t *testing.T, m map[string]float64, name string, want float64) {
+	t.Helper()
+	got, ok := m[name]
+	if !ok {
+		t.Fatalf("metric %s missing from scrape", name)
+	}
+	if got != want {
+		t.Fatalf("metric %s = %v, want %v (scrape drifted from Stats)", name, got, want)
+	}
+}
+
+// requireHealthy asserts /healthz returns 200 ok.
+func requireHealthy(t *testing.T, base string) {
+	t.Helper()
+	code, body := httpGet(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+}

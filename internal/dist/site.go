@@ -173,6 +173,10 @@ type SiteStats struct {
 func (co *Coordinator) SiteStats() map[string]SiteStats {
 	co.mu.Lock()
 	defer co.mu.Unlock()
+	return co.siteStatsLocked()
+}
+
+func (co *Coordinator) siteStatsLocked() map[string]SiteStats {
 	out := make(map[string]SiteStats, len(co.sites))
 	for name, sh := range co.sites {
 		st := SiteStats{

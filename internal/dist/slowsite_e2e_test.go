@@ -22,6 +22,7 @@ import (
 	"spice/internal/core"
 	"spice/internal/dist"
 	"spice/internal/netsim"
+	"spice/internal/obs"
 )
 
 // siteWorker declares one in-process worker for startSiteWorkers.
@@ -76,6 +77,11 @@ func TestChaosSlowSiteSpeculation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The full observability surface rides along: a registry scraped
+	// over real HTTP and an event log whose per-name counts must agree
+	// with the final Stats — the drift check the obs layer is built for.
+	reg := obs.NewRegistry()
+	events := obs.NewEventLog(nil, 4096)
 	co := &dist.Coordinator{
 		Listener: ln,
 		System:   sysJSON,
@@ -88,8 +94,15 @@ func TestChaosSlowSiteSpeculation(t *testing.T) {
 		HedgeAfter:       150 * time.Millisecond,
 		BreakerThreshold: 1,
 		IOTimeout:        10 * time.Second,
+		Events:           events,
 	}
 	t.Cleanup(func() { _ = co.Close() })
+	dist.RegisterMetrics(reg, co)
+	srv, err := obs.Serve("127.0.0.1:0", reg, events, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
 	addr := ln.Addr().String()
 
 	// The slow site: compute throttled ~10× relative to the healthy
@@ -181,5 +194,56 @@ func TestChaosSlowSiteSpeculation(t *testing.T) {
 	}
 	if quick.Breaker != "closed" || quick.BreakerTrips != 0 {
 		t.Fatalf("healthy site's breaker disturbed: %+v", quick)
+	}
+
+	// The scraped /metrics view must equal the final Stats exactly —
+	// the collector renders the same snapshot, so any divergence means
+	// a second set of counters has crept in. The campaign is over and
+	// every counter below is settled, so exact equality is fair.
+	base := "http://" + srv.Addr()
+	requireHealthy(t, base)
+	m := scrapeProm(t, base+"/metrics")
+	requireMetric(t, m, "spice_dist_jobs_total", float64(st.Jobs))
+	requireMetric(t, m, "spice_dist_assignments_total", float64(st.Assignments))
+	requireMetric(t, m, "spice_dist_retries_total", float64(st.Retries))
+	requireMetric(t, m, "spice_dist_stragglers_detected_total", float64(st.StragglersDetected))
+	requireMetric(t, m, "spice_dist_speculations_launched_total", float64(st.SpeculationsLaunched))
+	requireMetric(t, m, "spice_dist_speculations_won_total", float64(st.SpeculationsWon))
+	requireMetric(t, m, "spice_dist_speculations_wasted_total", float64(st.SpeculationsWasted))
+	requireMetric(t, m, "spice_dist_breaker_trips_total", float64(st.BreakerTrips))
+	requireMetric(t, m, "spice_dist_lease_expiries_total", 0)
+	requireMetric(t, m, "spice_dist_failures_total", 0)
+	requireMetric(t, m, `spice_dist_site_spec_won{site="quick"}`, float64(quick.SpecWon))
+	requireMetric(t, m, `spice_dist_site_breaker_trips{site="tarpit"}`, float64(slow.BreakerTrips))
+
+	// The event log is the third view of the same run: its per-name
+	// counts must agree with the counters, and its span keys must line
+	// up with the jobs the coordinator actually leased.
+	if n := events.Count("lease_granted"); n != int64(st.Assignments) {
+		t.Fatalf("event log saw %d lease_granted, stats say %d assignments", n, st.Assignments)
+	}
+	if n := events.Count("straggler_flagged"); n != int64(st.StragglersDetected) {
+		t.Fatalf("event log saw %d straggler_flagged, stats say %d", n, st.StragglersDetected)
+	}
+	if n := events.Count("breaker_open"); n != int64(st.BreakerTrips) {
+		t.Fatalf("event log saw %d breaker_open, stats say %d trips", n, st.BreakerTrips)
+	}
+	hedges := int64(0)
+	jobIDs := map[string]bool{}
+	for _, js := range co.JobStats() {
+		jobIDs[js.ID] = true
+	}
+	for _, ev := range events.Recent(4096) {
+		if ev.Name == "lease_granted" {
+			if h, _ := ev.Fields["hedge"].(bool); h {
+				hedges++
+			}
+			if !jobIDs[ev.Job] {
+				t.Fatalf("event %d leases unknown job %q", ev.Seq, ev.Job)
+			}
+		}
+	}
+	if hedges != int64(st.SpeculationsLaunched) {
+		t.Fatalf("event log saw %d hedged grants, stats say %d speculations", hedges, st.SpeculationsLaunched)
 	}
 }

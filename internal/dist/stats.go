@@ -1,6 +1,42 @@
 package dist
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"spice/internal/trace"
+)
+
+// TailCondition classifies the journal tail found at the last recovery.
+// A plain enum plus a message string serializes and compares cleanly
+// (Stats is a value snapshot); TornTailErr restores the errors.Is
+// semantics callers matching trace.ErrTruncated/ErrFormat rely on.
+type TailCondition int
+
+const (
+	// TailClean: the journal ended on a record boundary (or there was no
+	// journal). The zero value, so a fresh Stats means "clean".
+	TailClean TailCondition = iota
+	// TailTorn: the tail was cut mid-record — the signature of a crash
+	// during an append. The torn bytes were dropped; errors.Is matches
+	// trace.ErrTruncated.
+	TailTorn
+	// TailCorrupt: a record failed its checksum or framing — bit rot or
+	// outside interference, not a crash. errors.Is matches
+	// trace.ErrFormat.
+	TailCorrupt
+)
+
+func (c TailCondition) String() string {
+	switch c {
+	case TailTorn:
+		return "torn"
+	case TailCorrupt:
+		return "corrupt"
+	default:
+		return "clean"
+	}
+}
 
 // Stats aggregates the coordinator's scheduling counters, in the same
 // value-struct style as neighbor.Stats: a snapshot you can print or
@@ -27,10 +63,11 @@ type Stats struct {
 	TruncatedTailBytes      int64 // torn journal tail dropped at open
 	DuplicateResultsDropped int   // retransmitted result/fail lines acked and dropped
 	Adoptions               int   // in-flight jobs re-leased to their live worker after restart/revocation
-	// TornTail is the typed error describing the journal tail dropped at
-	// the last recovery (errors.Is: trace.ErrTruncated for a crash cut,
-	// trace.ErrFormat for a corrupted record); nil if the tail was clean.
-	TornTail error
+	// TornTail classifies the journal tail dropped at the last recovery
+	// (TailClean if none); TornTailMsg carries the detail text. Use
+	// TornTailErr for errors.Is matching.
+	TornTail    TailCondition
+	TornTailMsg string
 
 	// Federation-resilience counters: straggler hedging and per-site
 	// circuit breakers (the per-site breakdown is in SiteStats).
@@ -41,6 +78,21 @@ type Stats struct {
 	BreakerTrips         int // site breakers opened (quarantine events)
 	BreakerProbes        int // half-open probe jobs dispatched
 	BreakerCloses        int // breakers closed again by a successful result
+}
+
+// TornTailErr reconstructs the typed error for the recorded tail
+// condition: errors.Is(err, trace.ErrTruncated) for a torn tail,
+// errors.Is(err, trace.ErrFormat) for a corrupted record, nil when
+// clean.
+func (s Stats) TornTailErr() error {
+	switch s.TornTail {
+	case TailTorn:
+		return fmt.Errorf("%s: %w", s.TornTailMsg, trace.ErrTruncated)
+	case TailCorrupt:
+		return fmt.Errorf("%s: %w", s.TornTailMsg, trace.ErrFormat)
+	default:
+		return nil
+	}
 }
 
 // JobStats is the per-job slice of the same counters. After a journal
@@ -57,10 +109,22 @@ type JobStats struct {
 	Workers       []string // every worker the job was leased to, in order
 }
 
-// StatsSource is implemented by anything that can report dist counters;
-// the coordinator is the canonical implementation.
+// Snapshot is the unified stats surface: one coherent point-in-time
+// capture of the campaign counters, the per-job lease histories, and
+// the per-site health table. Every consumer — the statsfmt table
+// renderer, the obs /metrics collector, test assertions — reads this
+// one struct, so the printed, scraped and asserted views cannot drift.
+type Snapshot struct {
+	Stats Stats
+	Jobs  map[string]JobStats
+	Sites map[string]SiteStats
+}
+
+// StatsSource is anything that can produce a coherent stats snapshot:
+// the Coordinator (live campaign counters under one lock acquisition)
+// and LocalRunner (the single-process equivalent).
 type StatsSource interface {
-	Stats() Stats
+	StatsSnapshot() Snapshot
 }
 
 // countingConn tallies bytes crossing a net.Conn into shared counters.

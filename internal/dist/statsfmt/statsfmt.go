@@ -1,0 +1,92 @@
+// Package statsfmt renders dist stats snapshots as human-readable
+// tables. It replaces the three hand-rolled printers that had grown in
+// cmd/spice and examples/federated — one renderer over the one
+// Snapshot struct, so the console view, the /metrics view and test
+// assertions all read the same numbers.
+package statsfmt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"spice/internal/dist"
+)
+
+// Summary writes the campaign counter lines: the scheduling totals
+// always, the recovery and resilience lines only when they have
+// something to say. prefix is prepended to every line (callers indent
+// with "  " or tag with "dist ").
+func Summary(w io.Writer, s dist.Stats, prefix string) {
+	fmt.Fprintf(w, "%s%d jobs, %d assignments (%d retries, %d resumes), %d lease expiries, %d KiB in / %d KiB out\n",
+		prefix, s.Jobs, s.Assignments, s.Retries, s.Resumes, s.LeaseExpiries, s.BytesIn/1024, s.BytesOut/1024)
+	if s.Restarts > 0 || s.DuplicateResultsDropped > 0 || s.Adoptions > 0 {
+		fmt.Fprintf(w, "%srecovery: %d restart(s), %d journal records replayed, %d adoptions, %d duplicate results dropped\n",
+			prefix, s.Restarts, s.ReplayedRecords, s.Adoptions, s.DuplicateResultsDropped)
+	}
+	if s.TornTail != dist.TailClean {
+		fmt.Fprintf(w, "%srecovery: dropped %d-byte %s journal tail (%s)\n",
+			prefix, s.TruncatedTailBytes, s.TornTail, s.TornTailMsg)
+	}
+	if s.StragglersDetected > 0 || s.SpeculationsLaunched > 0 || s.BreakerTrips > 0 {
+		fmt.Fprintf(w, "%sresilience: %d straggler(s), %d speculation(s) (%d won, %d wasted), %d breaker trip(s) / %d probe(s) / %d close(s)\n",
+			prefix, s.StragglersDetected, s.SpeculationsLaunched, s.SpeculationsWon, s.SpeculationsWasted,
+			s.BreakerTrips, s.BreakerProbes, s.BreakerCloses)
+	}
+}
+
+// Sites writes the per-site health table, one row per federation site,
+// sorted by name. Nothing is written for fewer than two sites — a
+// single-site table restates the Summary line. prefix indents each row.
+func Sites(w io.Writer, sites map[string]dist.SiteStats, prefix string) {
+	if len(sites) < 2 {
+		return
+	}
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%s%-16s %7s %7s %7s %8s %9s %9s %10s %12s\n", prefix,
+		"site", "leased", "done", "failed", "expired", "spec won", "spec lost", "breaker", "rate (st/s)")
+	for _, name := range names {
+		s := sites[name]
+		fmt.Fprintf(w, "%s%-16s %7d %7d %7d %8d %9d %9d %10s %12.0f\n", prefix,
+			s.Site, s.Assignments, s.Completions, s.Failures, s.LeaseExpiries,
+			s.SpecWon, s.SpecLost, s.Breaker, s.RateEWMA)
+	}
+}
+
+// Jobs writes the per-job lease history table, sorted by job ID —
+// mostly a debugging view, so it only lists jobs that needed more than
+// one lease (retries, hedges, adoptions); a clean campaign prints
+// nothing. prefix indents each row.
+func Jobs(w io.Writer, jobs map[string]dist.JobStats, prefix string) {
+	ids := make([]string, 0, len(jobs))
+	for id, js := range jobs {
+		if js.Assignments > 1 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(w, "\n%s%-28s %7s %7s %7s %6s %9s  %s\n", prefix,
+		"job", "leases", "retries", "resumes", "adopt", "hedges", "workers")
+	for _, id := range ids {
+		js := jobs[id]
+		fmt.Fprintf(w, "%s%-28s %7d %7d %7d %6d %9d  %s\n", prefix,
+			js.ID, js.Assignments, js.Retries, js.Resumes, js.Adoptions,
+			js.Speculations, strings.Join(js.Workers, ","))
+	}
+}
+
+// Render writes the full snapshot: summary, contested-jobs table, and
+// the per-site health table.
+func Render(w io.Writer, snap dist.Snapshot, prefix string) {
+	Summary(w, snap.Stats, prefix)
+	Jobs(w, snap.Jobs, prefix)
+	Sites(w, snap.Sites, prefix)
+}

@@ -14,6 +14,7 @@ import (
 	"spice/internal/campaign"
 	"spice/internal/md"
 	"spice/internal/netutil"
+	"spice/internal/obs"
 	"spice/internal/smd"
 	"spice/internal/trace"
 )
@@ -85,6 +86,42 @@ type Worker struct {
 	// peer surfaces as a timeout the Reconnect machinery can heal instead
 	// of a read blocked forever. 0 defaults to 30s; negative disables.
 	IOTimeout time.Duration
+	// Events, if set, receives the worker-side structured event stream
+	// (job starts/results, reconnects). Nil disables.
+	Events *obs.EventLog
+
+	// Execution counters, always maintained (atomic, negligible cost);
+	// snapshot with WorkerStats, scrape via RegisterMetrics.
+	m workerMetrics
+	// reg is the registry handed to RegisterMetrics; when set, every
+	// engine this worker builds gets the sampled md-layer observers.
+	reg *obs.Registry
+}
+
+// workerMetrics is the worker's always-on atomic counter set.
+type workerMetrics struct {
+	jobsStarted     atomic.Int64
+	jobsDone        atomic.Int64
+	jobsFailed      atomic.Int64
+	jobsAbandoned   atomic.Int64
+	checkpointsSent atomic.Int64
+	checkpointBytes atomic.Int64
+	steps           atomic.Int64
+	reconnects      atomic.Int64
+}
+
+// WorkerStats snapshots the worker's execution counters.
+func (w *Worker) WorkerStats() WorkerStats {
+	return WorkerStats{
+		JobsStarted:     w.m.jobsStarted.Load(),
+		JobsDone:        w.m.jobsDone.Load(),
+		JobsFailed:      w.m.jobsFailed.Load(),
+		JobsAbandoned:   w.m.jobsAbandoned.Load(),
+		CheckpointsSent: w.m.checkpointsSent.Load(),
+		CheckpointBytes: w.m.checkpointBytes.Load(),
+		Steps:           w.m.steps.Load(),
+		Reconnects:      w.m.reconnects.Load(),
+	}
 }
 
 func (w *Worker) beatInterval() time.Duration {
@@ -199,6 +236,7 @@ type rtConn struct {
 
 	system       json.RawMessage // coordinator's payload from the last hello
 	failingSince time.Time       // first failure of the current outage; zero when healthy
+	connected    bool            // a hello has succeeded before (re-dials count as reconnects)
 }
 
 // connect dials and performs the hello handshake, installing a watcher
@@ -234,6 +272,11 @@ func (c *rtConn) connect(ctx context.Context) error {
 	c.conn, c.dec, c.enc, c.connDone = conn, dec, enc, done
 	c.system = hello.System
 	c.failingSince = time.Time{}
+	if c.connected {
+		c.w.m.reconnects.Add(1)
+		c.w.Events.Emit(obs.Event{Name: "worker_reconnected", Worker: c.name, Site: c.w.site()})
+	}
+	c.connected = true
 	return nil
 }
 
@@ -390,13 +433,20 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 	system := c.system
 
 	opts := smd.RunOpts{CheckpointEvery: w.checkpointEvery()}
+	prevSteps := 0
 	if len(assign.Resume) > 0 {
 		var ck smd.PullCheckpoint
 		if err := json.Unmarshal(assign.Resume, &ck); err != nil {
 			return nil, fmt.Errorf("dist: decoding resume checkpoint for %s: %w", jb.ID, err)
 		}
 		opts.Resume = &ck
+		prevSteps = ck.Steps
 	}
+	w.m.jobsStarted.Add(1)
+	jobEvents := w.Events.Scope(obs.Event{Job: jb.ID, Attempt: jb.Attempt,
+		Site: w.site(), Worker: w.Name})
+	jobEvents.Emit(obs.Event{Name: "job_started",
+		Fields: map[string]any{"resumed": opts.Resume != nil}})
 
 	var abandoned atomic.Bool
 	ckptCh := make(chan json.RawMessage, 1)
@@ -410,6 +460,14 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 		b, err := json.Marshal(pc)
 		if err != nil {
 			return err
+		}
+		w.m.checkpointsSent.Add(1)
+		w.m.checkpointBytes.Add(int64(len(b)))
+		if d := pc.Steps - prevSteps; d > 0 {
+			// OnCheckpoint runs serially inside one pull, so plain reads
+			// of prevSteps are safe; only the shared counters are atomic.
+			w.m.steps.Add(int64(d))
+			prevSteps = pc.Steps
 		}
 		// Keep only the newest checkpoint if the heartbeat loop is behind.
 		for {
@@ -432,7 +490,11 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 	resCh := make(chan pullResult, 1)
 	go func() {
 		log, err := campaign.ExecutePull(spec, task, func(c campaign.Combo, seed uint64) (*md.Engine, []int, error) {
-			return w.Build(system, c, seed)
+			eng, sel, err := w.Build(system, c, seed)
+			if err == nil {
+				InstrumentEngine(w.reg, eng)
+			}
+			return eng, sel, err
 		}, opts)
 		resCh <- pullResult{log: log, err: err}
 	}()
@@ -443,11 +505,18 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 		select {
 		case res := <-resCh:
 			if errors.Is(res.err, errAbandoned) {
+				w.m.jobsAbandoned.Add(1)
+				jobEvents.Emit(obs.Event{Name: "job_abandoned"})
 				return nil, nil
 			}
 			req := &request{Type: msgResult, JobID: jb.ID, Attempt: jb.Attempt, Log: res.log}
 			if res.err != nil {
 				req = &request{Type: msgFail, JobID: jb.ID, Attempt: jb.Attempt, Err: res.err.Error()}
+				w.m.jobsFailed.Add(1)
+				jobEvents.Emit(obs.Event{Name: "job_failed", Fields: map[string]any{"error": res.err.Error()}})
+			} else {
+				w.m.jobsDone.Add(1)
+				jobEvents.Emit(obs.Event{Name: "job_done"})
 			}
 			return req, nil
 		case <-beat.C:
@@ -475,6 +544,9 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 			if resp.Type == msgAbandon {
 				abandoned.Store(true)
 				<-resCh
+				w.m.jobsAbandoned.Add(1)
+				jobEvents.Emit(obs.Event{Name: "job_abandoned",
+					Fields: map[string]any{"reason": "coordinator"}})
 				return nil, nil
 			}
 		case <-ctx.Done():

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"spice/internal/forcefield"
 	"spice/internal/integrate"
@@ -85,6 +86,13 @@ type Engine struct {
 
 	energies map[string]float64
 	mu       sync.Mutex // guards checkpoint vs step from other goroutines
+
+	// Sampled step-latency observer (SetStepObserver). The counter is a
+	// plain int because Step is only ever driven from one goroutine; the
+	// nil check is the only cost an uninstrumented engine pays.
+	obsEvery int
+	obsLeft  int
+	obsFn    func(d time.Duration)
 }
 
 // forcePool is the persistent nonbonded worker pool: long-lived goroutines
@@ -464,8 +472,47 @@ func (e *Engine) NeighborStats() neighbor.Stats {
 	return e.nlist.Statistics()
 }
 
+// SetStepObserver installs a sampled step-latency observer: one Step in
+// every is timed with the wall clock and fn invoked with the duration.
+// fn runs on the stepping goroutine after the engine lock is released —
+// it may read NeighborStats or publish into atomic instruments, but must
+// not call back into Step/Run. Sampling keeps the uninstrumented steps
+// on the exact hot path (a single nil check); every <= 0 or a nil fn
+// removes the observer.
+func (e *Engine) SetStepObserver(every int, fn func(d time.Duration)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if every <= 0 || fn == nil {
+		e.obsEvery, e.obsLeft, e.obsFn = 0, 0, nil
+		return
+	}
+	e.obsEvery, e.obsLeft, e.obsFn = every, every, fn
+}
+
+// SetNeighborObserver installs fn as the neighbor-list rebuild hook: it
+// is invoked with the new pair count after every rebuild, on the
+// goroutine driving the force evaluation, with no allocations. A no-op
+// when nonbonded forces are disabled; nil removes the hook.
+func (e *Engine) SetNeighborObserver(fn func(pairs int)) {
+	if e.nlist != nil {
+		e.nlist.OnRebuild = fn
+	}
+}
+
 // Step advances the simulation by one timestep.
 func (e *Engine) Step() {
+	if e.obsFn != nil {
+		e.obsLeft--
+		if e.obsLeft <= 0 {
+			e.obsLeft = e.obsEvery
+			t0 := time.Now()
+			e.mu.Lock()
+			e.integ.Step(e.state, e.ff)
+			e.mu.Unlock()
+			e.obsFn(time.Since(t0))
+			return
+		}
+	}
 	e.mu.Lock()
 	e.integ.Step(e.state, e.ff)
 	e.mu.Unlock()

@@ -49,6 +49,12 @@ type List struct {
 	// worker order, so the result is deterministic either way).
 	Workers int
 
+	// OnRebuild, when set, is invoked with the new pair count after
+	// every rebuild, on the goroutine driving Update/ForceRebuild. The
+	// call itself allocates nothing, so observers that only touch atomic
+	// instruments keep the force loop allocation-free.
+	OnRebuild func(pairs int)
+
 	Pairs []Pair
 
 	excl     [][]int32 // per-atom sorted exclusion lists; nil = none
@@ -181,7 +187,12 @@ func (l *List) build(pos []vec.V) {
 		l.wrapped[i] = vec.Wrap(p, l.Box)
 	}
 	l.Pairs = l.Pairs[:0]
-	defer func() { l.pairsSum += int64(len(l.Pairs)) }()
+	defer func() {
+		l.pairsSum += int64(len(l.Pairs))
+		if l.OnRebuild != nil {
+			l.OnRebuild(len(l.Pairs))
+		}
+	}()
 
 	if n < 2 {
 		return

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEventLogJSONL checks JSON-lines output, monotonic sequence
+// numbers, and per-name counts.
+func TestEventLogJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf, 8)
+	l.Emit(Event{Name: "lease_granted", Job: "j1", Attempt: 1, Site: "a"})
+	l.Emit(Event{Name: "lease_granted", Job: "j2", Attempt: 1, Site: "b"})
+	l.Emit(Event{Name: "result_accepted", Job: "j1", Attempt: 1,
+		Fields: map[string]any{"bytes": 42}})
+
+	sc := bufio.NewScanner(&buf)
+	var seqs []int64
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", n, err)
+		}
+		seqs = append(seqs, ev.Seq)
+		if ev.Time.IsZero() {
+			t.Fatalf("line %d missing timestamp", n)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("wrote %d lines, want 3", n)
+	}
+	for i, s := range seqs {
+		if s != int64(i+1) {
+			t.Fatalf("seq[%d] = %d, want %d", i, s, i+1)
+		}
+	}
+	if l.Count("lease_granted") != 2 || l.Count("result_accepted") != 1 {
+		t.Fatalf("counts wrong: %v", l.Counts())
+	}
+	if l.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", l.Seq())
+	}
+}
+
+// TestEventScope checks scoped views fill zero fields without clobbering
+// explicit ones, and share sequence/counts with the root.
+func TestEventScope(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf, 8)
+	camp := l.Scope(Event{Campaign: "c1"})
+	job := camp.Scope(Event{Job: "j1", Site: "alpha"})
+	job.Emit(Event{Name: "checkpoint", Attempt: 2})
+	job.Emit(Event{Name: "checkpoint", Site: "beta"}) // explicit wins
+
+	evs := l.Recent(0)
+	if len(evs) != 2 {
+		t.Fatalf("ring has %d events, want 2", len(evs))
+	}
+	e0 := evs[0]
+	if e0.Campaign != "c1" || e0.Job != "j1" || e0.Site != "alpha" || e0.Attempt != 2 {
+		t.Fatalf("scope not applied: %+v", e0)
+	}
+	if evs[1].Site != "beta" {
+		t.Fatalf("explicit field clobbered by scope: %+v", evs[1])
+	}
+	if !strings.Contains(buf.String(), `"campaign":"c1"`) {
+		t.Fatalf("scoped emit did not reach root writer:\n%s", buf.String())
+	}
+}
+
+// TestEventRing checks the bounded ring keeps the most recent events.
+func TestEventRing(t *testing.T) {
+	l := NewEventLog(nil, 4)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Name: "tick"})
+	}
+	evs := l.Recent(0)
+	if len(evs) != 4 {
+		t.Fatalf("ring has %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(7 + i); ev.Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if got := l.Recent(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+// TestEventLogNil pins that a nil log is inert — instrumented code
+// carries no per-call-site nil guards.
+func TestEventLogNil(t *testing.T) {
+	var l *EventLog
+	l.Emit(Event{Name: "x"})
+	if l.Scope(Event{Job: "j"}) != nil {
+		t.Fatal("nil Scope should stay nil")
+	}
+	if l.Count("x") != 0 || l.Counts() != nil || l.Recent(5) != nil || l.Seq() != 0 {
+		t.Fatal("nil accessors should be zero-valued")
+	}
+}
+
+// TestEventLogConcurrency hammers Emit from many goroutines (the -race
+// check) and verifies no sequence numbers are lost or duplicated.
+func TestEventLogConcurrency(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf, 32)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scoped := l.Scope(Event{Site: string(rune('a' + w))})
+			for i := 0; i < per; i++ {
+				scoped.Emit(Event{Name: "tick"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Seq() != workers*per {
+		t.Fatalf("Seq = %d, want %d", l.Seq(), workers*per)
+	}
+	if l.Count("tick") != workers*per {
+		t.Fatalf("Count = %d, want %d", l.Count("tick"), workers*per)
+	}
+	seen := make(map[int64]bool)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad line: %v", err)
+		}
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("wrote %d lines, want %d", len(seen), workers*per)
+	}
+}

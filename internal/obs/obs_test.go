@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics exercises the scalar instruments.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("spice_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("spice_test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	// Re-registration with the same shape returns the same instrument.
+	if r.Counter("spice_test_total", "help") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+// TestRegistryConcurrency hammers one counter, one gauge, one histogram
+// and one vec from many goroutines; run under -race this is the data
+// race check, and the final counter value checks no lost updates.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_hist", "", []float64{1, 10, 100})
+	vec := r.CounterVec("conc_vec_total", "", "site")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := string(rune('a' + w%3))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i % 200))
+				vec.With(site).Inc()
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	var total int64
+	for _, s := range []string{"a", "b", "c"} {
+		total += vec.With(s).Value()
+	}
+	if total != workers*per {
+		t.Fatalf("vec total = %d, want %d", total, workers*per)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to
+// an upper bound lands in that bucket (le is inclusive), cumulative
+// counts are monotonic, and +Inf equals the total count.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.0001, 5, 7, 10, 10.5, 1e9} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("buckets: %v / %v", bounds, cum)
+	}
+	// le=1: {0.5, 1}; le=5: +{1.0001, 5}; le=10: +{7, 10}; +Inf: +{10.5, 1e9}
+	want := []int64{2, 4, 6, 8}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (all: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	wantSum := 0.5 + 1 + 1.0001 + 5 + 7 + 10 + 10.5 + 1e9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramRendering checks the _bucket/_sum/_count exposition.
+func TestHistogramRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "step latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 2.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusEscaping pins the text-format escaping rules: label
+// values escape backslash, double-quote and newline; HELP escapes
+// backslash and newline.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	vec := r.GaugeVec("esc_gauge", "help with \\ and\nnewline", "path")
+	vec.With("a\\b\"c\nd").Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if want := `# HELP esc_gauge help with \\ and\nnewline`; !strings.Contains(out, want) {
+		t.Errorf("HELP not escaped, missing %q:\n%s", want, out)
+	}
+	if want := `esc_gauge{path="a\\b\"c\nd"} 1`; !strings.Contains(out, want) {
+		t.Errorf("label value not escaped, missing %q:\n%s", want, out)
+	}
+}
+
+// TestCollector checks scrape-time collectors merge into the output and
+// run fresh at every scrape.
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.RegisterCollector(func(e *Emitter) {
+		n++
+		e.Counter("coll_total", "from collector", n, Label{"site", "x"})
+		e.Gauge("coll_gauge", "", n*2)
+	})
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE coll_total counter",
+		`coll_total{site="x"} 2`,
+		"coll_gauge 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVecLabelKeying checks multi-label tuples can't collide and render
+// with sorted, stable ordering.
+func TestVecLabelKeying(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("multi_total", "", "a", "b")
+	vec.With("x", "yz").Inc()
+	vec.With("xy", "z").Add(2)
+	if vec.With("x", "yz").Value() != 1 || vec.With("xy", "z").Value() != 2 {
+		t.Fatal("label tuples collided")
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `multi_total{a="x",b="yz"} 1`) ||
+		!strings.Contains(out, `multi_total{a="xy",b="z"} 2`) {
+		t.Errorf("vec rendering wrong:\n%s", out)
+	}
+}
+
+// TestInvalidNamePanics pins that misregistration is loud.
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, func() { r.Counter("bad-name", "") })
+	r.Counter("ok_total", "")
+	mustPanic(t, func() { r.Gauge("ok_total", "") }) // type clash
+	mustPanic(t, func() { NewHistogram([]float64{5, 1}) })
+	vec := r.CounterVec("v_total", "", "a")
+	mustPanic(t, func() { vec.With("x", "y") }) // arity clash
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,204 @@
+package obs
+
+// Prometheus text exposition format (version 0.0.4) rendering. Rendered
+// at scrape time from a point-in-time gather: registered instruments
+// first, then collector output, families sorted by name so the output
+// is deterministic and diffable in tests.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value: backslash, double-quote, newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeLabels renders {a="x",b="y"} (empty string for no labels).
+func writeLabels(b *strings.Builder, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// WritePrometheus renders every registered instrument plus all
+// collector output in the Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams, snaps := r.gather()
+	var b strings.Builder
+	for _, f := range fams {
+		writeFamily(&b, f)
+	}
+	for _, f := range snaps {
+		writeSnapFamily(&b, f)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, help string, typ metricType) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// writeFamily renders one registered family: every child, label tuples
+// sorted for stable output.
+func writeFamily(b *strings.Builder, f *family) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	children := make([]any, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+	writeHeader(b, f.name, f.help, f.typ)
+	for i, c := range children {
+		labels := splitKey(f.labels, keys[i])
+		switch inst := c.(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			writeLabels(b, labels)
+			fmt.Fprintf(b, " %d\n", inst.Value())
+		case *Gauge:
+			b.WriteString(f.name)
+			writeLabels(b, labels)
+			fmt.Fprintf(b, " %s\n", formatValue(inst.Value()))
+		case *Histogram:
+			writeHistogram(b, f.name, labels, inst)
+		}
+	}
+}
+
+// writeHistogram renders _bucket/_sum/_count lines for one histogram.
+func writeHistogram(b *strings.Builder, name string, labels []Label, h *Histogram) {
+	bounds, cum := h.Buckets()
+	bl := make([]Label, len(labels)+1)
+	copy(bl, labels)
+	for i, bound := range bounds {
+		bl[len(labels)] = Label{"le", formatValue(bound)}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, bl)
+		fmt.Fprintf(b, " %d\n", cum[i])
+	}
+	bl[len(labels)] = Label{"le", "+Inf"}
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	writeLabels(b, bl)
+	fmt.Fprintf(b, " %d\n", cum[len(cum)-1])
+
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %s\n", formatValue(h.Sum()))
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, labels)
+	fmt.Fprintf(b, " %d\n", h.Count())
+}
+
+// writeSnapFamily renders one collector-produced family, samples in
+// emission order (collectors iterate sorted maps themselves when order
+// matters; tests compare parsed values, not line order).
+func writeSnapFamily(b *strings.Builder, f *snapFamily) {
+	writeHeader(b, f.name, f.help, f.typ)
+	for _, s := range f.samples {
+		b.WriteString(f.name)
+		writeLabels(b, s.labels)
+		fmt.Fprintf(b, " %s\n", formatValue(s.value))
+	}
+}
+
+// splitKey reconstructs the Label slice from a child key.
+func splitKey(names []string, key string) []Label {
+	if len(names) == 0 {
+		return nil
+	}
+	var values []string
+	if len(names) == 1 {
+		values = []string{key}
+	} else {
+		values = strings.Split(key, "\xff")
+	}
+	labels := make([]Label, len(names))
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		labels[i] = Label{n, v}
+	}
+	return labels
+}

@@ -1,0 +1,99 @@
+package obs
+
+// HTTP debug server: /metrics (Prometheus text), /healthz, /debug/pprof/*
+// (net/http/pprof) and /debug/events (recent event ring as JSON). One
+// server mounts on the coordinator (spice -obs-addr) and one on each
+// worker (spiced -obs-addr) — the RealityGrid idea of attaching to a
+// live simulation, recast as scrape endpoints.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Server is a running debug endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// NewMux builds the debug mux for a registry, event log and health
+// probe. Any of the three may be nil; the matching endpoints degrade
+// gracefully (empty metrics, empty events, always-healthy).
+func NewMux(reg *Registry, events *EventLog, healthy func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if healthy != nil {
+			if err := healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		for _, ev := range events.Recent(n) {
+			enc.Encode(ev)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug server on addr (e.g. "127.0.0.1:0") and
+// returns once the listener is bound, so Addr() is immediately valid.
+func Serve(addr string, reg *Registry, events *EventLog, healthy func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewMux(reg, events, healthy), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down and waits for the serve loop to exit.
+// Nil-safe, so deferred cleanup works whether or not -obs-addr was set.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

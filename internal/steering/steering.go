@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"spice/internal/md"
+	"spice/internal/obs"
 	"spice/internal/trace"
 )
 
@@ -177,6 +178,12 @@ type Steered struct {
 	Name string
 	Eng  *md.Engine
 
+	// Events, when set, receives one structured "steer_cmd" event per
+	// serviced command — the control-path audit trail the paper's §V
+	// diagnoses leaned on. Emission is nil-safe, so leaving it unset
+	// costs nothing. Clones inherit the log.
+	Events *obs.EventLog
+
 	cmds   chan Command
 	params map[string]ParamHandler
 	paused bool
@@ -249,6 +256,21 @@ func (s *Steered) Run(maxSteps int) int {
 
 func (s *Steered) handle(c Command) {
 	resp := Response{OK: true}
+	defer func() {
+		if s.Events == nil {
+			return
+		}
+		ev := obs.Event{Name: "steer_cmd", Fields: map[string]any{
+			"sim": s.Name, "cmd": c.Type.String(),
+		}}
+		if c.Key != "" {
+			ev.Fields["key"] = c.Key
+		}
+		if resp.Err != "" {
+			ev.Fields["error"] = resp.Err
+		}
+		s.Events.Emit(ev)
+	}()
 	switch c.Type {
 	case CmdPause:
 		s.paused = true
@@ -286,6 +308,7 @@ func (s *Steered) handle(c Command) {
 			name = s.Name + "-clone"
 		}
 		clone := NewSteered(name, eng)
+		clone.Events = s.Events
 		for k, h := range s.params {
 			clone.params[k] = h
 		}

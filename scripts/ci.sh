@@ -13,10 +13,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== dist multi-process integration (-race) =="
+echo "== dist multi-process integration + obs smoke (-race) =="
 # Real coordinator + spiced worker processes: one is frozen mid-job so
 # its lease expires and the job resumes from a streamed checkpoint on
 # another process; the merged PMF must be bit-identical to a local run.
+# The observability surface is smoke-checked in the same run: spiced's
+# -obs-addr debug server must answer /metrics, /healthz and
+# /debug/pprof/, and the coordinator's scraped counters must equal its
+# final Stats exactly.
 go test -race -run 'TestEndToEndWorkerProcesses' -count=1 -v ./internal/dist
 
 echo "== dist chaos recovery (-race) =="
@@ -33,7 +37,9 @@ echo "== dist slow-site speculation (-race) =="
 # coordinator must hedge the straggling job onto the healthy site, the
 # hedge must win, the slow site's breaker must record the trip, and the
 # merged PMF must stay bit-identical to an unhindered run. The test's
-# hard timeout doubles as the no-read-blocks-past-deadline check.
+# hard timeout doubles as the no-read-blocks-past-deadline check, and
+# its obs assertions pin /metrics to the final Stats snapshot and the
+# event log's per-name counts to the same numbers.
 go test -race -timeout 180s -run 'TestChaosSlowSiteSpeculation' -count=1 -v ./internal/dist
 
 echo "== bench smoke (benchtime=1x) =="
