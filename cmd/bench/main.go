@@ -44,6 +44,7 @@ type Snapshot struct {
 	CPUs       int       `json:"num_cpu"`
 	BenchTime  string    `json:"benchtime"`
 	Pattern    string    `json:"pattern"`
+	CPUList    string    `json:"cpu_list,omitempty"`
 	Timestamp  time.Time `json:"timestamp"`
 	Results    []Result  `json:"results"`
 }
@@ -54,11 +55,16 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "output JSON path")
 	pattern := flag.String("pattern", defaultPattern, "benchmark regexp passed to -bench")
 	benchtime := flag.String("benchtime", "300ms", "passed to -benchtime")
+	cpu := flag.String("cpu", "", "GOMAXPROCS list passed to go test -cpu, e.g. 1,4; benchmarks at 1 keep their unsuffixed regression keys, other values add \"-N\"-suffixed rows")
 	dir := flag.String("dir", ".", "module directory containing the top-level benchmarks")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *pattern, "-benchmem", "-benchtime", *benchtime, ".")
+	args := []string{"test", "-run", "^$",
+		"-bench", *pattern, "-benchmem", "-benchtime", *benchtime}
+	if *cpu != "" {
+		args = append(args, "-cpu", *cpu)
+	}
+	cmd := exec.Command("go", append(args, ".")...)
 	cmd.Dir = *dir
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -92,6 +98,7 @@ func main() {
 		CPUs:       runtime.NumCPU(),
 		BenchTime:  *benchtime,
 		Pattern:    *pattern,
+		CPUList:    *cpu,
 		Timestamp:  time.Now().UTC(),
 		Results:    results,
 	}

@@ -9,6 +9,7 @@ package campaign
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"spice/internal/grid"
@@ -127,21 +128,28 @@ func (s Spec) Combos() []Combo {
 // Jobs expands the spec into grid jobs using the cost model: each pull of
 // Distance Å at v Å/ns simulates Distance/v ns of physical time.
 func (s Spec) Jobs(cm CostModel) []*grid.Job {
-	var jobs []*grid.Job
+	total := 0
+	for _, c := range s.Combos() {
+		total += s.SamplesFor(c)
+	}
+	jobs := make([]*grid.Job, 0, total)
 	for _, c := range s.Combos() {
 		ns := s.Distance / c.VAns
 		hours := cm.HoursFor(ns, s.ProcsPerJob)
 		n := s.SamplesFor(c)
+		kappa := strconv.FormatFloat(c.KappaPN, 'g', -1, 64)
+		vel := strconv.FormatFloat(c.VAns, 'g', -1, 64)
+		prefix := "smdje-k" + kappa + "-v" + vel + "-r"
 		for r := 0; r < n; r++ {
 			jobs = append(jobs, &grid.Job{
-				ID:     fmt.Sprintf("smdje-%s-r%d", c, r),
+				ID:     prefix + strconv.Itoa(r),
 				Procs:  s.ProcsPerJob,
 				Hours:  hours,
 				Submit: 0,
 				Tags: map[string]string{
-					"kappa":    fmt.Sprintf("%g", c.KappaPN),
-					"velocity": fmt.Sprintf("%g", c.VAns),
-					"replica":  fmt.Sprintf("%d", r),
+					"kappa":    kappa,
+					"velocity": vel,
+					"replica":  strconv.Itoa(r),
 				},
 			})
 		}
@@ -229,6 +237,11 @@ type LocalRunner struct {
 	Build BuildFunc
 	// Workers caps concurrency (default NumCPU).
 	Workers int
+	// Batch > 1 runs pulls through md.Batch ensembles of at most Batch
+	// replicas instead of one goroutine per pull: replicas share the
+	// static-substrate neighbor grid and a single step-worker pool (see
+	// ExecuteEnsemble). Output is bit-identical either way.
+	Batch int
 }
 
 var _ Runner = (*LocalRunner)(nil)
@@ -239,11 +252,18 @@ func (lr *LocalRunner) Run(spec Spec) (map[Combo][]*trace.WorkLog, error) {
 	if lr.Build == nil {
 		return nil, fmt.Errorf("campaign: LocalRunner needs a Build function")
 	}
+	tasks := spec.Tasks()
+	if lr.Batch > 1 {
+		logs, err := lr.runBatched(spec, tasks)
+		if err != nil {
+			return nil, err
+		}
+		return Collate(tasks, logs), nil
+	}
 	workers := lr.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	tasks := spec.Tasks()
 	logs := make([]*trace.WorkLog, len(tasks))
 	errs := make([]error, len(tasks))
 	taskCh := make(chan int)

@@ -1,0 +1,124 @@
+package campaign
+
+// Batched ensemble execution: instead of running each pull on its own
+// engine sequentially, a group of pulls is adopted into one md.Batch that
+// shares the static-substrate neighbor grid and a single worker pool, and
+// every replica's per-step SMD bookkeeping (smd.Drive.AfterStep) runs
+// behind the batch's step barrier. Each replica still executes the exact
+// per-engine step sequence — same RNG streams, same summation order — so
+// the work logs are bit-identical to the sequential ExecutePull path; the
+// speedup comes from amortizing the static pore/membrane substrate and
+// the scheduling, not from changing the dynamics.
+
+import (
+	"fmt"
+
+	"spice/internal/md"
+	"spice/internal/smd"
+	"spice/internal/trace"
+)
+
+// ExecuteEnsemble runs a group of pulls through one md.Batch and returns
+// their work logs indexed parallel to tasks. Every task's engine is built
+// up front (the builds share one substrate grid when the system is
+// substrate-eligible), all pulls step together, and replicas retire from
+// the batch as their pull distance completes. workers <= 0 uses the
+// batch default (GOMAXPROCS).
+//
+// The logs are bit-identical to running ExecutePull on each task in
+// sequence: adoption into a batch changes where an engine's arrays live
+// and who schedules its steps, never what a step computes.
+func ExecuteEnsemble(spec Spec, tasks []Task, build BuildFunc, workers int) ([]*trace.WorkLog, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	engines := make([]*md.Engine, len(tasks))
+	atoms := make([][]int, len(tasks))
+	for i, t := range tasks {
+		eng, a, err := build(t.Combo, t.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: building pull %s replica %d: %w", t.Combo, t.Index, err)
+		}
+		engines[i], atoms[i] = eng, a
+	}
+	b, err := md.NewBatch(engines, md.BatchConfig{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: batching %d pulls: %w", len(tasks), err)
+	}
+	defer b.Close()
+
+	drives := make([]*smd.Drive, len(tasks))
+	for r, t := range tasks {
+		p := smd.PaperProtocol(t.Combo.KappaPN, t.Combo.VAns, atoms[r])
+		p.Distance = spec.Distance
+		pl, err := smd.Attach(engines[r], p)
+		if err != nil {
+			return nil, err
+		}
+		drives[r], err = pl.StartDrive(engines[r], p, t.Seed, smd.RunOpts{})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Per-replica pull bookkeeping runs on the batch's step workers, right
+	// after each engine step. Each callback touches only replica-local
+	// state (drive r, slot r), so no synchronization beyond the batch's
+	// own step barrier is needed.
+	stepErrs := make([]error, len(tasks))
+	b.SetPostStep(func(r int) {
+		stepErrs[r] = drives[r].AfterStep()
+	})
+
+	logs := make([]*trace.WorkLog, len(tasks))
+	done := make([]bool, len(tasks))
+	for {
+		// Retire replicas whose pull completed (or errored) before the
+		// next barrier: a retired replica takes no further steps, exactly
+		// like the sequential loop exiting on its condition.
+		remaining := 0
+		for r := range drives {
+			if done[r] {
+				continue
+			}
+			if stepErrs[r] != nil {
+				return nil, fmt.Errorf("campaign: pull %s replica %d: %w", tasks[r].Combo, tasks[r].Index, stepErrs[r])
+			}
+			if !drives[r].Active() {
+				res, err := drives[r].Finish()
+				if err != nil {
+					return nil, err
+				}
+				logs[r] = res.Log
+				done[r] = true
+				b.SetActive(r, false)
+				continue
+			}
+			remaining++
+		}
+		if remaining == 0 {
+			return logs, nil
+		}
+		b.Step()
+	}
+}
+
+// runBatched is LocalRunner.Run's execution strategy when Batch > 1:
+// tasks are grouped into consecutive chunks of at most Batch pulls and
+// each chunk runs as one ensemble. Chunks run one after another — the
+// parallelism lives inside the batch's step workers.
+func (lr *LocalRunner) runBatched(spec Spec, tasks []Task) ([]*trace.WorkLog, error) {
+	logs := make([]*trace.WorkLog, 0, len(tasks))
+	for lo := 0; lo < len(tasks); lo += lr.Batch {
+		hi := lo + lr.Batch
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		chunk, err := ExecuteEnsemble(spec, tasks[lo:hi], lr.Build, lr.Workers)
+		if err != nil {
+			return nil, err
+		}
+		logs = append(logs, chunk...)
+	}
+	return logs, nil
+}

@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"testing"
+
+	"spice/internal/md"
+	"spice/internal/trace"
+	"spice/internal/vec"
+)
+
+// walledBuild is smallBuild on the substrate-eligible system: explicit
+// pore walls in a fully periodic box, so ensemble batches share one
+// static neighbor grid across replicas.
+func walledBuild(c Combo, seed uint64) (*md.Engine, []int, error) {
+	spec := md.DefaultTranslocation(3)
+	spec.Seed = seed
+	spec.DT = 0.02
+	spec.NoWalls = false
+	spec.Workers = 1
+	spec.Box = vec.V{X: 100, Y: 100, Z: 170}
+	ts, err := md.BuildTranslocation(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ts.Engine, ts.DNA[:1], nil
+}
+
+func requireLogsEqual(t *testing.T, seq, bat map[Combo][]*trace.WorkLog) {
+	t.Helper()
+	if len(seq) != len(bat) {
+		t.Fatalf("combo counts differ: %d vs %d", len(seq), len(bat))
+	}
+	for combo, sl := range seq {
+		bl, ok := bat[combo]
+		if !ok || len(bl) != len(sl) {
+			t.Fatalf("combo %s: %d sequential logs, %d batched", combo, len(sl), len(bl))
+		}
+		for r := range sl {
+			a, b := sl[r], bl[r]
+			if a.Kappa != b.Kappa || a.Velocity != b.Velocity || a.Seed != b.Seed {
+				t.Fatalf("combo %s replica %d: header mismatch", combo, r)
+			}
+			if len(a.Samples) != len(b.Samples) {
+				t.Fatalf("combo %s replica %d: %d vs %d samples", combo, r, len(a.Samples), len(b.Samples))
+			}
+			for k := range a.Samples {
+				if a.Samples[k] != b.Samples[k] {
+					t.Fatalf("combo %s replica %d sample %d diverged: %+v vs %+v",
+						combo, r, k, a.Samples[k], b.Samples[k])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedRunnerBitIdentical: the Batch>1 execution path must produce
+// work logs bit-identical to the sequential per-task path — the campaign
+// analog of the md-layer trajectory identity proof. Batch=3 over 9 tasks
+// also exercises multi-chunk grouping.
+func TestBatchedRunnerBitIdentical(t *testing.T) {
+	spec := Spec{
+		Kappas:     []float64{100, 1000},
+		Velocities: []float64{400, 800},
+		Replicas:   1,
+		Distance:   3,
+		Seed:       42,
+	}
+	seq, err := (&LocalRunner{Build: walledBuild, Workers: 1}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{3, 64} {
+		bat, err := (&LocalRunner{Build: walledBuild, Batch: batch}).Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireLogsEqual(t, seq, bat)
+	}
+}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"spice/internal/federation"
 	"spice/internal/grid"
@@ -88,7 +89,7 @@ func BackgroundLoad(fed *federation.Federation, loadFraction, horizonHours float
 			hours := 6.0 + float64((si+i)%5)*2
 			submit := float64(i%int(horizonHours/4+1)) * 4
 			j := &grid.Job{
-				ID:     fmt.Sprintf("bg-%s-%d", m.Name, i),
+				ID:     "bg-" + m.Name + "-" + strconv.Itoa(i),
 				Procs:  procs,
 				Hours:  hours,
 				Submit: submit,

@@ -127,7 +127,11 @@ type SweepConfig struct {
 	RefReplicas int
 
 	Workers int
-	Seed    uint64
+	// Batch > 1 runs local pulls through md.Batch ensembles of at most
+	// Batch replicas (shared substrate grid, one step-worker pool)
+	// instead of one goroutine per pull. Ignored when Runner is set.
+	Batch int
+	Seed  uint64
 	// Runner overrides how the campaign's pulls are executed (e.g. the
 	// dist coordinator fanning out to worker processes). nil runs
 	// in-process with a LocalRunner.
@@ -217,6 +221,7 @@ func RunSweep(cfg SweepConfig) (*SweepResult, error) {
 				return cfg.System.Build(seed)
 			},
 			Workers: cfg.Workers,
+			Batch:   cfg.Batch,
 		}
 	}
 
@@ -326,7 +331,9 @@ type ProductionConfig struct {
 	Replicas int
 	Distance float64
 	Workers  int
-	Seed     uint64
+	// Batch mirrors SweepConfig.Batch for the production ensemble.
+	Batch int
+	Seed  uint64
 	// Estimator defaults to Exponential for production.
 	Estimator jarzynski.Estimator
 	// Runner overrides pull execution like SweepConfig.Runner.
@@ -359,6 +366,7 @@ func RunProduction(cfg ProductionConfig) (*ProductionResult, error) {
 				return cfg.System.Build(seed)
 			},
 			Workers: cfg.Workers,
+			Batch:   cfg.Batch,
 		}
 	}
 	spec := campaign.Spec{

@@ -210,9 +210,19 @@ func TestEndToEndWorkerProcesses(t *testing.T) {
 	spawnSpiced(t, bin, addr, "beta")
 
 	requireHealthy(t, alphaBase)
-	wm := scrapeProm(t, alphaBase+"/metrics")
-	if _, ok := wm[`spice_worker_jobs_started_total{worker="alpha"}`]; !ok {
-		t.Fatalf("worker scrape missing spice_worker_jobs_started_total: %v", wm)
+	// The worker families materialize once alpha's metrics registration
+	// runs, which races this scrape right after spawn — poll instead of
+	// asserting on the first response.
+	scrapeDeadline := time.Now().Add(10 * time.Second)
+	for {
+		wm := scrapeProm(t, alphaBase+"/metrics")
+		if _, ok := wm[`spice_worker_jobs_started_total{worker="alpha"}`]; ok {
+			break
+		}
+		if time.Now().After(scrapeDeadline) {
+			t.Fatalf("worker scrape missing spice_worker_jobs_started_total: %v", wm)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	if code, _ := httpGet(t, alphaBase+"/debug/pprof/"); code != 200 {
 		t.Fatalf("worker /debug/pprof/ = %d, want 200", code)

@@ -59,6 +59,10 @@ type Machine struct {
 	Site string
 
 	sched []interval
+	// cands is EarliestStart's reusable candidate-time scratch: campaign
+	// scheduling calls it for every (job, machine) probe, and rebuilding
+	// the slice each call dominated the T3 benchmark's allocation profile.
+	cands []float64
 }
 
 // NewMachine returns a machine with the given processor count.
@@ -83,14 +87,14 @@ func (m *Machine) fits(start, hours float64, procs int) bool {
 		return false
 	}
 	// Check at every boundary inside the window (piecewise-constant usage).
-	points := []float64{start}
-	for _, iv := range m.sched {
-		if iv.start > start && iv.start < start+hours {
-			points = append(points, iv.start)
-		}
+	// Usage only changes at interval starts, so probing `start` plus each
+	// interval start inside the window is exhaustive; probing them directly
+	// avoids materializing a boundary slice per call.
+	if m.usedAt(start)+procs > m.Procs {
+		return false
 	}
-	for _, p := range points {
-		if m.usedAt(p)+procs > m.Procs {
+	for _, iv := range m.sched {
+		if iv.start > start && iv.start < start+hours && m.usedAt(iv.start)+procs > m.Procs {
 			return false
 		}
 	}
@@ -108,12 +112,13 @@ func (m *Machine) EarliestStart(after, hours float64, procs int) (float64, error
 		return 0, fmt.Errorf("grid: %s has %d procs, job needs %d", m.Name, m.Procs, procs)
 	}
 	// Candidate starts: `after` and every interval end after it.
-	cands := []float64{after}
+	cands := append(m.cands[:0], after)
 	for _, iv := range m.sched {
 		if iv.end > after {
 			cands = append(cands, iv.end)
 		}
 	}
+	m.cands = cands
 	sort.Float64s(cands)
 	for _, c := range cands {
 		if m.fits(c, hours, procs) {

@@ -83,6 +83,17 @@ type Engine struct {
 	// cell, refreshed once per nonbonded evaluation so the pair kernels
 	// can use the branch-based minimum image instead of math.Round.
 	wrapPos []vec.V
+	// nMobileWrap, when > 0, limits the per-evaluation wrap pass to the
+	// mobile prefix: a shared substrate grid guarantees atoms from
+	// nMobileWrap on never move, so their wrapped coordinates are filled
+	// once (wrapFilled) and reused — identical values, O(mobile) per step.
+	nMobileWrap int
+	wrapFilled  bool
+	// poolShared marks a pool owned by a Batch rather than this engine;
+	// Close/finalizer must then leave it running.
+	poolShared bool
+	// adopted guards against an engine joining two Batches.
+	adopted bool
 
 	energies map[string]float64
 	mu       sync.Mutex // guards checkpoint vs step from other goroutines
@@ -304,7 +315,7 @@ func New(cfg Config) (*Engine, error) {
 // pool is also shut down by a finalizer. The engine must not Step after
 // Close.
 func (e *Engine) Close() {
-	if e.pool != nil {
+	if e.pool != nil && !e.poolShared {
 		e.pool.close()
 		runtime.SetFinalizer(e, nil)
 	}
@@ -368,15 +379,27 @@ func (e *Engine) nonbonded(pos []vec.V, f []vec.V) float64 {
 		return 0
 	}
 	// Wrap positions once (O(N)) so every per-pair minimum image
-	// (O(pairs)) is a compare instead of a math.Round.
+	// (O(pairs)) is a compare instead of a math.Round. With a substrate
+	// attached, the static suffix is wrapped once and reused.
 	wp := pos
 	if e.cfg.Box != vec.Zero {
 		if cap(e.wrapPos) < len(pos) {
 			e.wrapPos = make([]vec.V, len(pos))
+			e.wrapFilled = false
 		}
 		wp = e.wrapPos[:len(pos)]
-		for i, p := range pos {
-			wp[i] = vec.Wrap(p, e.cfg.Box)
+		lim := len(pos)
+		if e.nMobileWrap > 0 {
+			if !e.wrapFilled {
+				for i := e.nMobileWrap; i < len(pos); i++ {
+					wp[i] = vec.Wrap(pos[i], e.cfg.Box)
+				}
+				e.wrapFilled = true
+			}
+			lim = e.nMobileWrap
+		}
+		for i := 0; i < lim; i++ {
+			wp[i] = vec.Wrap(pos[i], e.cfg.Box)
 		}
 	}
 	nw := e.workers

@@ -17,6 +17,11 @@ type TranslocationSpec struct {
 	Membrane topology.MembraneParams
 	Binding  []forcefield.BindingSite // nil = DefaultBindingSites
 	NoWalls  bool                     // analytic pore only (faster)
+	// Box, when fully set, runs the system under periodic boundaries
+	// instead of open ones. A walled periodic system is
+	// substrate-eligible: ensemble batches then share one static grid
+	// across replicas (see Batch).
+	Box vec.V
 
 	DT      float64
 	Gamma   float64
@@ -74,6 +79,15 @@ func BuildTranslocation(spec TranslocationSpec) (*TranslocationSystem, error) {
 	if !spec.NoWalls {
 		p := spec.Pore
 		wallIdx, wallPos = topology.BuildPoreWalls(top, p)
+		// Explicit lipid head beads on the slab faces (Fig. 1's membrane)
+		// when the spec asks for them; like the pore walls they are fixed
+		// and appended after the DNA, so the static atoms stay a
+		// contiguous suffix — the layout the shared substrate grid needs.
+		if spec.Membrane.BeadSpacing > 0 {
+			mIdx, mPos := topology.BuildMembrane(top, spec.Membrane, spec.Pore)
+			wallIdx = append(wallIdx, mIdx...)
+			wallPos = append(wallPos, mPos...)
+		}
 	}
 	pos := make([]vec.V, 0, top.N())
 	pos = append(pos, dnaPos...)
@@ -123,6 +137,7 @@ func BuildTranslocation(spec TranslocationSpec) (*TranslocationSystem, error) {
 			bindTerm,
 		},
 		Pair:     pair,
+		Box:      spec.Box,
 		DT:       spec.DT,
 		Gamma:    spec.Gamma,
 		Temp:     spec.Temp,

@@ -1,0 +1,410 @@
+// Shared static grids: ensemble replicas of the same pore system differ
+// only in their mobile atoms — the wall and membrane beads are fixed,
+// identical across replicas, and never move. A StaticGrid bins those
+// static atoms into the cell grid once; every attached List then rebuilds
+// only its mobile side (mobile displacement checks, mobile wrapping,
+// mobile binning, and a scan that never iterates static–static cell
+// pairs), amortizing the dominant per-replica rebuild cost across the
+// whole batch.
+//
+// The optimization is exact, not approximate: an attached list emits the
+// byte-identical Pairs slice, in the same order, as an unattached one.
+// That holds because (a) the grid geometry is pinned by the fully
+// periodic box, so it never depends on instantaneous positions, (b) the
+// linked-cell chains are built by prepending atoms 0..n-1, so every
+// per-cell chain runs in descending index order — and with static atoms
+// required to be a contiguous high-index suffix, each chain is exactly
+// "statics descending, then mobiles descending", which the static-aware
+// scan walks in the same order while skipping the static–static inner
+// iterations (those pairs are structurally excluded anyway: both atoms
+// inactive), and (c) wrapped static coordinates are computed once with
+// the same vec.Wrap the plain build uses, so every distance sees
+// bit-identical operands.
+package neighbor
+
+import (
+	"fmt"
+	"sync"
+
+	"spice/internal/vec"
+)
+
+// StaticGrid holds the immutable, shareable half of a neighbor search:
+// cell-grid geometry pinned to a fully periodic box plus the pre-binned
+// chains and pre-wrapped coordinates of the static (fixed) atom suffix.
+// It is read-only after construction and safe to share across lists and
+// goroutines.
+type StaticGrid struct {
+	cutoff, skin float64
+	box          vec.V
+	n, nMobile   int
+
+	g     gridDesc
+	ncell int
+
+	head    []int32 // per-cell static chain heads, descending index order
+	next    []int32 // static chain links; entries below nMobile are unused
+	refPos  []vec.V // original static positions (suffix of length n-nMobile)
+	wrapped []vec.V // wrapped static positions (suffix of length n-nMobile)
+}
+
+// NewStaticGrid builds a shared grid for a system of n atoms whose fixed
+// atoms form a contiguous index suffix, inside a fully periodic box. pos
+// and fixed describe the full system; only the static suffix is retained.
+// It returns an error when the system is ineligible (open box, no static
+// atoms, or fixed atoms interleaved with mobile ones) — callers fall back
+// to plain per-list builds.
+func NewStaticGrid(cutoff, skin float64, box vec.V, pos []vec.V, fixed []bool) (*StaticGrid, error) {
+	n := len(pos)
+	if len(fixed) != n {
+		return nil, fmt.Errorf("neighbor: fixed flags (%d) do not match positions (%d)", len(fixed), n)
+	}
+	if box.X <= 0 || box.Y <= 0 || box.Z <= 0 {
+		return nil, fmt.Errorf("neighbor: static grid needs a fully periodic box, got %v", box)
+	}
+	nMobile := n
+	for i, f := range fixed {
+		if f {
+			nMobile = i
+			break
+		}
+	}
+	if nMobile == n {
+		return nil, fmt.Errorf("neighbor: no static atoms")
+	}
+	for i := nMobile; i < n; i++ {
+		if !fixed[i] {
+			return nil, fmt.Errorf("neighbor: fixed atoms are not a contiguous suffix (atom %d mobile after %d fixed)", i, nMobile)
+		}
+	}
+
+	sg := &StaticGrid{
+		cutoff:  cutoff,
+		skin:    skin,
+		box:     box,
+		n:       n,
+		nMobile: nMobile,
+		refPos:  make([]vec.V, n-nMobile),
+		wrapped: make([]vec.V, n-nMobile),
+	}
+	copy(sg.refPos, pos[nMobile:])
+	for i, p := range sg.refPos {
+		sg.wrapped[i] = vec.Wrap(p, box)
+	}
+
+	// The geometry the plain build would derive: with every axis periodic,
+	// bounds() pins lo=0, hi=box regardless of positions, so the grid is
+	// constant across rebuilds — the property that makes pre-binning sound.
+	r := cutoff + skin
+	nx := gridDim(box.X, r)
+	ny := gridDim(box.Y, r)
+	nz := gridDim(box.Z, r)
+	sg.ncell = nx * ny * nz
+	sg.g = gridDesc{lo: vec.V{}, ext: box, nx: nx, ny: ny, nz: nz,
+		periodicX: true, periodicY: true, periodicZ: true}
+
+	sg.head = make([]int32, sg.ncell)
+	for i := range sg.head {
+		sg.head[i] = -1
+	}
+	sg.next = make([]int32, n)
+	// Prepend ascending, exactly as the plain build bins: chains come out
+	// in descending index order, matching the unattached scan.
+	for i := nMobile; i < n; i++ {
+		c := sg.g.cellOf(sg.wrapped[i-nMobile])
+		sg.next[i] = sg.head[c]
+		sg.head[c] = int32(i)
+	}
+	return sg, nil
+}
+
+// N returns the total atom count the grid was built for.
+func (sg *StaticGrid) N() int { return sg.n }
+
+// NMobile returns the count of mobile atoms (indices [0, NMobile)).
+func (sg *StaticGrid) NMobile() int { return sg.nMobile }
+
+// MatchesStatic reports whether the static suffix of pos is bit-identical
+// to the positions the grid was built from. Batch adoption uses it to
+// verify that replicas really share the substrate before sharing the grid.
+func (sg *StaticGrid) MatchesStatic(pos []vec.V) bool {
+	if len(pos) != sg.n {
+		return false
+	}
+	for i, p := range sg.refPos {
+		if p != pos[sg.nMobile+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachStatic binds the list to a shared static grid. Subsequent rebuilds
+// bin and scan only the mobile prefix; the emitted pair list is
+// bit-identical (same pairs, same order) to an unattached rebuild. The
+// list's cutoff, skin and box must match the grid's, and every static atom
+// must already be marked inactive (SetInactive), since the static-aware
+// scan never visits static–static candidates.
+func (l *List) AttachStatic(sg *StaticGrid) error {
+	if l.Cutoff != sg.cutoff || l.Skin != sg.skin {
+		return fmt.Errorf("neighbor: static grid cutoff/skin (%g/%g) do not match list (%g/%g)",
+			sg.cutoff, sg.skin, l.Cutoff, l.Skin)
+	}
+	if l.Box != sg.box {
+		return fmt.Errorf("neighbor: static grid box %v does not match list box %v", sg.box, l.Box)
+	}
+	if l.inactive == nil {
+		return fmt.Errorf("neighbor: static atoms must be marked inactive before AttachStatic")
+	}
+	if len(l.inactive) != sg.n {
+		return fmt.Errorf("neighbor: inactive flags (%d) do not match grid atoms (%d)", len(l.inactive), sg.n)
+	}
+	for i := sg.nMobile; i < sg.n; i++ {
+		if !l.inactive[i] {
+			return fmt.Errorf("neighbor: static atom %d not marked inactive", i)
+		}
+	}
+	l.static = sg
+	// If the list was already built, its ref/wrapped arrays hold the static
+	// suffix from the last plain rebuild — identical values to the grid's —
+	// so they need no refill.
+	l.staticFilled = l.ref != nil && len(l.ref) == sg.n
+	return nil
+}
+
+// Static returns the attached shared grid, or nil.
+func (l *List) Static() *StaticGrid { return l.static }
+
+// buildStatic is the static-grid counterpart of build: it refreshes only
+// the mobile prefix (copy, wrap, bin) and scans with the static chains
+// taken from the shared grid. See the package comment in this file for
+// why the output is bit-identical to build's.
+func (l *List) buildStatic(pos []vec.V) {
+	sg := l.static
+	n := len(pos)
+	if n != sg.n {
+		panic(fmt.Sprintf("neighbor: list with static grid for %d atoms rebuilt with %d positions", sg.n, n))
+	}
+	nm := sg.nMobile
+
+	l.nRebuilds++
+	l.intervalSum += l.updates - l.lastRebuild
+	l.lastRebuild = l.updates
+
+	if cap(l.ref) < n {
+		l.ref = make([]vec.V, n)
+		l.wrapped = make([]vec.V, n)
+		l.staticFilled = false
+	}
+	l.ref = l.ref[:n]
+	l.wrapped = l.wrapped[:n]
+	if !l.staticFilled {
+		copy(l.ref[nm:], sg.refPos)
+		copy(l.wrapped[nm:], sg.wrapped)
+		l.staticFilled = true
+	}
+	copy(l.ref[:nm], pos[:nm])
+	for i := 0; i < nm; i++ {
+		l.wrapped[i] = vec.Wrap(pos[i], l.Box)
+	}
+
+	l.Pairs = l.Pairs[:0]
+	defer func() {
+		l.pairsSum += int64(len(l.Pairs))
+		if l.OnRebuild != nil {
+			l.OnRebuild(len(l.Pairs))
+		}
+	}()
+
+	if n < 2 {
+		return
+	}
+	r := l.Cutoff + l.Skin
+	r2 := r * r
+
+	// Brute-force regime: the plain build's i-major double loop never
+	// emits for a static outer atom (all j > i are static too), so the
+	// outer loop legitimately stops at the mobile prefix.
+	if n <= 64 {
+		for i := 0; i < nm; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.excluded(int32(i), int32(j)) {
+					continue
+				}
+				d := vec.MinImageWrapped(l.wrapped[i].Sub(l.wrapped[j]), l.Box)
+				if d.Norm2() <= r2 {
+					l.Pairs = append(l.Pairs, Pair{int32(i), int32(j)})
+				}
+			}
+		}
+		return
+	}
+
+	ncell := sg.ncell
+	if cap(l.mobileHead) < ncell {
+		l.mobileHead = make([]int32, ncell)
+	}
+	l.mobileHead = l.mobileHead[:ncell]
+	for i := range l.mobileHead {
+		l.mobileHead[i] = -1
+	}
+	if cap(l.next) < n {
+		l.next = make([]int32, n)
+	}
+	l.next = l.next[:n]
+	for i := 0; i < nm; i++ {
+		c := sg.g.cellOf(l.wrapped[i])
+		l.next[i] = l.mobileHead[c]
+		l.mobileHead[c] = int32(i)
+	}
+
+	if l.Workers > 1 && n >= parallelScanMinAtoms {
+		l.scanParallelStatic(r2)
+	} else {
+		l.Pairs = l.scanCellRangeStatic(0, ncell, r2, l.Pairs)
+	}
+	l.sortByI(n)
+}
+
+// scanCellRangeStatic mirrors scanCellRange over the shared grid's
+// geometry, treating a cell as occupied when either its static or its
+// mobile chain is non-empty.
+func (l *List) scanCellRangeStatic(c0, c1 int, r2 float64, out []Pair) []Pair {
+	sg := l.static
+	g := sg.g
+	nxy := g.nx * g.ny
+	for c := c0; c < c1; c++ {
+		if sg.head[c] < 0 && l.mobileHead[c] < 0 {
+			continue
+		}
+		cz := c / nxy
+		cy := (c - cz*nxy) / g.nx
+		cx := c - cz*nxy - cy*g.nx
+		for dz := -1; dz <= 1; dz++ {
+			ncz, okz := wrapCell(cz+dz, g.nz, g.periodicZ)
+			if !okz {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				ncy, oky := wrapCell(cy+dy, g.ny, g.periodicY)
+				if !oky {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					ncx, okx := wrapCell(cx+dx, g.nx, g.periodicX)
+					if !okx {
+						continue
+					}
+					nc := (ncz*g.ny+ncy)*g.nx + ncx
+					if nc < c {
+						continue // visit each cell pair once
+					}
+					out = l.scanCellsStatic(c, nc, r2, out)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scanCellsStatic emits the same pairs in the same order as scanCells
+// would over the merged chains ("statics descending, then mobiles
+// descending" per cell), but never iterates a static×static candidate.
+func (l *List) scanCellsStatic(a, b int, r2 float64, out []Pair) []Pair {
+	sg := l.static
+	mnext := l.next
+	pos := l.wrapped
+
+	// Static outer atoms of a. In the merged chain their inner walk skips
+	// the remaining statics (both inactive) and lands on b's mobile chain
+	// — for a == b that is a's own full mobile chain, since every mobile
+	// follows every static in the merged order.
+	mb := l.mobileHead[b]
+	for i := sg.head[a]; i >= 0; i = sg.next[i] {
+		pi := pos[i]
+		for j := mb; j >= 0; j = mnext[j] {
+			// j mobile < i static, so (lo, hi) = (j, i).
+			if l.excluded(j, i) {
+				continue
+			}
+			d := vec.MinImageWrapped(pi.Sub(pos[j]), l.Box)
+			if d.Norm2() <= r2 {
+				out = append(out, Pair{j, i})
+			}
+		}
+	}
+
+	// Mobile outer atoms of a.
+	for i := l.mobileHead[a]; i >= 0; i = mnext[i] {
+		pi := pos[i]
+		if a == b {
+			// Chain runs descending, so every successor j is < i.
+			for j := mnext[i]; j >= 0; j = mnext[j] {
+				if l.excluded(j, i) {
+					continue
+				}
+				d := vec.MinImageWrapped(pi.Sub(pos[j]), l.Box)
+				if d.Norm2() <= r2 {
+					out = append(out, Pair{j, i})
+				}
+			}
+			continue
+		}
+		// b's merged chain: statics first, then mobiles.
+		for j := sg.head[b]; j >= 0; j = sg.next[j] {
+			// i mobile < j static, so (lo, hi) = (i, j).
+			if l.excluded(i, j) {
+				continue
+			}
+			d := vec.MinImageWrapped(pi.Sub(pos[j]), l.Box)
+			if d.Norm2() <= r2 {
+				out = append(out, Pair{i, j})
+			}
+		}
+		for j := l.mobileHead[b]; j >= 0; j = mnext[j] {
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if l.excluded(lo, hi) {
+				continue
+			}
+			d := vec.MinImageWrapped(pi.Sub(pos[j]), l.Box)
+			if d.Norm2() <= r2 {
+				out = append(out, Pair{lo, hi})
+			}
+		}
+	}
+	return out
+}
+
+// scanParallelStatic partitions the cell range across workers like
+// scanParallel, with per-worker buffers merged in worker order.
+func (l *List) scanParallelStatic(r2 float64) {
+	ncell := l.static.ncell
+	nw := l.Workers
+	if nw > ncell {
+		nw = ncell
+	}
+	if len(l.bufs) < nw {
+		l.bufs = append(l.bufs, make([][]Pair, nw-len(l.bufs))...)
+	}
+	var wg sync.WaitGroup
+	chunk := (ncell + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		c0 := w * chunk
+		c1 := c0 + chunk
+		if c1 > ncell {
+			c1 = ncell
+		}
+		wg.Add(1)
+		go func(w, c0, c1 int) {
+			defer wg.Done()
+			l.bufs[w] = l.scanCellRangeStatic(c0, c1, r2, l.bufs[w][:0])
+		}(w, c0, c1)
+	}
+	wg.Wait()
+	for _, b := range l.bufs[:nw] {
+		l.Pairs = append(l.Pairs, b...)
+	}
+}

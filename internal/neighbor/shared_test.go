@@ -1,0 +1,271 @@
+package neighbor
+
+import (
+	"sync"
+	"testing"
+
+	"spice/internal/vec"
+	"spice/internal/xrand"
+)
+
+// staticSystem builds nm mobile atoms followed by ns static atoms inside
+// a periodic box, with the flags an engine would set: every static atom
+// inactive, bonded-style exclusions among the first mobiles.
+func staticSystem(rng *xrand.Source, nm, ns int, box vec.V) (pos []vec.V, fixed []bool, excl [][]int32) {
+	n := nm + ns
+	pos = make([]vec.V, n)
+	for i := range pos {
+		pos[i] = vec.V{X: box.X * rng.Float64(), Y: box.Y * rng.Float64(), Z: box.Z * rng.Float64()}
+	}
+	fixed = make([]bool, n)
+	for i := nm; i < n; i++ {
+		fixed[i] = true
+	}
+	excl = make([][]int32, n)
+	for i := 0; i+1 < nm; i++ {
+		excl[i] = append(excl[i], int32(i+1))
+	}
+	return pos, fixed, excl
+}
+
+func jitterMobiles(rng *xrand.Source, pos []vec.V, nm int, amp float64) {
+	for i := 0; i < nm; i++ {
+		pos[i].X += amp * (rng.Float64() - 0.5)
+		pos[i].Y += amp * (rng.Float64() - 0.5)
+		pos[i].Z += amp * (rng.Float64() - 0.5)
+	}
+}
+
+// exactPairsEqual demands the same pairs in the same order — the
+// bit-identity contract, stronger than the set equality other tests use.
+func exactPairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStaticGridPairsBitIdentical drives a plain list and a static-grid
+// list through the same mobile trajectory and requires byte-identical
+// pair lists after every Update — in both the brute-force (n<=64) and
+// grid (n>64) regimes, with exclusions and inactive flags in play.
+func TestStaticGridPairsBitIdentical(t *testing.T) {
+	box := vec.V{X: 60, Y: 60, Z: 45}
+	for _, sizes := range []struct{ nm, ns int }{{10, 30}, {20, 400}, {64, 200}} {
+		rng := xrand.New(99)
+		pos, fixed, excl := staticSystem(rng, sizes.nm, sizes.ns, box)
+
+		plain := NewList(10, 2, box)
+		plain.SetExclusions(excl)
+		plain.SetInactive(fixed)
+
+		shared := NewList(10, 2, box)
+		shared.SetExclusions(excl)
+		shared.SetInactive(fixed)
+		sg, err := NewStaticGrid(10, 2, box, pos, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shared.AttachStatic(sg); err != nil {
+			t.Fatal(err)
+		}
+		if !sg.MatchesStatic(pos) {
+			t.Fatal("grid does not match the positions it was built from")
+		}
+
+		posA := append([]vec.V(nil), pos...)
+		posB := append([]vec.V(nil), pos...)
+		rebuilds := 0
+		for step := 0; step < 200; step++ {
+			ra := plain.Update(posA)
+			rb := shared.Update(posB)
+			if ra != rb {
+				t.Fatalf("nm=%d ns=%d step %d: rebuild schedule diverged (plain=%v shared=%v)",
+					sizes.nm, sizes.ns, step, ra, rb)
+			}
+			if ra {
+				rebuilds++
+			}
+			if !exactPairsEqual(plain.Pairs, shared.Pairs) {
+				t.Fatalf("nm=%d ns=%d step %d: pair lists differ (%d vs %d pairs)",
+					sizes.nm, sizes.ns, step, len(plain.Pairs), len(shared.Pairs))
+			}
+			jitterMobiles(rng, posA, sizes.nm, 0.6)
+			copy(posB[:sizes.nm], posA[:sizes.nm])
+		}
+		if rebuilds < 3 {
+			t.Fatalf("nm=%d ns=%d: only %d rebuilds exercised", sizes.nm, sizes.ns, rebuilds)
+		}
+		if shared.Pairs == nil || len(shared.Pairs) == 0 {
+			t.Fatalf("nm=%d ns=%d: no pairs emitted", sizes.nm, sizes.ns)
+		}
+	}
+}
+
+// TestStaticGridParallelScanMatchesSerial pins the Workers>1 static scan
+// to the serial static scan (and hence to the plain list).
+func TestStaticGridParallelScanMatchesSerial(t *testing.T) {
+	box := vec.V{X: 70, Y: 70, Z: 70}
+	rng := xrand.New(7)
+	pos, fixed, excl := staticSystem(rng, 300, 1200, box)
+
+	serial := NewList(6, 1, box)
+	serial.SetExclusions(excl)
+	serial.SetInactive(fixed)
+	sgA, err := NewStaticGrid(6, 1, box, pos, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.AttachStatic(sgA); err != nil {
+		t.Fatal(err)
+	}
+	serial.ForceRebuild(pos)
+
+	par := NewList(6, 1, box)
+	par.Workers = 4
+	par.SetExclusions(excl)
+	par.SetInactive(fixed)
+	if err := par.AttachStatic(sgA); err != nil {
+		t.Fatal(err)
+	}
+	par.ForceRebuild(pos)
+
+	if len(serial.Pairs) == 0 {
+		t.Fatal("no pairs emitted")
+	}
+	got := append([]Pair(nil), par.Pairs...)
+	want := append([]Pair(nil), serial.Pairs...)
+	if !pairsEqual(got, want) {
+		t.Fatalf("parallel static scan: %d pairs, serial %d", len(got), len(want))
+	}
+}
+
+// TestStaticGridEligibility checks the fallback conditions: open boxes,
+// systems without static atoms, and interleaved fixed atoms are rejected,
+// as is attaching before the statics are marked inactive.
+func TestStaticGridEligibility(t *testing.T) {
+	box := vec.V{X: 30, Y: 30, Z: 30}
+	rng := xrand.New(5)
+	pos, fixed, _ := staticSystem(rng, 10, 20, box)
+
+	if _, err := NewStaticGrid(5, 1, vec.V{X: 30, Y: 30}, pos, fixed); err == nil {
+		t.Fatal("open box accepted")
+	}
+	if _, err := NewStaticGrid(5, 1, box, pos, make([]bool, len(pos))); err == nil {
+		t.Fatal("system without static atoms accepted")
+	}
+	inter := append([]bool(nil), fixed...)
+	inter[3] = true // fixed atom inside the mobile prefix
+	if _, err := NewStaticGrid(5, 1, box, pos, inter); err == nil {
+		t.Fatal("interleaved fixed atoms accepted")
+	}
+
+	sg, err := NewStaticGrid(5, 1, box, pos, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewList(5, 1, box)
+	if err := l.AttachStatic(sg); err == nil {
+		t.Fatal("attach without inactive flags accepted")
+	}
+	l.SetInactive(fixed)
+	if err := l.AttachStatic(sg); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewList(4, 1, box)
+	bad.SetInactive(fixed)
+	if err := bad.AttachStatic(sg); err == nil {
+		t.Fatal("cutoff mismatch accepted")
+	}
+}
+
+// TestSharedGridConcurrentReplicas rebuilds many lists attached to one
+// StaticGrid from concurrent goroutines (run under -race in CI): the grid
+// must be safely shareable, and every replica must match its own plain
+// reference list exactly.
+func TestSharedGridConcurrentReplicas(t *testing.T) {
+	box := vec.V{X: 50, Y: 50, Z: 50}
+	rng := xrand.New(21)
+	pos, fixed, excl := staticSystem(rng, 24, 300, box)
+	sg, err := NewStaticGrid(8, 2, box, pos, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const replicas = 8
+	var wg sync.WaitGroup
+	errs := make([]error, replicas)
+	failed := make([]bool, replicas)
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rrng := xrand.New(uint64(1000 + r))
+			mine := append([]vec.V(nil), pos...)
+			jitterMobiles(rrng, mine, 24, 2.0)
+
+			shared := NewList(8, 2, box)
+			shared.SetExclusions(excl)
+			shared.SetInactive(fixed)
+			if err := shared.AttachStatic(sg); err != nil {
+				errs[r] = err
+				return
+			}
+			plain := NewList(8, 2, box)
+			plain.SetExclusions(excl)
+			plain.SetInactive(fixed)
+
+			for step := 0; step < 50; step++ {
+				shared.Update(mine)
+				plain.Update(mine)
+				if !exactPairsEqual(shared.Pairs, plain.Pairs) {
+					failed[r] = true
+					return
+				}
+				jitterMobiles(rrng, mine, 24, 0.8)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < replicas; r++ {
+		if errs[r] != nil {
+			t.Fatalf("replica %d: %v", r, errs[r])
+		}
+		if failed[r] {
+			t.Fatalf("replica %d: pair list diverged from plain reference", r)
+		}
+	}
+}
+
+// TestStaticGridRebuildAllocFree mirrors the plain list's steady-state
+// allocation guarantee for the static path.
+func TestStaticGridRebuildAllocFree(t *testing.T) {
+	box := vec.V{X: 50, Y: 50, Z: 50}
+	rng := xrand.New(31)
+	pos, fixed, excl := staticSystem(rng, 30, 400, box)
+	sg, err := NewStaticGrid(8, 2, box, pos, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewList(8, 2, box)
+	l.SetExclusions(excl)
+	l.SetInactive(fixed)
+	if err := l.AttachStatic(sg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l.ForceRebuild(pos)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		jitterMobiles(rng, pos, 30, 0.1)
+		l.ForceRebuild(pos)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state static rebuild allocates %.1f/op", allocs)
+	}
+}

@@ -42,6 +42,29 @@ echo "== dist slow-site speculation (-race) =="
 # event log's per-name counts to the same numbers.
 go test -race -timeout 180s -run 'TestChaosSlowSiteSpeculation' -count=1 -v ./internal/dist
 
+echo "== batch ensemble determinism (GOMAXPROCS=4, -race) =="
+# The ensemble batch engine must produce bit-identical trajectories and
+# work logs under real parallel stepping: shared static-substrate grid,
+# SoA adoption, clone-into-batch restore, and the batched campaign
+# runner, all at GOMAXPROCS>1 with the race detector on.
+GOMAXPROCS=4 go test -race -count=1 \
+  -run 'TestBatch|TestSharedGrid|TestStaticGrid|TestCloneIntoBatchRestore|TestSubstrateShare|TestBatchedRunner' \
+  ./internal/md ./internal/neighbor ./internal/campaign
+
+echo "== batch ensemble throughput gate (GOMAXPROCS=4) =="
+# Acceptance gate: >=2x aggregate replica-steps/sec over sequential
+# per-engine stepping at 8 replicas, with 0 steady-state allocs/op.
+# Full multi-CPU numbers live in BENCH_5.json (scripts/bench.sh -cpu 1,4).
+GOMAXPROCS=4 go test -run '^$' -bench 'Ablation_BatchStep/replicas=8' -benchtime 20x -benchmem . |
+  awk '{ print }
+       /replicas=8/ { for (i = 1; i < NF; i++) {
+         if ($(i+1) == "speedup_vs_seq") sp = $i
+         if ($(i+1) == "allocs/op") al = $i } }
+       END {
+         if (sp + 0 < 2)  { print "FAIL: batch speedup " sp "x < 2x"; exit 1 }
+         if (al + 0 != 0) { print "FAIL: batch allocs/op " al " != 0"; exit 1 }
+         print "batch gate OK: " sp "x vs sequential, " al " allocs/op" }'
+
 echo "== bench smoke (benchtime=1x) =="
 go test -run '^$' -bench 'Ablation' -benchtime 1x -benchmem .
 
