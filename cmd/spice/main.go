@@ -98,6 +98,23 @@ func main() {
 	cfg.Workers = *workers
 	cfg.Seed = *seed
 
+	// Client mode: ship the spec to a control plane instead of running
+	// it here. The system is the server's; only the campaign spec and
+	// tenant identity travel.
+	if *serverAddr != "" {
+		spec := campaign.Spec{
+			Kappas:     cfg.Kappas,
+			Velocities: cfg.Velocities,
+			Replicas:   cfg.Replicas,
+			Distance:   cfg.Distance,
+			Seed:       cfg.Seed,
+		}
+		if err := runClient(*serverAddr, spec, *outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// Observability plumbing: one registry + event log feed the debug
 	// server, the coordinator (or the local runner) and the event file.
 	var (
@@ -122,7 +139,7 @@ func main() {
 		events = obs.NewEventLog(evw, 512)
 	}
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, events, nil)
+		srv, err := obs.Serve(*obsAddr, reg, events, nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -312,12 +329,20 @@ func serveIMD(addr string, beads, frames int, seed uint64) error {
 }
 
 func writeLogs(dir string, res *core.SweepResult) (int, error) {
+	return writeLogMap(dir, res.Logs)
+}
+
+// writeLogMap writes one .work file per replica, named by combo and
+// replica index — the same layout whether the logs came from a local
+// run or were fetched from a control plane, so outputs are directly
+// byte-comparable.
+func writeLogMap(dir string, logs map[campaign.Combo][]*trace.WorkLog) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
 	n := 0
-	for combo, logs := range res.Logs {
-		for r, wl := range logs {
+	for combo, wls := range logs {
+		for r, wl := range wls {
 			path := fmt.Sprintf("%s/%s-r%d.work", dir, combo, r)
 			f, err := os.Create(path)
 			if err != nil {

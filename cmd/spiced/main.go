@@ -10,6 +10,10 @@
 //	spice -coordinator :9555 -workers 0 &
 //	spiced -coordinator localhost:9555 -name alpha
 //	spiced -coordinator localhost:9555 -name beta
+//
+// With -serve the daemon instead becomes the campaign control plane: a
+// persistent multi-tenant queue with an HTTP API in front of an
+// embedded coordinator (see serve.go).
 package main
 
 import (
@@ -48,8 +52,20 @@ func main() {
 	)
 	flag.Parse()
 
+	if *serveMode {
+		reg, events, cleanup, err := obsSetup(*obsEvents)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cleanup()
+		if err := runServe(reg, events); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *coordinator == "" {
-		log.Fatal("-coordinator is required")
+		log.Fatal("-coordinator is required (or -serve for control-plane mode)")
 	}
 	if *name == "" {
 		host, err := os.Hostname()
@@ -82,7 +98,7 @@ func main() {
 		events = obs.NewEventLog(evw, 512)
 	}
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, events, nil)
+		srv, err := obs.Serve(*obsAddr, reg, events, nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

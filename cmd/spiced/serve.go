@@ -1,0 +1,209 @@
+package main
+
+// spiced -serve: the control-plane mode. Instead of pulling jobs as a
+// worker, the daemon becomes the long-lived service the fleet gathers
+// around: it embeds a dist coordinator, wraps it in the multi-tenant
+// campaign control plane (persistent queue, quotas, fair-share
+// scheduling), and serves the HTTP API on one listener together with
+// /metrics, /healthz and /readyz. /readyz goes ready only after the
+// queue journal has been replayed.
+//
+// Example — a control plane with two in-process workers and quotas:
+//
+//	spiced -serve -listen :9555 -http :9556 -state /var/lib/spice \
+//	       -workers 2 -max-active 2 -quotas 'alice=4:2,bob=2:1'
+//	spice -server :9556 -submit -tenant alice -kappas 100 -wait
+//
+// External spiced workers join the embedded coordinator as usual:
+//
+//	spiced -coordinator host:9555 -name gamma
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"spice/internal/controlplane"
+	"spice/internal/core"
+	"spice/internal/dist"
+	"spice/internal/obs"
+)
+
+var (
+	serveMode    = flag.Bool("serve", false, "run as the campaign control plane instead of a worker: embedded coordinator + persistent multi-tenant queue + HTTP API")
+	serveListen  = flag.String("listen", "127.0.0.1:9555", "with -serve: coordinator address spiced workers connect to")
+	serveHTTP    = flag.String("http", "127.0.0.1:9556", "with -serve: HTTP address for the campaign API, /metrics, /healthz and /readyz")
+	serveState   = flag.String("state", "", "with -serve: state directory for the campaign queue journal and the coordinator's job journal (required; survives SIGKILL)")
+	serveWorkers = flag.Int("workers", 0, "with -serve: in-process workers to start alongside the coordinator")
+	serveSystem  = flag.String("system", "", "with -serve: JSON core.SystemConfig for the simulated system (default: the standard sweep system)")
+	maxActive    = flag.Int("max-active", 0, "with -serve: campaigns multiplexed on the coordinator at once (0 = unlimited)")
+	agingRate    = flag.Float64("aging", 1, "with -serve: fair-share aging in priority points per queued hour (starvation-freedom knob; 0 disables aging)")
+	backfill     = flag.Bool("backfill", false, "with -serve: let lower-ranked campaigns take leases past a quota-blocked one (default conservative: a blocked campaign also blocks everything ranked behind it)")
+	quotasFlag   = flag.String("quotas", "", "with -serve: per-tenant quotas, 'tenant=maxQueued[:maxRunning],...' (0 = unlimited)")
+	defaultQuota = flag.String("default-quota", "", "with -serve: quota for tenants absent from -quotas, 'maxQueued[:maxRunning]'")
+)
+
+// parseQuota parses "maxQueued[:maxRunning]".
+func parseQuota(s string) (controlplane.Quota, error) {
+	var q controlplane.Quota
+	head, tail, _ := strings.Cut(s, ":")
+	mq, err := strconv.Atoi(head)
+	if err != nil {
+		return q, fmt.Errorf("bad maxQueued %q", head)
+	}
+	q.MaxQueued = mq
+	if tail != "" {
+		mr, err := strconv.Atoi(tail)
+		if err != nil {
+			return q, fmt.Errorf("bad maxRunning %q", tail)
+		}
+		q.MaxRunning = mr
+	}
+	return q, nil
+}
+
+func parseQuotas(s string) (map[string]controlplane.Quota, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]controlplane.Quota)
+	for _, part := range strings.Split(s, ",") {
+		tenant, spec, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("bad quota entry %q (want tenant=maxQueued[:maxRunning])", part)
+		}
+		q, err := parseQuota(spec)
+		if err != nil {
+			return nil, fmt.Errorf("quota for %s: %w", tenant, err)
+		}
+		out[tenant] = q
+	}
+	return out, nil
+}
+
+// runServe is the -serve main loop. It owns process lifecycle: SIGTERM
+// and SIGINT shut down cleanly; SIGKILL is the crash the journals are
+// for.
+func runServe(reg *obs.Registry, events *obs.EventLog) error {
+	if *serveState == "" {
+		return fmt.Errorf("-serve requires -state (the queue must survive restarts)")
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	// The simulated system shipped to workers. Intra-engine parallelism
+	// is pinned so every process sums forces in the same chunk order —
+	// the precondition for bit-identical distributed results.
+	sys := core.DefaultSystem()
+	if *serveSystem != "" {
+		if err := json.Unmarshal([]byte(*serveSystem), &sys); err != nil {
+			return fmt.Errorf("-system: %w", err)
+		}
+	}
+	if sys.EngineWorkers == 0 {
+		sys.EngineWorkers = 1
+	}
+	sysJSON, err := json.Marshal(sys)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *serveListen)
+	if err != nil {
+		return err
+	}
+	dcfg := dist.Defaults()
+	dcfg.StateDir = *serveState
+	dcfg.Metrics = reg
+	dcfg.Events = events
+	co, err := dist.NewCoordinator(ln, sysJSON, dcfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer co.Close()
+
+	quotas, err := parseQuotas(*quotasFlag)
+	if err != nil {
+		return err
+	}
+	var defQ controlplane.Quota
+	if *defaultQuota != "" {
+		if defQ, err = parseQuota(*defaultQuota); err != nil {
+			return fmt.Errorf("-default-quota: %w", err)
+		}
+	}
+	cp, err := controlplane.New(controlplane.Config{
+		Coordinator:  co,
+		StateDir:     *serveState,
+		MaxActive:    *maxActive,
+		DefaultQuota: defQ,
+		Quotas:       quotas,
+		Aging:        *agingRate,
+		Backfill:     *backfill,
+		Metrics:      reg,
+		Events:       events,
+	})
+	if err != nil {
+		return err
+	}
+	defer cp.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for i := 0; i < *serveWorkers; i++ {
+		w, err := dist.NewWorker(fmt.Sprintf("cp-local-%d", i), "", ln.Addr().String(), core.BuildFromJSON, dist.Defaults())
+		if err != nil {
+			return err
+		}
+		go w.Run(ctx)
+	}
+
+	// One listener serves the campaign API and the obs endpoints;
+	// /readyz flips once the queue journal is replayed and dispatch is
+	// live.
+	mux := obs.NewMux(reg, events, nil, cp.Ready)
+	cp.Mount(mux)
+	srv, err := obs.ServeHandler(*serveHTTP, mux)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	cp.Start()
+
+	fmt.Printf("control plane: http://%s/api/v1/campaigns (coordinator %s, %d in-process workers)\n",
+		srv.Addr(), ln.Addr(), *serveWorkers)
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	return nil
+}
+
+// obsSetup builds the shared registry/event log from the -obs-events
+// flag value (also used by worker mode).
+func obsSetup(obsEvents string) (*obs.Registry, *obs.EventLog, func(), error) {
+	reg := obs.NewRegistry()
+	var evw io.Writer
+	cleanup := func() {}
+	switch obsEvents {
+	case "":
+	case "-":
+		evw = os.Stderr
+	default:
+		f, err := os.OpenFile(obsEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("-obs-events: %v", err)
+		}
+		cleanup = func() { f.Close() }
+		evw = f
+	}
+	return reg, obs.NewEventLog(evw, 512), cleanup, nil
+}

@@ -1,0 +1,175 @@
+package controlplane
+
+// HTTP/JSON API, mounted alongside the obs debug endpoints:
+//
+//	POST   /api/v1/campaigns            submit (202 + {id,state})
+//	GET    /api/v1/campaigns[?tenant=]  list
+//	GET    /api/v1/campaigns/{id}        inspect one
+//	DELETE /api/v1/campaigns/{id}        cancel
+//	GET    /api/v1/campaigns/{id}/result collated work logs (done only)
+//
+// Everything is JSON; errors come back as {"error": "..."} with the
+// status carrying the semantics (429 quota, 409 duplicate/not-done,
+// 404 unknown, 503 closed).
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+
+	"spice/internal/campaign"
+	"spice/internal/dist"
+	"spice/internal/trace"
+)
+
+// SubmitRequest is the POST /api/v1/campaigns body.
+type SubmitRequest struct {
+	Tenant   string        `json:"tenant,omitempty"`
+	Priority int           `json:"priority,omitempty"`
+	Name     string        `json:"name,omitempty"`
+	Spec     campaign.Spec `json:"spec"`
+}
+
+// SubmitResponse acknowledges an accepted submission.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+}
+
+// ComboLogs is one (kappa, velocity) cell of a campaign result. The
+// wire result is an ordered list rather than a map because the natural
+// in-process type, map[campaign.Combo][]*trace.WorkLog, has a struct
+// key and cannot JSON-marshal.
+type ComboLogs struct {
+	Kappa    float64          `json:"kappa"`
+	Velocity float64          `json:"velocity"`
+	Logs     []*trace.WorkLog `json:"logs"`
+}
+
+// FlattenResult converts a collated result map to the ordered wire
+// form (kappa-major, velocity-minor, matching campaign.Spec.Tasks).
+func FlattenResult(m map[campaign.Combo][]*trace.WorkLog) []ComboLogs {
+	out := make([]ComboLogs, 0, len(m))
+	for c, logs := range m {
+		out = append(out, ComboLogs{Kappa: c.KappaPN, Velocity: c.VAns, Logs: logs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kappa != out[j].Kappa {
+			return out[i].Kappa < out[j].Kappa
+		}
+		return out[i].Velocity < out[j].Velocity
+	})
+	return out
+}
+
+// UnflattenResult is the inverse of FlattenResult, restoring the
+// in-process map form on the client side.
+func UnflattenResult(list []ComboLogs) map[campaign.Combo][]*trace.WorkLog {
+	m := make(map[campaign.Combo][]*trace.WorkLog, len(list))
+	for _, cl := range list {
+		m[campaign.Combo{KappaPN: cl.Kappa, VAns: cl.Velocity}] = cl.Logs
+	}
+	return m
+}
+
+// StatsResponse is the GET /api/v1/stats body: the control plane's
+// per-tenant queue depths plus the embedded coordinator's unified
+// dist.Snapshot — one scrape covers both layers, and the client renders
+// the dist half through the same statsfmt tables a local run prints.
+type StatsResponse struct {
+	Queue []QueueStats  `json:"queue"`
+	Dist  dist.Snapshot `json:"dist"`
+}
+
+// Mount registers the API handlers on mux. Pair it with obs.NewMux so
+// one listener serves both the API and /metrics, /healthz, /readyz.
+func (s *Server) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps a package error to its HTTP status.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDuplicate), errors.Is(err, ErrNotDone):
+		code = http.StatusConflict
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr SubmitRequest
+	if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	if len(sr.Spec.Kappas) == 0 || len(sr.Spec.Velocities) == 0 || sr.Spec.Replicas <= 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "spec needs at least one kappa, one velocity, and replicas > 0"})
+		return
+	}
+	tag := dist.CampaignTag{Tenant: sr.Tenant, Priority: sr.Priority, Name: sr.Name}
+	id, err := s.Submit(sr.Spec, tag)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, s.List(req.URL.Query().Get("tenant")))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	c, err := s.Get(req.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	st, err := s.Cancel(req.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]State{"state": st})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, req *http.Request) {
+	logs, err := s.Result(req.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FlattenResult(logs))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Queue: s.Stats(),
+		Dist:  s.cfg.Coordinator.StatsSnapshot(),
+	})
+}

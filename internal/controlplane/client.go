@@ -1,0 +1,168 @@
+package controlplane
+
+// Client is the Go-side consumer of the control plane API — what
+// `spice -server ...` speaks. It is deliberately thin: JSON in, JSON
+// out, package errors reconstructed from status codes so callers can
+// errors.Is against the same sentinels the server uses.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/dist"
+	"spice/internal/trace"
+)
+
+// Client talks to a control plane over HTTP.
+type Client struct {
+	// Base is the server address, host:port or a full http:// URL.
+	Base string
+	// HTTP is the client to use (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) url(path string) string {
+	base := c.Base
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return base + path
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		// The server's message already spells out the sentinel's own
+		// text, so strip it before re-wrapping to keep errors.Is working
+		// without doubling the prefix.
+		wrap := func(sentinel error) error {
+			return fmt.Errorf("%w: %s", sentinel, strings.TrimPrefix(msg, sentinel.Error()+": "))
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			return wrap(ErrQuotaExceeded)
+		case http.StatusNotFound:
+			return wrap(ErrNotFound)
+		case http.StatusConflict:
+			return fmt.Errorf("controlplane: %s", msg)
+		case http.StatusServiceUnavailable:
+			return wrap(ErrClosed)
+		}
+		return fmt.Errorf("controlplane: %s %s: %s", method, path, msg)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit submits a campaign and returns its ID.
+func (c *Client) Submit(ctx context.Context, spec campaign.Spec, tag dist.CampaignTag) (string, error) {
+	var resp SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/campaigns", SubmitRequest{
+		Tenant: tag.Tenant, Priority: tag.Priority, Name: tag.Name, Spec: spec,
+	}, &resp)
+	return resp.ID, err
+}
+
+// List returns campaigns, optionally filtered by tenant ("" = all).
+func (c *Client) List(ctx context.Context, tenant string) ([]Campaign, error) {
+	path := "/api/v1/campaigns"
+	if tenant != "" {
+		path += "?tenant=" + tenant
+	}
+	var out []Campaign
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Get returns one campaign's state.
+func (c *Client) Get(ctx context.Context, id string) (Campaign, error) {
+	var out Campaign
+	err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id, nil, &out)
+	return out, err
+}
+
+// Cancel cancels a campaign.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/campaigns/"+id, nil, nil)
+}
+
+// Result fetches a completed campaign's collated work logs.
+func (c *Client) Result(ctx context.Context, id string) (map[campaign.Combo][]*trace.WorkLog, error) {
+	var list []ComboLogs
+	if err := c.do(ctx, http.MethodGet, "/api/v1/campaigns/"+id+"/result", nil, &list); err != nil {
+		return nil, err
+	}
+	return UnflattenResult(list), nil
+}
+
+// Stats fetches the unified stats view: queue depths per tenant plus
+// the embedded coordinator's dist.Snapshot.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &out)
+	return out, err
+}
+
+// WaitDone polls until the campaign reaches a terminal state or ctx
+// ends, returning the final view. A campaign that failed or was
+// canceled is not an error here — inspect State.
+func (c *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (Campaign, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		camp, err := c.Get(ctx, id)
+		if err != nil {
+			return Campaign{}, err
+		}
+		if camp.State.terminal() {
+			return camp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return camp, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,753 @@
+// Package controlplane is the multi-tenant campaign control plane: a
+// long-lived service that accepts SMD sweep campaigns over HTTP, queues
+// them durably, and feeds them to a dist.Coordinator under per-tenant
+// quotas and live fair-share scheduling.
+//
+// The package ties three earlier layers together without changing any
+// of their invariants:
+//
+//   - internal/trace gives the queue its crash-safe journal framing, so
+//     an accepted campaign survives SIGKILL and replays on restart;
+//   - internal/grid contributes the priority + fair-share + aging
+//     ranking policy, promoted from the offline planner into the live
+//     lease path via dist.Scheduler;
+//   - internal/dist executes the campaigns; the control plane only
+//     decides WHEN a campaign starts and WHOSE jobs are offered to an
+//     idle worker next. Results therefore stay bit-identical to a
+//     single-tenant, single-process run — scheduling moves work in
+//     time, never in value.
+//
+// Two admission/throughput controls exist per tenant (Quota): MaxQueued
+// bounds how many campaigns a tenant may have in flight (enforced at
+// submission: HTTP 429), and MaxRunning bounds how many of its jobs may
+// hold worker leases at once (enforced on every lease offer). A global
+// MaxActive bounds how many campaigns the coordinator multiplexes.
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/dist"
+	"spice/internal/grid"
+	"spice/internal/obs"
+	"spice/internal/trace"
+)
+
+// State is a campaign's lifecycle state in the queue.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether s is a final state.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Quota bounds one tenant's resource use. Zero fields mean unlimited.
+type Quota struct {
+	// MaxQueued caps the tenant's campaigns in non-terminal states
+	// (queued + running). Submissions beyond it are rejected (HTTP 429).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning caps the tenant's jobs holding worker leases at once.
+	// Campaigns of a tenant at this limit are skipped when offering
+	// work to idle workers; they resume as soon as a lease frees up.
+	MaxRunning int `json:"max_running,omitempty"`
+}
+
+// Config parameterizes a control plane Server.
+type Config struct {
+	// Coordinator executes the campaigns. Required; its Scheduler slot
+	// must be free — New installs the fair-share/quota scheduler there.
+	Coordinator *dist.Coordinator
+	// StateDir holds queue.log, the durable campaign queue. Required.
+	StateDir string
+	// MaxActive caps campaigns running concurrently on the coordinator
+	// (0 = unlimited). Queued campaigns beyond it wait for a slot.
+	MaxActive int
+	// DefaultQuota applies to tenants absent from Quotas.
+	DefaultQuota Quota
+	// Quotas maps tenant -> per-tenant quota overrides.
+	Quotas map[string]Quota
+	// Aging is the fair-share aging rate in priority points per waiting
+	// hour (see grid.Policy) — the starvation-freedom knob for both the
+	// campaign dispatch order and the live lease path.
+	Aging float64
+	// Backfill selects the quota-blocked behavior on the lease path.
+	// False (conservative) stops the offer round at the first campaign
+	// blocked by its tenant's MaxRunning, preserving strict policy
+	// order — nothing jumps a blocked head-of-line campaign. True lets
+	// lower-ranked campaigns backfill the idle worker instead.
+	Backfill bool
+	// Metrics, if non-nil, receives spice_cp_* counters and gauges.
+	Metrics *obs.Registry
+	// Events, if non-nil, receives campaign lifecycle events.
+	Events *obs.EventLog
+}
+
+// Campaign is the public view of one queued-or-finished campaign.
+type Campaign struct {
+	ID       string        `json:"id"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Priority int           `json:"priority,omitempty"`
+	Name     string        `json:"name,omitempty"`
+	State    State         `json:"state"`
+	Error    string        `json:"error,omitempty"`
+	Spec     campaign.Spec `json:"spec"`
+	// Jobs counts toward completion while running (total / done); both
+	// are zero until the campaign reaches the coordinator.
+	JobsTotal int       `json:"jobs_total,omitempty"`
+	JobsDone  int       `json:"jobs_done,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitzero"`
+	Finished  time.Time `json:"finished,omitzero"`
+}
+
+// entry is the server-side record of one campaign.
+type entry struct {
+	Campaign
+	specJSON json.RawMessage
+	seq      int // dispatch FCFS tiebreak (journal replay order, then arrival)
+	result   map[campaign.Combo][]*trace.WorkLog
+}
+
+// Server is a running control plane.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	journal *queueJournal
+	entries map[string]*entry
+	order   []*entry // submission order
+	seq     int
+	started bool
+	closed  bool
+
+	// Metrics (nil-safe wrappers below when cfg.Metrics is nil).
+	mSubmits  *obs.CounterVec // spice_cp_submissions_total{tenant}
+	mRejects  *obs.CounterVec // spice_cp_rejections_total{tenant,reason}
+	mDefers   *obs.CounterVec // spice_cp_quota_skips_total{tenant}
+	mFinished *obs.CounterVec // spice_cp_campaigns_finished_total{tenant,state}
+
+	pol *grid.Policy // fair-share ledger for dispatch ordering (under mu)
+
+	// usageMu guards usageSnap, a read-copy of the fair-share ledger for
+	// the lease scheduler. The scheduler runs inside the coordinator's
+	// lock and must not take s.mu (Get/List call into the coordinator
+	// while holding s.mu, so s.mu -> co.mu is the established order and
+	// co.mu -> s.mu would deadlock). usageMu is a leaf lock: nothing is
+	// acquired while holding it.
+	usageMu   sync.Mutex
+	usageSnap map[string]float64
+}
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrQuotaExceeded rejects a submission over the tenant's MaxQueued.
+	ErrQuotaExceeded = errors.New("controlplane: tenant queue quota exceeded")
+	// ErrDuplicate rejects a submission whose (spec, tag) identity is
+	// already queued, running, or finished. Vary Name to resubmit.
+	ErrDuplicate = errors.New("controlplane: campaign already submitted")
+	// ErrNotFound is returned for unknown campaign IDs.
+	ErrNotFound = errors.New("controlplane: no such campaign")
+	// ErrNotDone is returned when results are requested early.
+	ErrNotDone = errors.New("controlplane: campaign has not completed")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("controlplane: server is closed")
+)
+
+// New builds a Server: opens and replays queue.log, installs the
+// fair-share scheduler on the coordinator, and registers metrics.
+// Campaigns recovered in non-terminal states are re-queued (a campaign
+// that was running re-runs through the coordinator's own journal
+// replay, so completed jobs are not re-executed). Call Start to begin
+// dispatching.
+func New(cfg Config) (*Server, error) {
+	if cfg.Coordinator == nil {
+		return nil, errors.New("controlplane: Config.Coordinator is required")
+	}
+	if cfg.StateDir == "" {
+		return nil, errors.New("controlplane: Config.StateDir is required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		pol:     grid.NewPolicy(cfg.Aging),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.mSubmits = reg.CounterVec("spice_cp_submissions_total",
+			"Campaigns accepted into the control plane queue.", "tenant")
+		s.mRejects = reg.CounterVec("spice_cp_rejections_total",
+			"Campaign submissions rejected.", "tenant", "reason")
+		s.mDefers = reg.CounterVec("spice_cp_quota_skips_total",
+			"Lease offers withheld from a tenant at its MaxRunning quota.", "tenant")
+		s.mFinished = reg.CounterVec("spice_cp_campaigns_finished_total",
+			"Campaigns reaching a terminal state.", "tenant", "state")
+		reg.RegisterCollector(s.collect)
+	}
+	journal, replay, torn, err := openQueueJournal(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = journal
+	if torn > 0 {
+		s.event("cp_journal_torn_tail", "", map[string]any{"bytes": torn})
+	}
+	for _, qr := range replay {
+		var spec campaign.Spec
+		if err := json.Unmarshal(qr.rec.Spec, &spec); err != nil {
+			journal.close()
+			return nil, fmt.Errorf("controlplane: replaying campaign %s: %w", qr.rec.ID, err)
+		}
+		s.seq++
+		e := &entry{
+			Campaign: Campaign{
+				ID:        qr.rec.ID,
+				Tenant:    qr.rec.Tenant,
+				Priority:  qr.rec.Priority,
+				Name:      qr.rec.Name,
+				State:     qr.state,
+				Error:     qr.err,
+				Spec:      spec,
+				Submitted: qr.rec.At,
+			},
+			specJSON: qr.rec.Spec,
+			seq:      s.seq,
+		}
+		// A campaign that was running when the process died goes back to
+		// queued: dispatch re-runs it and the coordinator's journal replay
+		// makes the re-run resume (or complete instantly) rather than
+		// redo finished jobs. Fair-share usage for finished campaigns is
+		// re-charged so the ledger survives restarts too.
+		if e.State == StateRunning {
+			e.State = StateQueued
+		}
+		if e.State == StateDone {
+			s.charge(e.Tenant, jobHours(e.Spec))
+		}
+		s.entries[e.ID] = e
+		s.order = append(s.order, e)
+	}
+	// The live lease path consults the control plane's quotas on every
+	// offer. The coordinator reads this field under its own lock; we set
+	// it before any worker can connect.
+	cfg.Coordinator.Scheduler = s.leaseScheduler()
+	return s, nil
+}
+
+// Start begins dispatching queued campaigns and marks the server ready.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	s.dispatchLocked()
+}
+
+// Ready reports readiness: nil once the journal has been replayed and
+// dispatch is live. Wire it to obs /readyz — a control plane that is up
+// but still replaying must not take submissions.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.started {
+		return errors.New("controlplane: journal replay in progress")
+	}
+	return nil
+}
+
+// Close stops accepting work and closes the queue journal. Campaigns
+// already handed to the coordinator keep running until it shuts down;
+// their terminal records are lost for this process but re-derived on
+// the next restart's re-run (which replays instantly from the dist
+// journal).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.journal.close()
+}
+
+// quotaFor resolves tenant's quota.
+func (s *Server) quotaFor(tenant string) Quota {
+	if q, ok := s.cfg.Quotas[tenant]; ok {
+		return q
+	}
+	return s.cfg.DefaultQuota
+}
+
+// jobHours is the fair-share charge for a completed campaign: its job
+// count (every job is one pulling trajectory of the same length, so job
+// count is proportional to compute).
+func jobHours(spec campaign.Spec) float64 {
+	return float64(len(spec.Kappas) * len(spec.Velocities) * spec.Replicas)
+}
+
+// Submit accepts a campaign into the queue. It returns the campaign's
+// stable ID (dist.SpecKey of spec+tag), having journaled and fsynced
+// the submission first — once Submit returns, the campaign survives
+// SIGKILL. ErrQuotaExceeded and ErrDuplicate reject without journaling.
+func (s *Server) Submit(spec campaign.Spec, tag dist.CampaignTag) (string, error) {
+	id, err := dist.SpecKey(spec, tag)
+	if err != nil {
+		return "", err
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if _, ok := s.entries[id]; ok {
+		s.reject(tag.Tenant, "duplicate")
+		return id, ErrDuplicate
+	}
+	if q := s.quotaFor(tag.Tenant); q.MaxQueued > 0 {
+		active := 0
+		for _, e := range s.order {
+			if e.Tenant == tag.Tenant && !e.State.terminal() {
+				active++
+			}
+		}
+		if active >= q.MaxQueued {
+			s.reject(tag.Tenant, "quota")
+			return "", fmt.Errorf("%w: tenant %q has %d campaigns in flight (max %d)",
+				ErrQuotaExceeded, tag.Tenant, active, q.MaxQueued)
+		}
+	}
+	now := time.Now().UTC()
+	rec := &qrec{
+		T: qSubmit, ID: id,
+		Tenant: tag.Tenant, Priority: tag.Priority, Name: tag.Name,
+		Spec: specJSON, At: now,
+	}
+	if err := s.journal.append(rec); err != nil {
+		return "", fmt.Errorf("controlplane: journaling submission: %w", err)
+	}
+	s.seq++
+	e := &entry{
+		Campaign: Campaign{
+			ID: id, Tenant: tag.Tenant, Priority: tag.Priority, Name: tag.Name,
+			State: StateQueued, Spec: spec, Submitted: now,
+		},
+		specJSON: specJSON,
+		seq:      s.seq,
+	}
+	s.entries[id] = e
+	s.order = append(s.order, e)
+	if s.mSubmits != nil {
+		s.mSubmits.With(tag.Tenant).Inc()
+	}
+	s.event("cp_submitted", id, map[string]any{"tenant": tag.Tenant, "priority": tag.Priority})
+	if s.started {
+		s.dispatchLocked()
+	}
+	return id, nil
+}
+
+func (s *Server) reject(tenant, reason string) {
+	if s.mRejects != nil {
+		s.mRejects.With(tenant, reason).Inc()
+	}
+	s.event("cp_rejected", "", map[string]any{"tenant": tenant, "reason": reason})
+}
+
+// dispatchLocked promotes queued campaigns to running while MaxActive
+// slots are free, in fair-share policy order (effective priority with
+// aging, then least accumulated tenant usage, then FCFS). Requires s.mu.
+func (s *Server) dispatchLocked() {
+	if !s.started || s.closed {
+		return
+	}
+	for {
+		if s.cfg.MaxActive > 0 {
+			running := 0
+			for _, e := range s.order {
+				if e.State == StateRunning {
+					running++
+				}
+			}
+			if running >= s.cfg.MaxActive {
+				return
+			}
+		}
+		e := s.nextQueuedLocked()
+		if e == nil {
+			return
+		}
+		s.startLocked(e)
+	}
+}
+
+// nextQueuedLocked ranks the queued campaigns under the fair-share
+// policy and returns the winner (nil if none). Tenants currently
+// running campaigns carry their in-flight job counts as provisional
+// usage, so a busy tenant's next campaign ranks behind an idle one's.
+func (s *Server) nextQueuedLocked() *entry {
+	var queued []*entry
+	for _, e := range s.order {
+		if e.State == StateQueued {
+			queued = append(queued, e)
+		}
+	}
+	if len(queued) == 0 {
+		return nil
+	}
+	now := time.Now().UTC()
+	cands := make([]grid.Candidate, len(queued))
+	for i, e := range queued {
+		cands[i] = grid.Candidate{
+			Tenant:    e.Tenant,
+			Priority:  e.Priority,
+			WaitHours: now.Sub(e.Submitted).Hours(),
+			Seq:       e.seq,
+		}
+	}
+	extra := make(map[string]float64)
+	for _, e := range s.order {
+		if e.State == StateRunning {
+			extra[e.Tenant] += jobHours(e.Spec)
+		}
+	}
+	return queued[s.pol.Rank(cands, extra)[0]]
+}
+
+// startLocked journals the transition and hands e to the coordinator.
+func (s *Server) startLocked(e *entry) {
+	e.State = StateRunning
+	e.Started = time.Now().UTC()
+	e.JobsTotal = len(e.Spec.Tasks())
+	if err := s.journal.append(&qrec{T: qStart, ID: e.ID, Tenant: e.Tenant, At: e.Started}); err != nil {
+		// The start record is an optimization (replay re-queues running
+		// campaigns anyway); losing it only costs a redundant re-dispatch.
+		s.event("cp_journal_error", e.ID, map[string]any{"err": err.Error()})
+	}
+	s.event("cp_started", e.ID, map[string]any{"tenant": e.Tenant})
+	go s.run(e)
+}
+
+// run executes one campaign on the coordinator and journals the result.
+func (s *Server) run(e *entry) {
+	tag := dist.CampaignTag{Tenant: e.Tenant, Priority: e.Priority, Name: e.Name}
+	logs, err := s.cfg.Coordinator.RunTagged(e.Spec, tag)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now().UTC()
+	e.Finished = now
+	var rec *qrec
+	switch {
+	case err == nil:
+		e.State = StateDone
+		e.JobsDone = e.JobsTotal
+		e.result = logs
+		s.charge(e.Tenant, jobHours(e.Spec))
+		rec = &qrec{T: qDone, ID: e.ID, Tenant: e.Tenant, At: now}
+	case errors.Is(err, dist.ErrCampaignCanceled):
+		e.State = StateCanceled
+		// Cancel already journaled the qCancel record before asking the
+		// coordinator to stop; nothing further to persist.
+	default:
+		e.State = StateFailed
+		e.Error = err.Error()
+		rec = &qrec{T: qFail, ID: e.ID, Tenant: e.Tenant, Err: e.Error, At: now}
+	}
+	if rec != nil && !s.closed {
+		if jerr := s.journal.append(rec); jerr != nil {
+			s.event("cp_journal_error", e.ID, map[string]any{"err": jerr.Error()})
+		}
+	}
+	if s.mFinished != nil {
+		s.mFinished.With(e.Tenant, string(e.State)).Inc()
+	}
+	s.event("cp_finished", e.ID, map[string]any{"tenant": e.Tenant, "state": string(e.State)})
+	s.dispatchLocked()
+}
+
+// Cancel cancels a campaign by ID. Queued campaigns are simply marked;
+// running ones are canceled on the coordinator, which fails their
+// remaining jobs with ErrCampaignCanceled. Canceling a terminal
+// campaign is a no-op returning its current state.
+func (s *Server) Cancel(id string) (State, error) {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", ErrNotFound
+	}
+	if e.State.terminal() {
+		st := e.State
+		s.mu.Unlock()
+		return st, nil
+	}
+	wasRunning := e.State == StateRunning
+	if err := s.journal.append(&qrec{T: qCancel, ID: id, Tenant: e.Tenant, At: time.Now().UTC()}); err != nil {
+		s.mu.Unlock()
+		return "", fmt.Errorf("controlplane: journaling cancel: %w", err)
+	}
+	if !wasRunning {
+		e.State = StateCanceled
+		e.Finished = time.Now().UTC()
+		if s.mFinished != nil {
+			s.mFinished.With(e.Tenant, string(StateCanceled)).Inc()
+		}
+	}
+	s.event("cp_canceled", id, map[string]any{"tenant": e.Tenant, "was_running": wasRunning})
+	s.mu.Unlock()
+	if wasRunning {
+		// The coordinator fails the campaign's jobs; run() observes
+		// ErrCampaignCanceled and finishes the state transition.
+		s.cfg.Coordinator.CancelCampaign(id)
+		return StateRunning, nil
+	}
+	s.mu.Lock()
+	s.dispatchLocked()
+	s.mu.Unlock()
+	return StateCanceled, nil
+}
+
+// Get returns the public view of one campaign.
+func (s *Server) Get(id string) (Campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		return Campaign{}, ErrNotFound
+	}
+	return s.viewLocked(e), nil
+}
+
+// List returns all campaigns in submission order, optionally filtered
+// by tenant ("" = all).
+func (s *Server) List(tenant string) []Campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Campaign, 0, len(s.order))
+	for _, e := range s.order {
+		if tenant != "" && e.Tenant != tenant {
+			continue
+		}
+		out = append(out, s.viewLocked(e))
+	}
+	return out
+}
+
+// viewLocked snapshots e, refreshing live job counts from the
+// coordinator for running campaigns. Requires s.mu.
+func (s *Server) viewLocked(e *entry) Campaign {
+	c := e.Campaign
+	if e.State == StateRunning {
+		for _, v := range s.cfg.Coordinator.Campaigns() {
+			if v.Key == e.ID {
+				c.JobsTotal = v.Total
+				c.JobsDone = v.Done
+				break
+			}
+		}
+	}
+	return c
+}
+
+// Result returns a completed campaign's collated work logs. If the
+// campaign completed in a previous process (state recovered from the
+// journal but results not in memory), it is re-run through the
+// coordinator — the dist journal replays every finished job, so this
+// completes without re-executing work and yields bit-identical logs.
+func (s *Server) Result(id string) (map[campaign.Combo][]*trace.WorkLog, error) {
+	s.mu.Lock()
+	e, ok := s.entries[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if e.State != StateDone {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: campaign %s is %s", ErrNotDone, id, e.State)
+	}
+	if e.result != nil {
+		r := e.result
+		s.mu.Unlock()
+		return r, nil
+	}
+	spec, tag := e.Spec, dist.CampaignTag{Tenant: e.Tenant, Priority: e.Priority, Name: e.Name}
+	s.mu.Unlock()
+
+	logs, err := s.cfg.Coordinator.RunTagged(spec, tag)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: recovering results for %s: %w", id, err)
+	}
+	s.mu.Lock()
+	e.result = logs
+	s.mu.Unlock()
+	return logs, nil
+}
+
+// leaseScheduler builds the dist.Scheduler enforcing per-tenant
+// MaxRunning quotas with fair-share ordering on the live lease path.
+// It runs inside the coordinator's lock, so it must not take s.mu (see
+// usageMu); it reads only immutable config, atomic metric counters, and
+// the usage snapshot.
+func (s *Server) leaseScheduler() dist.Scheduler {
+	return dist.SchedulerFunc(func(now time.Time, views []dist.CampaignView) []int {
+		leased := make(map[string]float64, len(views))
+		for _, v := range views {
+			leased[v.Tenant] += float64(v.Leased)
+		}
+		cands := make([]grid.Candidate, len(views))
+		for i, v := range views {
+			cands[i] = grid.Candidate{
+				Tenant:    v.Tenant,
+				Priority:  v.Priority,
+				WaitHours: now.Sub(v.Submitted).Hours(),
+				Seq:       v.Seq,
+			}
+		}
+		order := s.rankForLease(cands, leased)
+		out := make([]int, 0, len(order))
+		for _, i := range order {
+			v := views[i]
+			if q := s.quotaFor(v.Tenant); q.MaxRunning > 0 && v.Leased >= q.MaxRunning {
+				if s.mDefers != nil {
+					s.mDefers.With(v.Tenant).Inc()
+				}
+				if !s.cfg.Backfill {
+					// Conservative: a quota-blocked campaign blocks
+					// everything ranked behind it, so strict policy order
+					// is never violated by opportunistic jumps.
+					break
+				}
+				continue
+			}
+			out = append(out, i)
+		}
+		return out
+	})
+}
+
+// rankForLease ranks lease candidates under the fair-share ledger
+// snapshot plus the instantaneous leased-job load.
+func (s *Server) rankForLease(cands []grid.Candidate, leased map[string]float64) []int {
+	extra := make(map[string]float64, len(leased))
+	s.usageMu.Lock()
+	for t, u := range s.usageSnap {
+		extra[t] = u
+	}
+	s.usageMu.Unlock()
+	for t, n := range leased {
+		extra[t] += n
+	}
+	return grid.NewPolicy(s.cfg.Aging).Rank(cands, extra)
+}
+
+// charge adds to the fair-share ledger and refreshes the lease-path
+// snapshot. Requires s.mu (for pol); takes the leaf usageMu.
+func (s *Server) charge(tenant string, amount float64) {
+	s.pol.Charge(tenant, amount)
+	s.usageMu.Lock()
+	if s.usageSnap == nil {
+		s.usageSnap = make(map[string]float64)
+	}
+	s.usageSnap[tenant] = s.pol.Usage(tenant)
+	s.usageMu.Unlock()
+}
+
+// QueueStats is one tenant's queue-depth row.
+type QueueStats struct {
+	Tenant   string `json:"tenant"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Canceled int    `json:"canceled"`
+	// Usage is the tenant's accumulated fair-share charge (job-hours).
+	Usage float64 `json:"usage"`
+}
+
+// Stats returns per-tenant queue depths sorted by tenant — the queue
+// half of the unified stats surface (the coordinator's dist.Snapshot is
+// the execution half; /api/v1/stats serves both together).
+func (s *Server) Stats() []QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byTenant := make(map[string]*QueueStats)
+	for _, e := range s.order {
+		qs := byTenant[e.Tenant]
+		if qs == nil {
+			qs = &QueueStats{Tenant: e.Tenant, Usage: s.pol.Usage(e.Tenant)}
+			byTenant[e.Tenant] = qs
+		}
+		switch e.State {
+		case StateQueued:
+			qs.Queued++
+		case StateRunning:
+			qs.Running++
+		case StateDone:
+			qs.Done++
+		case StateFailed:
+			qs.Failed++
+		case StateCanceled:
+			qs.Canceled++
+		}
+	}
+	out := make([]QueueStats, 0, len(byTenant))
+	for _, qs := range byTenant {
+		out = append(out, *qs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// collect emits queue-depth gauges at scrape time.
+func (s *Server) collect(e *obs.Emitter) {
+	s.mu.Lock()
+	depth := make(map[string]map[State]int) // tenant -> state -> n
+	for _, ent := range s.order {
+		if depth[ent.Tenant] == nil {
+			depth[ent.Tenant] = make(map[State]int)
+		}
+		depth[ent.Tenant][ent.State]++
+	}
+	s.mu.Unlock()
+	tenants := make([]string, 0, len(depth))
+	for t := range depth {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+			e.Gauge("spice_cp_campaigns", "Campaigns by tenant and state.",
+				float64(depth[t][st]),
+				obs.Label{Name: "tenant", Value: t}, obs.Label{Name: "state", Value: string(st)})
+		}
+	}
+}
+
+// event emits a lifecycle event when an event log is configured.
+func (s *Server) event(name, id string, fields map[string]any) {
+	if s.cfg.Events == nil {
+		return
+	}
+	s.cfg.Events.Emit(obs.Event{Name: name, Campaign: id, Fields: fields})
+}

@@ -1,0 +1,148 @@
+package controlplane
+
+// The campaign queue's durable side: an append-only record stream of
+// queue transitions (submit / start / done / fail / cancel) in the same
+// CRC-framed trace record format as the dist job journal, living at
+// <state>/queue.log. The two journals split the durability work by
+// blast radius: queue.log remembers *which* campaigns were accepted and
+// where each stood in its lifecycle; the dist journal remembers the
+// per-job progress inside a running campaign. Killing the control plane
+// at any instant loses neither — a torn tail is detected by the record
+// CRCs, truncated away on reopen, and everything before it replays.
+//
+// Durability policy: every record is fsynced before the state change it
+// describes is acknowledged. Submissions are the contract with the
+// tenant ("202 means your campaign survives anything short of disk
+// loss"), and the transition rate is human-scale, so the sync cost is
+// irrelevant.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spice/internal/trace"
+)
+
+// queue record types.
+const (
+	qSubmit = "submit" // a campaign was accepted into the queue
+	qStart  = "start"  // the campaign was handed to the coordinator
+	qDone   = "done"   // the campaign completed
+	qFail   = "fail"   // the campaign failed (record carries the error)
+	qCancel = "cancel" // the campaign was canceled by the tenant
+)
+
+// qrec is one queue journal record.
+type qrec struct {
+	T        string          `json:"t"`
+	ID       string          `json:"id"`
+	Tenant   string          `json:"tenant,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Name     string          `json:"name,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"` // submit only
+	Err      string          `json:"err,omitempty"`  // fail only
+	At       time.Time       `json:"at"`
+}
+
+// queueJournal is the open write side of queue.log.
+type queueJournal struct {
+	f  *os.File
+	rw *trace.RecordWriter
+}
+
+// queueReplay is one campaign's recovered lifecycle (last record wins).
+type queueReplay struct {
+	rec   qrec // the submit record (identity + spec)
+	state State
+	err   string
+}
+
+// openQueueJournal opens (creating if needed) queue.log under dir,
+// replays it, truncates a torn tail, and positions the writer for
+// appending. The replayed campaigns come back in submission order.
+func openQueueJournal(dir string) (*queueJournal, []*queueReplay, int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("controlplane: state dir: %w", err)
+	}
+	path := filepath.Join(dir, "queue.log")
+	scan, err := trace.ScanFile(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("controlplane: %s: %w", path, err)
+	}
+	byID := make(map[string]*queueReplay)
+	var order []*queueReplay
+	for _, raw := range scan.Records {
+		var r qrec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, nil, 0, fmt.Errorf("controlplane: undecodable queue record (CRC valid): %w", err)
+		}
+		switch r.T {
+		case qSubmit:
+			if byID[r.ID] == nil {
+				qr := &queueReplay{rec: r, state: StateQueued}
+				byID[r.ID] = qr
+				order = append(order, qr)
+			}
+		case qStart:
+			if qr := byID[r.ID]; qr != nil {
+				qr.state = StateRunning
+			}
+		case qDone:
+			if qr := byID[r.ID]; qr != nil {
+				qr.state = StateDone
+			}
+		case qFail:
+			if qr := byID[r.ID]; qr != nil {
+				qr.state = StateFailed
+				qr.err = r.Err
+			}
+		case qCancel:
+			if qr := byID[r.ID]; qr != nil {
+				qr.state = StateCanceled
+			}
+		default:
+			// Unknown record types from a newer writer are tolerated.
+		}
+	}
+	if scan.TailErr != nil {
+		if err := os.Truncate(path, scan.CleanLen); err != nil {
+			return nil, nil, 0, fmt.Errorf("controlplane: truncating torn queue tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("controlplane: opening queue journal: %w", err)
+	}
+	j := &queueJournal{f: f, rw: trace.NewRecordWriter(f, scan.CleanLen > 0)}
+	return j, order, scan.TornBytes, nil
+}
+
+// append frames, writes, flushes and fsyncs one record. Every queue
+// transition is synced — see the durability policy above.
+func (j *queueJournal) append(r *qrec) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if err := j.rw.Append(payload); err != nil {
+		return err
+	}
+	if err := j.rw.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *queueJournal) close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.rw.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

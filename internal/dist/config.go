@@ -45,6 +45,10 @@ type Config struct {
 	// StateDir, if non-empty, makes campaigns crash-safe (write-ahead
 	// journal + checkpoint spool under this directory).
 	StateDir string
+	// Scheduler, if set, orders the active campaigns each time a worker
+	// asks for work — the multi-tenant priority/fair-share/quota hook.
+	// Nil offers campaigns in install order.
+	Scheduler Scheduler
 
 	// --- Resilience (coordinator) ---
 
@@ -213,6 +217,7 @@ func NewCoordinator(ln net.Listener, system json.RawMessage, cfg Config) (*Coord
 		MaxAttempts:      cfg.MaxAttempts,
 		WrapConn:         cfg.WrapConn,
 		StateDir:         cfg.StateDir,
+		Scheduler:        cfg.Scheduler,
 		BreakerThreshold: disabledOrInt(cfg.BreakerThreshold),
 		BreakerCooldown:  cfg.BreakerCooldown,
 		HedgeFraction:    cfg.HedgeFraction,

@@ -105,6 +105,10 @@ type Coordinator struct {
 	// keys as the journal so an event trace can be cross-checked against
 	// the final Stats. Nil disables (the EventLog type is nil-safe).
 	Events *obs.EventLog
+	// Scheduler orders the active campaigns each time a worker asks for
+	// work (multi-tenant priority/fair-share/quota policies). Nil offers
+	// campaigns in install order.
+	Scheduler Scheduler
 
 	mu       sync.Mutex
 	journal  *journal
@@ -112,7 +116,9 @@ type Coordinator struct {
 	doneJobs map[string]bool // every job this process has accepted (or replayed) a result for
 	sites    map[string]*siteHealth
 
-	camp        *campaignRun
+	camps       []*campaignRun  // active campaigns, install order
+	jobsByID    map[string]*job // every active campaign's jobs, by scoped ID
+	campSeq     int
 	closed      bool
 	started     bool
 	liveConns   int
@@ -127,12 +133,16 @@ type Coordinator struct {
 
 // campaignRun is the job table of one active campaign.
 type campaignRun struct {
+	key       string // stable identity: campaignKeyTagged(tag, specJSON)
+	tag       CampaignTag
+	seq       int       // install order this process
+	submitted time.Time // install time this process
 	spec      campaign.Spec
 	tasks     []campaign.Task
 	jobs      []*job
-	byID      map[string]*job
 	remaining int
 	failErr   error
+	canceled  bool
 	done      chan struct{}
 	doneOnce  sync.Once
 }
@@ -174,6 +184,7 @@ type lease struct {
 // job is one schedulable pull and its scheduling history.
 type job struct {
 	id        string
+	camp      *campaignRun
 	task      campaign.Task
 	state     jobState
 	leases    []*lease
@@ -294,15 +305,6 @@ func (co *Coordinator) backoff(jobID string, attempts int) time.Duration {
 	return time.Duration(float64(d) * frac)
 }
 
-// campaignKey derives a short stable identifier for a campaign from its
-// spec JSON — the same bytes that key journal replay, so the event
-// stream's campaign scope survives coordinator restarts.
-func campaignKey(specJSON []byte) string {
-	h := fnv.New64a()
-	h.Write(specJSON)
-	return fmt.Sprintf("c-%08x", uint32(h.Sum64()))
-}
-
 // startLocked spins up the accept loop and the lease janitor. Caller
 // holds mu.
 func (co *Coordinator) startLocked() {
@@ -314,22 +316,36 @@ func (co *Coordinator) startLocked() {
 	go co.janitor(ctx)
 	go func() {
 		err := netutil.Serve(ctx, co.Listener, co.serveConn)
-		// The server is gone; whatever campaign is in flight cannot
+		// The server is gone; whatever campaigns are in flight cannot
 		// finish. A clean Close shows up as ErrServerClosed.
 		co.mu.Lock()
 		co.closed = true
-		if co.camp != nil {
-			co.camp.finish(fmt.Errorf("dist: serve: %w", err))
+		for _, camp := range co.camps {
+			camp.finish(fmt.Errorf("dist: serve: %w", err))
 		}
 		co.mu.Unlock()
 		co.serveDone <- err
 	}()
 }
 
-// Run implements campaign.Runner. It installs spec as the active
-// campaign (one at a time), waits for every task to complete, and
+// Run implements campaign.Runner. It installs spec as an active
+// campaign under the zero tag, waits for every task to complete, and
 // returns the merged logs. The server keeps running for the next Run.
 func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.WorkLog, error) {
+	return co.RunTagged(spec, CampaignTag{})
+}
+
+// RunTagged installs spec as an active campaign carrying tag — the
+// tenant/priority identity the Scheduler and the control plane's quota
+// policy read — and blocks until it completes. Any number of campaigns
+// may be active concurrently over one worker fleet; each Run/RunTagged
+// call owns one of them. Job IDs are scoped by the campaign key, so
+// concurrent campaigns (even over overlapping parameter combos) never
+// collide in the journal, the checkpoint spool, or the idempotency
+// tables. The merged output of each campaign is byte-identical to a
+// solo run of the same spec: scheduling decides placement and order,
+// never results.
+func (co *Coordinator) RunTagged(spec campaign.Spec, tag CampaignTag) (map[campaign.Combo][]*trace.WorkLog, error) {
 	if co.Listener == nil {
 		return nil, errors.New("dist: coordinator needs a listener")
 	}
@@ -337,25 +353,31 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 	if len(tasks) == 0 {
 		return map[campaign.Combo][]*trace.WorkLog{}, nil
 	}
-	// The spec's JSON form doubles as the journal's replay key, so a
-	// restarted coordinator re-running the same pipeline (possibly a
-	// different campaign order) matches each Run to its recovered state.
+	// The (tag, spec JSON) pair keys journal replay, so a restarted
+	// coordinator re-running the same submissions (possibly in a
+	// different order) matches each Run to its recovered state.
 	specJSON, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("dist: encoding spec: %w", err)
 	}
+	key := campaignKeyTagged(tag, specJSON)
 
 	co.mu.Lock()
 	if co.closed {
 		co.mu.Unlock()
 		return nil, errors.New("dist: coordinator is closed")
 	}
-	if co.camp != nil {
-		co.mu.Unlock()
-		return nil, errors.New("dist: a campaign is already running")
+	for _, c := range co.camps {
+		if c.key == key {
+			co.mu.Unlock()
+			return nil, fmt.Errorf("dist: campaign %s is already running", key)
+		}
 	}
 	if co.doneJobs == nil {
 		co.doneJobs = make(map[string]bool)
+	}
+	if co.jobsByID == nil {
+		co.jobsByID = make(map[string]*job)
 	}
 	if co.StateDir != "" && co.journal == nil {
 		jn, rep, err := openJournal(co.StateDir)
@@ -395,26 +417,34 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 		co.startLocked()
 	}
 	camp := &campaignRun{
+		key:       key,
+		tag:       tag,
+		seq:       co.campSeq,
+		submitted: time.Now(),
 		spec:      spec,
 		tasks:     tasks,
 		jobs:      make([]*job, len(tasks)),
-		byID:      make(map[string]*job, len(tasks)),
 		remaining: len(tasks),
 		done:      make(chan struct{}),
 	}
+	co.campSeq++
 	var rc *replayCampaign
 	if co.journal != nil {
-		if c := co.replay.campaigns[string(specJSON)]; c != nil && !c.applied {
+		if c := co.replay.campaigns[key]; c != nil && !c.applied {
 			rc = c
-			// Replayed state is consumed once; if the same spec runs again
-			// in this process it starts fresh (and journals fresh records).
+			// Replayed state is consumed once; if the same submission runs
+			// again in this process it starts fresh (and journals fresh
+			// records).
 			c.applied = true
 		}
 	}
 	for i, t := range tasks {
-		j := &job{id: fmt.Sprintf("smdje-%s-r%d", t.Combo, t.Index), task: t}
+		// The campaign key scopes the job ID: concurrent campaigns over
+		// overlapping combos stay distinct in every per-job table, the
+		// journal, and the spool filenames.
+		j := &job{id: fmt.Sprintf("%s.smdje-%s-r%d", key, t.Combo, t.Index), camp: camp, task: t}
 		camp.jobs[i] = j
-		camp.byID[j.id] = j
+		co.jobsByID[j.id] = j
 		if co.jobStats[j.id] == nil {
 			co.jobStats[j.id] = &JobStats{ID: j.id}
 		}
@@ -444,12 +474,13 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 			j.ckptSteps = ckptSteps(ck)
 		}
 	}
-	co.camp = camp
+	co.camps = append(co.camps, camp)
 	co.stats.Jobs += len(tasks)
-	co.Events.Emit(obs.Event{Name: "campaign_start", Campaign: campaignKey(specJSON), Fields: map[string]any{
+	co.Events.Emit(obs.Event{Name: "campaign_start", Campaign: key, Fields: map[string]any{
 		"jobs": len(tasks), "recovered_done": len(tasks) - camp.remaining,
+		"tenant": tag.Tenant, "priority": tag.Priority,
 	}})
-	if !co.journalLocked(camp, &jrec{T: jCampaign, Spec: specJSON}, true) {
+	if !co.journalLocked(camp, &jrec{T: jCampaign, Camp: key, Spec: specJSON, Tag: &tag}, true) {
 		// journalLocked already failed the campaign; fall through to the
 		// wait below, which returns the error immediately.
 	}
@@ -462,11 +493,11 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 	<-camp.done
 
 	co.mu.Lock()
-	co.camp = nil
+	co.removeCampLocked(camp)
 	err = camp.failErr
 	in, out := co.bytes.snapshot()
 	co.stats.BytesIn, co.stats.BytesOut = in, out
-	done := obs.Event{Name: "campaign_done", Campaign: campaignKey(specJSON)}
+	done := obs.Event{Name: "campaign_done", Campaign: key}
 	if err != nil {
 		done.Fields = map[string]any{"error": err.Error()}
 	}
@@ -480,6 +511,101 @@ func (co *Coordinator) Run(spec campaign.Spec) (map[campaign.Combo][]*trace.Work
 		logs[i] = j.log
 	}
 	return campaign.Collate(tasks, logs), nil
+}
+
+// removeCampLocked retires a finished campaign: out of the active set
+// and its jobs out of the dispatch table. Caller holds mu.
+func (co *Coordinator) removeCampLocked(camp *campaignRun) {
+	keep := co.camps[:0]
+	for _, c := range co.camps {
+		if c != camp {
+			keep = append(keep, c)
+		}
+	}
+	co.camps = keep
+	for _, j := range camp.jobs {
+		if co.jobsByID[j.id] == j {
+			delete(co.jobsByID, j.id)
+		}
+	}
+}
+
+// ErrCampaignCanceled is the failure error of a campaign killed by
+// CancelCampaign; the blocked Run/RunTagged call returns it.
+var ErrCampaignCanceled = errors.New("dist: campaign canceled")
+
+// CancelCampaign aborts the active campaign with the given key (see
+// SpecKey). The owning Run/RunTagged call returns ErrCampaignCanceled;
+// in-flight leases are abandoned on their next heartbeat. It reports
+// whether a campaign was actually canceled.
+func (co *Coordinator) CancelCampaign(key string) bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, c := range co.camps {
+		if c.key == key && c.failErr == nil {
+			c.canceled = true
+			c.finish(ErrCampaignCanceled)
+			co.Events.Emit(obs.Event{Name: "campaign_canceled", Campaign: key})
+			return true
+		}
+	}
+	return false
+}
+
+// Campaigns returns the scheduling view of every active campaign, in
+// install order — the same views the Scheduler is offered.
+func (co *Coordinator) Campaigns() []CampaignView {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.campaignViewsLocked()
+}
+
+func (co *Coordinator) campaignViewsLocked() []CampaignView {
+	views := make([]CampaignView, len(co.camps))
+	for i, c := range co.camps {
+		v := CampaignView{
+			Key:       c.key,
+			Tenant:    c.tag.Tenant,
+			Priority:  c.tag.Priority,
+			Seq:       c.seq,
+			Submitted: c.submitted,
+			Total:     len(c.jobs),
+		}
+		for _, j := range c.jobs {
+			switch j.state {
+			case statePending:
+				v.Pending++
+			case stateLeased:
+				v.Leased++
+			case stateDone:
+				v.Done++
+			}
+		}
+		views[i] = v
+	}
+	return views
+}
+
+// offerOrderLocked resolves the Scheduler's decision into the list of
+// campaigns to scan for work, in offer order. Campaigns the policy
+// omits (quota-blocked tenants, held-back backfill candidates) are not
+// scanned this round. Caller holds mu.
+func (co *Coordinator) offerOrderLocked(now time.Time) []*campaignRun {
+	if co.Scheduler == nil {
+		return co.camps
+	}
+	views := co.campaignViewsLocked()
+	order := co.Scheduler.Offer(now, views)
+	out := make([]*campaignRun, 0, len(order))
+	seen := make(map[int]bool, len(order))
+	for _, i := range order {
+		if i < 0 || i >= len(co.camps) || seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, co.camps[i])
+	}
+	return out
 }
 
 // Close drains connected workers (their next request is answered with
@@ -553,7 +679,10 @@ func (co *Coordinator) janitor(ctx context.Context) {
 			return
 		case now := <-tick.C:
 			co.mu.Lock()
-			if camp := co.camp; camp != nil {
+			for _, camp := range co.camps {
+				if camp.failErr != nil {
+					continue
+				}
 				for _, j := range camp.jobs {
 					if j.state != stateLeased {
 						continue
@@ -728,29 +857,27 @@ func (co *Coordinator) dropConn(cs *connState) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	co.liveConns--
-	camp := co.camp
-	if camp == nil {
-		return
-	}
 	now := time.Now()
-	for _, j := range camp.jobs {
-		if j.state != stateLeased {
-			continue
-		}
-		keep := j.leases[:0]
-		for _, l := range j.leases {
-			if l.owner == cs {
-				co.stats.Disconnects++
-				co.Events.Emit(obs.Event{Name: "worker_disconnected", Job: j.id,
-					Attempt: l.attempt, Site: l.site, Worker: l.worker})
-				co.siteStrikeLocked(l.site, j.id, now, func(sh *siteHealth) { sh.disconnects++ })
+	for _, camp := range co.camps {
+		for _, j := range camp.jobs {
+			if j.state != stateLeased {
 				continue
 			}
-			keep = append(keep, l)
-		}
-		j.leases = keep
-		if len(j.leases) == 0 {
-			co.requeueLocked(camp, j)
+			keep := j.leases[:0]
+			for _, l := range j.leases {
+				if l.owner == cs {
+					co.stats.Disconnects++
+					co.Events.Emit(obs.Event{Name: "worker_disconnected", Job: j.id,
+						Attempt: l.attempt, Site: l.site, Worker: l.worker})
+					co.siteStrikeLocked(l.site, j.id, now, func(sh *siteHealth) { sh.disconnects++ })
+					continue
+				}
+				keep = append(keep, l)
+			}
+			j.leases = keep
+			if len(j.leases) == 0 {
+				co.requeueLocked(camp, j)
+			}
 		}
 	}
 }
@@ -813,26 +940,22 @@ func (co *Coordinator) grantLocked(camp *campaignRun, j *job, cs *connState, now
 		Site: cs.site, Worker: cs.name,
 		Fields: map[string]any{"hedge": speculative, "resumed": resumed}})
 	co.journalLocked(camp, &jrec{
-		T: jLease, Job: j.id, Worker: cs.name, Site: cs.site,
+		T: jLease, Camp: camp.key, Job: j.id, Worker: cs.name, Site: cs.site,
 		Attempt: j.attempts, Resumed: resumed, Hedge: speculative,
 	}, false)
 	return resp
 }
 
-// assign leases the first runnable job to the requesting worker:
-// pending jobs first, then — if the worker's site differs from the
-// holder's — a speculative hedge on a flagged straggler.
+// assign leases the first runnable job to the requesting worker. The
+// Scheduler picks the campaign order (priority, fair share, quotas);
+// within each offered campaign pending jobs go first in task order,
+// then — if the worker's site differs from the holder's — a
+// speculative hedge on a flagged straggler.
 func (co *Coordinator) assign(cs *connState) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
 	if co.closed {
 		return response{Type: msgDrained}
-	}
-	camp := co.camp
-	if camp == nil || camp.remaining == 0 || camp.failErr != nil {
-		// Idle between campaigns (or this one is wrapping up): check
-		// back soon, more work may be coming.
-		return response{Type: msgWait, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
 	}
 	now := time.Now()
 	if !co.siteLocked(cs.site).admissible(now, co.breakerCooldown()) {
@@ -841,30 +964,41 @@ func (co *Coordinator) assign(cs *connState) response {
 		// decision rather than an operator post-mortem.
 		return response{Type: msgWait, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
 	}
+	offered := co.offerOrderLocked(now)
 	var soonest time.Duration
-	for _, j := range camp.jobs {
-		if j.state != statePending {
+	for _, camp := range offered {
+		if camp.remaining == 0 || camp.failErr != nil {
 			continue
 		}
-		if wait := j.notBefore.Sub(now); wait > 0 {
-			if soonest == 0 || wait < soonest {
-				soonest = wait
+		for _, j := range camp.jobs {
+			if j.state != statePending {
+				continue
 			}
-			continue
+			if wait := j.notBefore.Sub(now); wait > 0 {
+				if soonest == 0 || wait < soonest {
+					soonest = wait
+				}
+				continue
+			}
+			return co.grantLocked(camp, j, cs, now, false)
 		}
-		return co.grantLocked(camp, j, cs, now, false)
 	}
 	if co.hedgingEnabled() {
-		for _, j := range camp.jobs {
-			if j.state != stateLeased || !j.straggler || len(j.leases) != 1 {
+		for _, camp := range offered {
+			if camp.remaining == 0 || camp.failErr != nil {
 				continue
 			}
-			if j.leases[0].site == cs.site {
-				// Hedging onto the straggling site itself would inherit
-				// whatever is wrong with it.
-				continue
+			for _, j := range camp.jobs {
+				if j.state != stateLeased || !j.straggler || len(j.leases) != 1 {
+					continue
+				}
+				if j.leases[0].site == cs.site {
+					// Hedging onto the straggling site itself would inherit
+					// whatever is wrong with it.
+					continue
+				}
+				return co.grantLocked(camp, j, cs, now, true)
 			}
-			return co.grantLocked(camp, j, cs, now, true)
 		}
 	}
 	// Nothing runnable: leased jobs in flight, or pending ones backing off.
@@ -908,14 +1042,13 @@ func ckptSteps(ckpt json.RawMessage) int {
 func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	camp := co.camp
-	if camp == nil {
+	j := co.jobsByID[req.JobID]
+	if j == nil || j.state == stateDone || j.camp.failErr != nil {
+		// Unknown, finished, or the campaign is dead (failed or canceled):
+		// the worker should drop the pull.
 		return response{Type: msgAbandon}
 	}
-	j := camp.byID[req.JobID]
-	if j == nil || j.state == stateDone {
-		return response{Type: msgAbandon}
-	}
+	camp := j.camp
 	now := time.Now()
 	l := j.leaseOf(cs)
 	switch {
@@ -948,7 +1081,8 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 		js.Assignments++
 		js.Workers = append(js.Workers, cs.name)
 		co.journalLocked(camp, &jrec{
-			T: jLease, Job: j.id, Worker: cs.name, Site: cs.site, Attempt: j.attempts, Resumed: len(j.ckpt) > 0,
+			T: jLease, Camp: camp.key, Job: j.id, Worker: cs.name, Site: cs.site,
+			Attempt: j.attempts, Resumed: len(j.ckpt) > 0,
 		}, false)
 	default:
 		// Leased to someone else: the beating worker lost the job.
@@ -985,7 +1119,7 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 					camp.finish(fmt.Errorf("dist: spooling checkpoint for %s: %w", j.id, err))
 					return response{Type: msgOK}
 				}
-				co.journalLocked(camp, &jrec{T: jCkpt, Job: j.id, Attempt: l.attempt}, false)
+				co.journalLocked(camp, &jrec{T: jCkpt, Camp: camp.key, Job: j.id, Attempt: l.attempt}, false)
 			}
 		}
 	}
@@ -1002,16 +1136,7 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 func (co *Coordinator) finish(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	camp := co.camp
-	if camp == nil {
-		// Between campaigns: a retransmit can outlive the campaign it
-		// belongs to. If the job is known completed, count the drop.
-		if co.doneJobs[req.JobID] {
-			co.stats.DuplicateResultsDropped++
-		}
-		return response{Type: msgOK}
-	}
-	j := camp.byID[req.JobID]
+	j := co.jobsByID[req.JobID]
 	if j == nil {
 		if co.doneJobs[req.JobID] {
 			// Completed in an earlier campaign this process (or the journal)
@@ -1020,6 +1145,12 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 			return response{Type: msgOK}
 		}
 		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
+	}
+	camp := j.camp
+	if camp.failErr != nil {
+		// The campaign died (failed or canceled) while this pull was in
+		// flight: ack so the worker drops it, merge nothing.
+		return response{Type: msgOK}
 	}
 	if j.state == stateDone {
 		// Retransmit of a result already recorded (or raced by another
@@ -1049,7 +1180,7 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 	if winner != nil {
 		attempt = winner.attempt
 	}
-	if !co.journalLocked(camp, &jrec{T: jDone, Job: j.id, Attempt: attempt, Log: req.Log}, true) {
+	if !co.journalLocked(camp, &jrec{T: jDone, Camp: camp.key, Job: j.id, Attempt: attempt, Log: req.Log}, true) {
 		return response{Type: msgOK}
 	}
 	now := time.Now()
@@ -1108,14 +1239,7 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 func (co *Coordinator) fail(cs *connState, req *request) response {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	camp := co.camp
-	if camp == nil {
-		if co.doneJobs[req.JobID] {
-			co.stats.DuplicateResultsDropped++
-		}
-		return response{Type: msgOK}
-	}
-	j := camp.byID[req.JobID]
+	j := co.jobsByID[req.JobID]
 	if j == nil {
 		if co.doneJobs[req.JobID] {
 			co.stats.DuplicateResultsDropped++
@@ -1123,12 +1247,16 @@ func (co *Coordinator) fail(cs *connState, req *request) response {
 		}
 		return response{Type: msgOK, Err: "dist: unknown job " + req.JobID}
 	}
+	camp := j.camp
+	if camp.failErr != nil {
+		return response{Type: msgOK}
+	}
 	l := j.leaseOf(cs)
 	if j.state == stateLeased && l != nil && (req.Attempt == 0 || req.Attempt == l.attempt) {
 		co.stats.Failures++
 		co.Events.Emit(obs.Event{Name: "job_failed", Job: j.id, Attempt: l.attempt,
 			Site: l.site, Worker: l.worker, Fields: map[string]any{"error": req.Err}})
-		co.journalLocked(camp, &jrec{T: jFail, Job: j.id, Attempt: l.attempt, Err: req.Err}, false)
+		co.journalLocked(camp, &jrec{T: jFail, Camp: camp.key, Job: j.id, Attempt: l.attempt, Err: req.Err}, false)
 		co.siteStrikeLocked(l.site, j.id, time.Now(), func(sh *siteHealth) { sh.failures++ })
 		keep := j.leases[:0]
 		for _, other := range j.leases {

@@ -166,7 +166,7 @@ func TestEndToEndWorkerProcesses(t *testing.T) {
 	}
 	t.Cleanup(func() { _ = co.Close() })
 	dist.RegisterMetrics(reg, co)
-	srv, err := obs.Serve("127.0.0.1:0", reg, events, nil)
+	srv, err := obs.Serve("127.0.0.1:0", reg, events, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,6 @@ package dist
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -47,7 +46,9 @@ const (
 // trace record framing, so a torn or corrupted tail never parses.
 type jrec struct {
 	T       string          `json:"t"`
-	Spec    json.RawMessage `json:"spec,omitempty"`    // campaign: spec JSON (also the replay key)
+	Camp    string          `json:"camp,omitempty"`    // campaign key (SpecKey) the record belongs to
+	Spec    json.RawMessage `json:"spec,omitempty"`    // campaign: spec JSON
+	Tag     *CampaignTag    `json:"tag,omitempty"`     // campaign: submission tag
 	Job     string          `json:"job,omitempty"`     // lease/ckpt/done/fail
 	Worker  string          `json:"worker,omitempty"`  // lease
 	Site    string          `json:"site,omitempty"`    // lease: worker's site identity
@@ -70,9 +71,10 @@ type journalReplay struct {
 	records   int
 	tornBytes int64
 	tornErr   error
-	// campaigns keys replayed state by the campaign's spec JSON, so a
-	// restarted coordinator resumes whichever campaigns it re-runs in
-	// whatever order (core.RunSweep issues two per sweep).
+	// campaigns keys replayed state by the campaign key (SpecKey of the
+	// tag + spec JSON), so a restarted coordinator resumes whichever
+	// campaigns it re-runs in whatever order — including campaigns from
+	// several tenants interleaved in one journal.
 	campaigns map[string]*replayCampaign
 }
 
@@ -104,19 +106,26 @@ func openJournal(dir string) (*journal, *journalReplay, error) {
 	path := filepath.Join(dir, "journal.log")
 	rep := &journalReplay{campaigns: make(map[string]*replayCampaign)}
 
-	data, err := os.ReadFile(path)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, fmt.Errorf("dist: reading journal: %w", err)
-	}
-	scan, err := trace.ScanRecords(bytes.NewReader(data))
+	scan, err := trace.ScanFile(path)
 	if err != nil {
-		// Foreign magic: refuse to touch a file we do not own.
+		// Foreign magic (or an unreadable file): refuse to touch it.
 		return nil, nil, fmt.Errorf("dist: %s: %w", path, err)
 	}
 	rep.tornErr = scan.TailErr
 	rep.tornBytes = scan.TornBytes
 
 	var cur *replayCampaign
+	// at resolves a record's campaign: by its Camp key when stamped
+	// (concurrent campaigns interleave freely in the journal), falling
+	// back to the most recent jCampaign for records written before keys
+	// were stamped (strictly sequential campaigns, so the fallback is
+	// exact for them).
+	at := func(r *jrec) *replayCampaign {
+		if r.Camp != "" {
+			return rep.campaigns[r.Camp]
+		}
+		return cur
+	}
 	for _, raw := range scan.Records {
 		var r jrec
 		if err := json.Unmarshal(raw, &r); err != nil {
@@ -125,12 +134,20 @@ func openJournal(dir string) (*journal, *journalReplay, error) {
 		rep.records++
 		switch r.T {
 		case jCampaign:
-			key := string(r.Spec)
+			key := r.Camp
+			if key == "" {
+				var tag CampaignTag
+				if r.Tag != nil {
+					tag = *r.Tag
+				}
+				key = campaignKeyTagged(tag, r.Spec)
+			}
 			if rep.campaigns[key] == nil {
 				rep.campaigns[key] = newReplayCampaign()
 			}
 			cur = rep.campaigns[key]
 		case jLease:
+			cur := at(&r)
 			if cur == nil {
 				continue
 			}
@@ -149,11 +166,13 @@ func openJournal(dir string) (*journal, *journalReplay, error) {
 			// The spool file is the source of truth for checkpoint data;
 			// the record only documents the transition.
 		case jDone:
+			cur := at(&r)
 			if cur == nil || r.Log == nil {
 				continue
 			}
 			cur.done[r.Job] = r.Log
 		case jFail:
+			cur := at(&r)
 			if cur == nil {
 				continue
 			}

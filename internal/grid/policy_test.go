@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPolicyPriorityThenFairShareThenSeq(t *testing.T) {
+	p := NewPolicy(0)
+	p.Charge("greedy", 100)
+	cands := []Candidate{
+		{Tenant: "greedy", Priority: 0, Seq: 0},
+		{Tenant: "idle", Priority: 0, Seq: 1},
+		{Tenant: "idle", Priority: 5, Seq: 2},
+		{Tenant: "idle", Priority: 0, Seq: 3},
+	}
+	got := p.Rank(cands, nil)
+	// Priority 5 first; then the idle tenant's two zero-priority entries
+	// in seq order (less usage than greedy); greedy last.
+	want := []int{2, 1, 3, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rank = %v, want %v", got, want)
+	}
+
+	// The extra ledger (live leased work) reorders without a permanent
+	// charge: load "idle" up and it sinks below "greedy".
+	got = p.Rank(cands, map[string]float64{"idle": 1000})
+	want = []int{2, 0, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Rank with extra = %v, want %v", got, want)
+	}
+	if u := p.Usage("idle"); u != 0 {
+		t.Fatalf("extra charged the ledger: usage(idle) = %v", u)
+	}
+}
+
+func TestPolicyAgingOvertakesPriority(t *testing.T) {
+	p := NewPolicy(2) // 2 effective points per hour waited
+	fresh := Candidate{Tenant: "hi", Priority: 10, WaitHours: 0, Seq: 1}
+	for _, tc := range []struct {
+		wait  float64
+		first int // index expected to rank first
+	}{
+		{wait: 0, first: 1},
+		{wait: 4, first: 1},   // 0 + 2·4 = 8 < 10
+		{wait: 5.5, first: 0}, // 0 + 2·5.5 = 11 > 10
+	} {
+		aged := Candidate{Tenant: "lo", Priority: 0, WaitHours: tc.wait, Seq: 0}
+		got := p.Rank([]Candidate{aged, fresh}, nil)[0]
+		if got != tc.first {
+			t.Fatalf("wait %.1f h: first = %d, want %d", tc.wait, got, tc.first)
+		}
+	}
+}
+
+// TestStarvationFreedom submits an unbounded-looking stream of fresh
+// high-priority jobs alongside one old low-priority job and requires
+// the aged job to be scheduled within the bound aging implies: once its
+// wait exceeds (priority gap)/Aging hours, no fresh job outranks it.
+func TestStarvationFreedom(t *testing.T) {
+	p := NewPolicy(1) // 1 point per hour: gap of 10 → overtakes after 10 h
+	starved := Candidate{Tenant: "lo", Priority: 0, Seq: 0}
+	for round := 0; round < 30; round++ {
+		starved.WaitHours = float64(round)
+		fresh := make([]Candidate, 0, 8)
+		for i := 0; i < 8; i++ {
+			fresh = append(fresh, Candidate{Tenant: "hi", Priority: 10, WaitHours: 0, Seq: 1 + round*8 + i})
+		}
+		order := p.Rank(append([]Candidate{starved}, fresh...), nil)
+		if order[0] == 0 {
+			// At round 10 the priorities tie and FCFS breaks it for the
+			// older job; before that a win would be a bug.
+			if round < 10 {
+				t.Fatalf("aged job won too early, round %d", round)
+			}
+			return // scheduled: not starved
+		}
+		if round > 10 {
+			t.Fatalf("aged job still starved at wait %d h (aging bound is 10 h)", round)
+		}
+	}
+	t.Fatal("aged job never scheduled: starvation")
+}
+
+func TestScheduleBatchFairShareInterleaves(t *testing.T) {
+	m := NewMachine("hpcx", 128)
+	q := NewQueue(m, true)
+	q.Policy = NewPolicy(0)
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, &Job{ID: fmt.Sprintf("a%d", i), Tenant: "alice", Procs: 128, Hours: 1})
+		jobs = append(jobs, &Job{ID: fmt.Sprintf("b%d", i), Tenant: "bob", Procs: 128, Hours: 1})
+	}
+	ps, err := q.ScheduleBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal priority, equal cost: fair share alternates tenants — each
+	// placement charges its tenant, pushing it behind the other.
+	wantOrder := []string{"a0", "b0", "a1", "b1", "a2", "b2"}
+	for i, p := range ps {
+		if p.Job.ID != wantOrder[i] {
+			t.Fatalf("placement %d = %s, want %s (full order %v)", i, p.Job.ID, wantOrder[i], ids(ps))
+		}
+	}
+	if u := q.Policy.Usage("alice"); u != 3*128 {
+		t.Fatalf("alice usage = %v, want %v", u, 3*128)
+	}
+}
+
+func TestScheduleBatchPriorityBeatsArrival(t *testing.T) {
+	m := NewMachine("hpcx", 128)
+	q := NewQueue(m, true)
+	q.Policy = NewPolicy(0)
+	jobs := []*Job{
+		{ID: "routine", Tenant: "a", Procs: 128, Hours: 2, Priority: 0},
+		{ID: "urgent", Tenant: "b", Procs: 128, Hours: 1, Priority: 9},
+	}
+	ps, err := q.ScheduleBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Job.ID != "urgent" || ps[0].Start != 0 {
+		t.Fatalf("urgent not scheduled first: %v", ids(ps))
+	}
+	if ps[1].Start != 1 {
+		t.Fatalf("routine start = %v, want 1 (after urgent)", ps[1].Start)
+	}
+}
+
+// TestScheduleBatchNilPolicyIsFCFS pins the compatibility contract: no
+// policy means the historical arrival-order behavior.
+func TestScheduleBatchNilPolicyIsFCFS(t *testing.T) {
+	m := NewMachine("hpcx", 128)
+	q := NewQueue(m, false)
+	jobs := []*Job{
+		{ID: "first", Procs: 128, Hours: 1, Priority: 0},
+		{ID: "second", Procs: 128, Hours: 1, Priority: 99},
+	}
+	ps, err := q.ScheduleBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0].Job.ID != "first" {
+		t.Fatalf("nil policy reordered the batch: %v", ids(ps))
+	}
+}
+
+func TestScheduleBatchDeterministic(t *testing.T) {
+	run := func() []string {
+		m := NewMachine("hpcx", 256)
+		q := NewQueue(m, true)
+		q.Policy = NewPolicy(0.5)
+		var jobs []*Job
+		for i := 0; i < 12; i++ {
+			jobs = append(jobs, &Job{
+				ID:       fmt.Sprintf("j%d", i),
+				Tenant:   []string{"a", "b", "c"}[i%3],
+				Priority: i % 2,
+				Procs:    128,
+				Hours:    float64(1 + i%4),
+				Submit:   float64(i) * 0.25,
+			})
+		}
+		ps, err := q.ScheduleBatch(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids(ps)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic batch order: %v vs %v", a, b)
+	}
+}
+
+func ids(ps []Placement) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Job.ID
+	}
+	return out
+}

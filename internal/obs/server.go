@@ -1,10 +1,16 @@
 package obs
 
-// HTTP debug server: /metrics (Prometheus text), /healthz, /debug/pprof/*
-// (net/http/pprof) and /debug/events (recent event ring as JSON). One
-// server mounts on the coordinator (spice -obs-addr) and one on each
-// worker (spiced -obs-addr) — the RealityGrid idea of attaching to a
-// live simulation, recast as scrape endpoints.
+// HTTP debug server: /metrics (Prometheus text), /healthz, /readyz,
+// /debug/pprof/* (net/http/pprof) and /debug/events (recent event ring
+// as JSON). One server mounts on the coordinator (spice -obs-addr) and
+// one on each worker (spiced -obs-addr) — the RealityGrid idea of
+// attaching to a live simulation, recast as scrape endpoints.
+//
+// Liveness and readiness are distinct probes: /healthz answers "is the
+// process up" and /readyz answers "may traffic be routed here" — a
+// control plane replaying its journal is alive but not yet ready, and a
+// load balancer that conflates the two would route submissions into a
+// queue that still has ghosts.
 
 import (
 	"encoding/json"
@@ -23,10 +29,23 @@ type Server struct {
 	done chan struct{}
 }
 
-// NewMux builds the debug mux for a registry, event log and health
-// probe. Any of the three may be nil; the matching endpoints degrade
-// gracefully (empty metrics, empty events, always-healthy).
-func NewMux(reg *Registry, events *EventLog, healthy func() error) *http.ServeMux {
+// NewMux builds the debug mux for a registry, event log, liveness probe
+// and readiness probe. Any of the four may be nil; the matching
+// endpoints degrade gracefully (empty metrics, empty events,
+// always-healthy, ready-iff-healthy).
+func NewMux(reg *Registry, events *EventLog, healthy, ready func() error) *http.ServeMux {
+	probe := func(check func() error) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			if check != nil {
+				if err := check(); err != nil {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,16 +53,14 @@ func NewMux(reg *Registry, events *EventLog, healthy func() error) *http.ServeMu
 			reg.WritePrometheus(w)
 		}
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		if healthy != nil {
-			if err := healthy(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
-			}
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", probe(healthy))
+	// Readiness implies liveness: a nil ready probe falls back to the
+	// health check, so servers without a warm-up phase stay ready exactly
+	// while they are healthy.
+	if ready == nil {
+		ready = healthy
+	}
+	mux.HandleFunc("/readyz", probe(ready))
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
 		n, _ := strconv.Atoi(req.URL.Query().Get("n"))
 		w.Header().Set("Content-Type", "application/json")
@@ -62,14 +79,23 @@ func NewMux(reg *Registry, events *EventLog, healthy func() error) *http.ServeMu
 
 // Serve starts the debug server on addr (e.g. "127.0.0.1:0") and
 // returns once the listener is bound, so Addr() is immediately valid.
-func Serve(addr string, reg *Registry, events *EventLog, healthy func() error) (*Server, error) {
+// healthy backs /healthz (liveness), ready backs /readyz (readiness —
+// nil falls back to healthy).
+func Serve(addr string, reg *Registry, events *EventLog, healthy, ready func() error) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg, events, healthy, ready))
+}
+
+// ServeHandler starts a debug server on addr with a caller-built
+// handler — typically a NewMux with extra routes mounted on it (the
+// control plane API rides the same listener as /metrics and /readyz).
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ln:   ln,
-		srv:  &http.Server{Handler: NewMux(reg, events, healthy), ReadHeaderTimeout: 5 * time.Second},
+		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
 		done: make(chan struct{}),
 	}
 	go func() {

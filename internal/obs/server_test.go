@@ -16,7 +16,10 @@ func TestServerEndpoints(t *testing.T) {
 	log := NewEventLog(nil, 8)
 	log.Emit(Event{Name: "boot"})
 	healthyErr := error(nil)
-	s, err := Serve("127.0.0.1:0", reg, log, func() error { return healthyErr })
+	readyErr := errors.New("journal replay in progress")
+	s, err := Serve("127.0.0.1:0", reg, log,
+		func() error { return healthyErr },
+		func() error { return readyErr })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +42,16 @@ func TestServerEndpoints(t *testing.T) {
 	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
 		t.Fatalf("/healthz: code=%d body=%q", code, body)
 	}
+	// Alive but not ready: /healthz green, /readyz 503 — the warm-up
+	// window (journal replay) a load balancer must respect.
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "replay") {
+		t.Fatalf("/readyz while warming: code=%d body=%q, want 503", code, body)
+	}
+	readyErr = nil
+	if code, body := get("/readyz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/readyz ready: code=%d body=%q", code, body)
+	}
 	healthyErr = errors.New("draining")
 	if code, _ := get("/healthz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("/healthz unhealthy: code=%d, want 503", code)
@@ -55,7 +68,7 @@ func TestServerEndpoints(t *testing.T) {
 // TestServerNilParts checks the mux degrades gracefully with nil
 // registry/log/health, and that a nil *Server closes without panic.
 func TestServerNilParts(t *testing.T) {
-	s, err := Serve("127.0.0.1:0", nil, nil, nil)
+	s, err := Serve("127.0.0.1:0", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +80,15 @@ func TestServerNilParts(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("/metrics with nil registry: %d", resp.StatusCode)
 	}
-	resp, err = http.Get("http://" + s.Addr() + "/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("/healthz with nil probe: %d", resp.StatusCode)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err = http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s with nil probes: %d", path, resp.StatusCode)
+		}
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)

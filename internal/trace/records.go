@@ -15,10 +15,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 )
 
 const (
@@ -157,4 +160,19 @@ func ScanRecords(r io.Reader) (*RecordScan, error) {
 func countRemaining(br *bufio.Reader, consumed int64) int64 {
 	n, _ := io.Copy(io.Discard, br)
 	return consumed + n
+}
+
+// ScanFile reads the record stream at path with ScanRecords. A missing
+// file is a fresh stream (zero records, no error), so openers of
+// durable logs — the dist journal, the control plane's campaign queue —
+// share one code path for first start and recovery.
+func ScanFile(path string) (*RecordScan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return &RecordScan{}, nil
+		}
+		return nil, err
+	}
+	return ScanRecords(bytes.NewReader(data))
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"os"
 	"testing"
 )
 
@@ -150,5 +151,44 @@ func TestRecordWriterContinuing(t *testing.T) {
 	}
 	if len(scan.Records) != 2 || string(scan.Records[1]) != "two" {
 		t.Fatalf("records = %q", scan.Records)
+	}
+}
+
+func TestScanFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// A missing file is a fresh stream, not an error.
+	scan, err := ScanFile(dir + "/absent.log")
+	if err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+	if len(scan.Records) != 0 || scan.CleanLen != 0 || scan.TailErr != nil {
+		t.Fatalf("missing file scan = %+v, want fresh stream", scan)
+	}
+
+	// A real stream round-trips, including a torn tail.
+	data := framedStream(t, []byte("one"), []byte("two"))
+	path := dir + "/stream.log"
+	if err := os.WriteFile(path, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scan, err = ScanFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 1 || string(scan.Records[0]) != "one" {
+		t.Fatalf("records = %q, want [one]", scan.Records)
+	}
+	if !errors.Is(scan.TailErr, ErrTruncated) {
+		t.Fatalf("tail err = %v, want ErrTruncated", scan.TailErr)
+	}
+
+	// Foreign bytes are a hard error, same as ScanRecords.
+	foreign := dir + "/foreign.log"
+	if err := os.WriteFile(foreign, []byte("not a record stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanFile(foreign); !errors.Is(err, ErrFormat) {
+		t.Fatalf("foreign file err = %v, want ErrFormat", err)
 	}
 }

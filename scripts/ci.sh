@@ -42,6 +42,22 @@ echo "== dist slow-site speculation (-race) =="
 # event log's per-name counts to the same numbers.
 go test -race -timeout 180s -run 'TestChaosSlowSiteSpeculation' -count=1 -v ./internal/dist
 
+echo "== control plane multi-tenant chaos (-race) =="
+# Control-plane e2e: a real spiced -serve process takes two tenants'
+# campaigns over HTTP (one running, one queued behind -max-active),
+# rejects an over-quota submission, and is SIGKILLed twice — mid-queue
+# and mid-replay. The restarts must replay every accepted campaign from
+# the fsynced queue journal, keep enforcing quotas against the replayed
+# queue, and finish both campaigns bit-identical to in-process
+# LocalRunner baselines.
+go test -race -run 'TestChaosKillControlPlaneMidQueue' -count=1 -v ./internal/controlplane
+
+echo "== control plane quota + torn-tail unit gates (-race) =="
+# Two tenants over the in-process HTTP API with quota rejection and
+# bit-identity, plus queue-journal recovery at every byte offset of a
+# torn final record.
+go test -race -run 'TestTwoTenantsOverHTTPBitIdentical|TestQueueTornTailEveryOffset|TestRestartReplaysAcceptedCampaigns' -count=1 ./internal/controlplane
+
 echo "== batch ensemble determinism (GOMAXPROCS=4, -race) =="
 # The ensemble batch engine must produce bit-identical trajectories and
 # work logs under real parallel stepping: shared static-substrate grid,
