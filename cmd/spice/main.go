@@ -58,6 +58,10 @@ func main() {
 		coordAddr  = flag.String("coordinator", "", "distribute pulls: listen on this address for spiced workers (-workers then spawns in-process ones)")
 		stateDir   = flag.String("state", "", "with -coordinator: journal job state under this directory so a killed coordinator can be restarted with the same -state and resume the campaign")
 
+		// Durable-storage knobs (all scoped to -coordinator -state).
+		compactBytes   = flag.Int64("compact-bytes", 8<<20, "compact the job journal (fold it into a snapshot and truncate the log) when it grows past this size, bounding disk footprint and replay time (0 disables)")
+		storageRetries = flag.Int("storage-retries", 2, "retries (short capped backoff) for a failed journal append before the coordinator enters the degraded storage state instead of crashing")
+
 		// Federation-resilience knobs (all scoped to -coordinator).
 		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive failure strikes (fails, lease expiries, disconnects) before a site's circuit breaker opens and it stops receiving work (0 disables)")
 		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "quarantine before an open site is re-probed with a single job (0 = 2x the lease TTL)")
@@ -152,6 +156,8 @@ func main() {
 	// mapping is needed here.
 	dcfg := dist.Defaults()
 	dcfg.StateDir = *stateDir
+	dcfg.CompactBytes = *compactBytes
+	dcfg.StorageRetries = *storageRetries
 	dcfg.BreakerThreshold = *breakerThreshold
 	dcfg.BreakerCooldown = *breakerCooldown
 	dcfg.HedgeFraction = *hedgeFraction

@@ -49,6 +49,9 @@ var (
 	backfill     = flag.Bool("backfill", false, "with -serve: let lower-ranked campaigns take leases past a quota-blocked one (default conservative: a blocked campaign also blocks everything ranked behind it)")
 	quotasFlag   = flag.String("quotas", "", "with -serve: per-tenant quotas, 'tenant=maxQueued[:maxRunning],...' (0 = unlimited)")
 	defaultQuota = flag.String("default-quota", "", "with -serve: quota for tenants absent from -quotas, 'maxQueued[:maxRunning]'")
+
+	compactBytes   = flag.Int64("compact-bytes", 8<<20, "with -serve: compact a journal (fold it into a snapshot and truncate the log) when it grows past this size, bounding the on-disk footprint and replay time; applies to both the campaign queue and the job journal (0 disables)")
+	storageRetries = flag.Int("storage-retries", 2, "with -serve: retries (short capped backoff) for a failed journal append before the service enters the degraded storage state — submissions get 503 + Retry-After, running campaigns keep draining, and a background probe restores service when the disk recovers")
 )
 
 // parseQuota parses "maxQueued[:maxRunning]".
@@ -123,6 +126,8 @@ func runServe(reg *obs.Registry, events *obs.EventLog) error {
 	}
 	dcfg := dist.Defaults()
 	dcfg.StateDir = *serveState
+	dcfg.CompactBytes = *compactBytes
+	dcfg.StorageRetries = *storageRetries
 	dcfg.Metrics = reg
 	dcfg.Events = events
 	co, err := dist.NewCoordinator(ln, sysJSON, dcfg)
@@ -143,15 +148,17 @@ func runServe(reg *obs.Registry, events *obs.EventLog) error {
 		}
 	}
 	cp, err := controlplane.New(controlplane.Config{
-		Coordinator:  co,
-		StateDir:     *serveState,
-		MaxActive:    *maxActive,
-		DefaultQuota: defQ,
-		Quotas:       quotas,
-		Aging:        *agingRate,
-		Backfill:     *backfill,
-		Metrics:      reg,
-		Events:       events,
+		Coordinator:    co,
+		StateDir:       *serveState,
+		MaxActive:      *maxActive,
+		DefaultQuota:   defQ,
+		Quotas:         quotas,
+		Aging:          *agingRate,
+		Backfill:       *backfill,
+		CompactBytes:   *compactBytes,
+		StorageRetries: *storageRetries,
+		Metrics:        reg,
+		Events:         events,
 	})
 	if err != nil {
 		return err

@@ -110,6 +110,11 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
+	case errors.Is(err, ErrStorageDegraded):
+		code = http.StatusServiceUnavailable
+		// Storage degradation is expected to be transient (the probe
+		// goroutine re-checks every StorageProbe); invite a retry.
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrClosed):
 		code = http.StatusServiceUnavailable
 	}

@@ -34,6 +34,7 @@ import (
 
 	"spice/internal/campaign"
 	"spice/internal/dist"
+	"spice/internal/faultfs"
 	"spice/internal/grid"
 	"spice/internal/obs"
 	"spice/internal/trace"
@@ -94,6 +95,23 @@ type Config struct {
 	Metrics *obs.Registry
 	// Events, if non-nil, receives campaign lifecycle events.
 	Events *obs.EventLog
+
+	// CompactBytes compacts queue.log (fold into queue.snapshot,
+	// truncate the log) when it grows past this size, keeping the
+	// on-disk footprint bounded on long-lived control planes. 0
+	// disables compaction.
+	CompactBytes int64
+	// StorageRetries is how many times a failed journal append is
+	// retried (short capped backoff) before the server enters the
+	// degraded storage state. 0 degrades on the first failure.
+	StorageRetries int
+	// StorageProbe is how often a degraded server probes the journal
+	// with a no-op record to detect recovery (default 500ms).
+	StorageProbe time.Duration
+	// FS routes every queue journal operation through an injectable
+	// filesystem (faultfs.Injector — the disk-fault chaos hook). Nil
+	// uses the real OS filesystem.
+	FS faultfs.FS
 }
 
 // Campaign is the public view of one queued-or-finished campaign.
@@ -134,6 +152,18 @@ type Server struct {
 	started bool
 	closed  bool
 
+	// Degraded storage state: set when a journal append fails past its
+	// retries, cleared when the prober's no-op record (or any later
+	// append) succeeds. While degraded, submissions and cancels are
+	// refused with ErrStorageDegraded (HTTP 503 + Retry-After) — the
+	// 202 contract cannot be honored — but campaigns already running
+	// keep draining and reads stay available.
+	degraded            bool
+	degradedSince       time.Time
+	lastStorageErr      string
+	storageDegradations int
+	storageRecoveries   int
+
 	// Metrics (nil-safe wrappers below when cfg.Metrics is nil).
 	mSubmits  *obs.CounterVec // spice_cp_submissions_total{tenant}
 	mRejects  *obs.CounterVec // spice_cp_rejections_total{tenant,reason}
@@ -165,6 +195,12 @@ var (
 	ErrNotDone = errors.New("controlplane: campaign has not completed")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("controlplane: server is closed")
+	// ErrStorageDegraded refuses writes while the queue journal cannot
+	// take durable appends: a submission the journal did not record
+	// must not be acknowledged. The HTTP layer maps it to 503 with a
+	// Retry-After header; the prober clears the state when the disk
+	// recovers.
+	ErrStorageDegraded = errors.New("controlplane: storage degraded, retry later")
 )
 
 // New builds a Server: opens and replays queue.log, installs the
@@ -196,10 +232,12 @@ func New(cfg Config) (*Server, error) {
 			"Campaigns reaching a terminal state.", "tenant", "state")
 		reg.RegisterCollector(s.collect)
 	}
-	journal, replay, torn, err := openQueueJournal(cfg.StateDir)
+	journal, replay, torn, err := openQueueJournal(cfg.FS, cfg.StateDir)
 	if err != nil {
 		return nil, err
 	}
+	journal.compactBytes = cfg.CompactBytes
+	journal.retries = cfg.StorageRetries
 	s.journal = journal
 	if torn > 0 {
 		s.event("cp_journal_torn_tail", "", map[string]any{"bytes": torn})
@@ -269,7 +307,68 @@ func (s *Server) Ready() error {
 	if !s.started {
 		return errors.New("controlplane: journal replay in progress")
 	}
+	if s.degraded {
+		return fmt.Errorf("%w (%s)", ErrStorageDegraded, s.lastStorageErr)
+	}
 	return nil
+}
+
+// storageFaultLocked records a journal failure, enters the degraded
+// state, and starts the recovery prober. Requires s.mu.
+func (s *Server) storageFaultLocked(op string, err error) {
+	s.lastStorageErr = err.Error()
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	s.degradedSince = time.Now().UTC()
+	s.storageDegradations++
+	s.event("cp_storage_degraded", "", map[string]any{"op": op, "error": err.Error()})
+	if !s.closed {
+		go s.probeStorage()
+	}
+}
+
+// storageRecoveredLocked leaves the degraded state. Requires s.mu.
+func (s *Server) storageRecoveredLocked() {
+	if !s.degraded {
+		return
+	}
+	s.degraded = false
+	s.storageRecoveries++
+	s.event("cp_storage_recovered", "", map[string]any{
+		"degraded_for": time.Since(s.degradedSince).String(),
+	})
+}
+
+func (s *Server) probeInterval() time.Duration {
+	if s.cfg.StorageProbe > 0 {
+		return s.cfg.StorageProbe
+	}
+	return 500 * time.Millisecond
+}
+
+// probeStorage periodically appends (and fsyncs) a no-op record while
+// the server is degraded; the first success flips it back to ready and
+// resumes dispatch. One prober runs per degraded spell.
+func (s *Server) probeStorage() {
+	for {
+		time.Sleep(s.probeInterval())
+		s.mu.Lock()
+		if s.closed || !s.degraded {
+			s.mu.Unlock()
+			return
+		}
+		if err := s.journal.append(&qrec{T: qNoop, At: time.Now().UTC()}); err != nil {
+			s.lastStorageErr = err.Error()
+			s.mu.Unlock()
+			continue
+		}
+		s.storageRecoveredLocked()
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return
+	}
 }
 
 // Close stops accepting work and closes the queue journal. Campaigns
@@ -320,6 +419,14 @@ func (s *Server) Submit(spec campaign.Spec, tag dist.CampaignTag) (string, error
 	if s.closed {
 		return "", ErrClosed
 	}
+	if s.degraded {
+		// The 202 contract is "your campaign survives anything short of
+		// disk loss"; with the journal refusing writes that promise
+		// cannot be made. Refuse cheaply here — the prober re-opens the
+		// gate as soon as the disk takes a fsynced record again.
+		s.reject(tag.Tenant, "storage")
+		return "", fmt.Errorf("%w (%s)", ErrStorageDegraded, s.lastStorageErr)
+	}
 	if _, ok := s.entries[id]; ok {
 		s.reject(tag.Tenant, "duplicate")
 		return id, ErrDuplicate
@@ -344,7 +451,12 @@ func (s *Server) Submit(spec campaign.Spec, tag dist.CampaignTag) (string, error
 		Spec: specJSON, At: now,
 	}
 	if err := s.journal.append(rec); err != nil {
-		return "", fmt.Errorf("controlplane: journaling submission: %w", err)
+		// append already repaired the log back to its last clean record
+		// boundary, so the failed submission leaves nothing on disk. The
+		// in-memory queue is untouched for the same reason: journal
+		// first, apply second, always.
+		s.storageFaultLocked("submit", err)
+		return "", fmt.Errorf("%w: journaling submission: %s", ErrStorageDegraded, err)
 	}
 	s.seq++
 	e := &entry{
@@ -442,7 +554,9 @@ func (s *Server) startLocked(e *entry) {
 	if err := s.journal.append(&qrec{T: qStart, ID: e.ID, Tenant: e.Tenant, At: e.Started}); err != nil {
 		// The start record is an optimization (replay re-queues running
 		// campaigns anyway); losing it only costs a redundant re-dispatch.
+		// It still flags the disk as sick so submissions stop overpromising.
 		s.event("cp_journal_error", e.ID, map[string]any{"err": err.Error()})
+		s.storageFaultLocked("start", err)
 	}
 	s.event("cp_started", e.ID, map[string]any{"tenant": e.Tenant})
 	go s.run(e)
@@ -475,8 +589,14 @@ func (s *Server) run(e *entry) {
 		rec = &qrec{T: qFail, ID: e.ID, Tenant: e.Tenant, Err: e.Error, At: now}
 	}
 	if rec != nil && !s.closed {
+		// A lost terminal record is re-derived on the next restart (the
+		// re-run replays instantly from the dist journal), so the state
+		// change stands either way — but the failure flags degradation.
 		if jerr := s.journal.append(rec); jerr != nil {
 			s.event("cp_journal_error", e.ID, map[string]any{"err": jerr.Error()})
+			s.storageFaultLocked("finish", jerr)
+		} else {
+			s.storageRecoveredLocked()
 		}
 	}
 	if s.mFinished != nil {
@@ -502,10 +622,15 @@ func (s *Server) Cancel(id string) (State, error) {
 		s.mu.Unlock()
 		return st, nil
 	}
+	if s.degraded {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w (%s)", ErrStorageDegraded, s.lastStorageErr)
+	}
 	wasRunning := e.State == StateRunning
 	if err := s.journal.append(&qrec{T: qCancel, ID: id, Tenant: e.Tenant, At: time.Now().UTC()}); err != nil {
+		s.storageFaultLocked("cancel", err)
 		s.mu.Unlock()
-		return "", fmt.Errorf("controlplane: journaling cancel: %w", err)
+		return "", fmt.Errorf("%w: journaling cancel: %s", ErrStorageDegraded, err)
 	}
 	if !wasRunning {
 		e.State = StateCanceled
@@ -719,6 +844,35 @@ func (s *Server) Stats() []QueueStats {
 	return out
 }
 
+// StorageHealth is the queue journal's health snapshot.
+type StorageHealth struct {
+	Degraded       bool   `json:"degraded"`
+	LastError      string `json:"last_error,omitempty"`
+	Degradations   int    `json:"degradations"`
+	Recoveries     int    `json:"recoveries"`
+	Compactions    int    `json:"compactions"`
+	StorageErrors  int    `json:"storage_errors"`
+	StorageRetries int    `json:"storage_retries"`
+	JournalBytes   int64  `json:"journal_bytes"`
+}
+
+// StorageHealth reports the queue journal's current health — the same
+// numbers the spice_storage_*{journal="queue"} metrics export.
+func (s *Server) StorageHealth() StorageHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StorageHealth{
+		Degraded:       s.degraded,
+		LastError:      s.lastStorageErr,
+		Degradations:   s.storageDegradations,
+		Recoveries:     s.storageRecoveries,
+		Compactions:    s.journal.compactions,
+		StorageErrors:  s.journal.storageErrors,
+		StorageRetries: s.journal.storageRetries,
+		JournalBytes:   s.journal.goodLen,
+	}
+}
+
 // collect emits queue-depth gauges at scrape time.
 func (s *Server) collect(e *obs.Emitter) {
 	s.mu.Lock()
@@ -729,7 +883,29 @@ func (s *Server) collect(e *obs.Emitter) {
 		}
 		depth[ent.Tenant][ent.State]++
 	}
+	sh := StorageHealth{
+		Degraded:       s.degraded,
+		Degradations:   s.storageDegradations,
+		Recoveries:     s.storageRecoveries,
+		Compactions:    s.journal.compactions,
+		StorageErrors:  s.journal.storageErrors,
+		StorageRetries: s.journal.storageRetries,
+		JournalBytes:   s.journal.goodLen,
+	}
 	s.mu.Unlock()
+	// Same families as the dist journal exports, told apart by label.
+	jl := obs.Label{Name: "journal", Value: "queue"}
+	degraded := 0.0
+	if sh.Degraded {
+		degraded = 1
+	}
+	e.Counter("spice_storage_errors_total", "Failed journal/spool operations.", float64(sh.StorageErrors), jl)
+	e.Counter("spice_storage_retries_total", "Journal appends retried after a transient fault.", float64(sh.StorageRetries), jl)
+	e.Counter("spice_storage_compactions_total", "Journal compactions completed.", float64(sh.Compactions), jl)
+	e.Counter("spice_storage_degradations_total", "Transitions into the degraded storage state.", float64(sh.Degradations), jl)
+	e.Counter("spice_storage_recoveries_total", "Transitions back to healthy storage.", float64(sh.Recoveries), jl)
+	e.Gauge("spice_storage_degraded", "1 while the journal is refusing durability promises.", degraded, jl)
+	e.Gauge("spice_storage_journal_bytes", "Current clean length of the journal log.", float64(sh.JournalBytes), jl)
 	tenants := make([]string, 0, len(depth))
 	for t := range depth {
 		tenants = append(tenants, t)

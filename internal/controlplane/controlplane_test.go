@@ -151,7 +151,7 @@ func waitState(t *testing.T, s *Server, id string, want State) Campaign {
 
 func TestQueueJournalLifecycleReplay(t *testing.T) {
 	dir := t.TempDir()
-	j, replay, torn, err := openQueueJournal(dir)
+	j, replay, torn, err := openQueueJournal(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestQueueJournalLifecycleReplay(t *testing.T) {
 	if err := j.close(); err != nil {
 		t.Fatal(err)
 	}
-	_, replay, torn, err = openQueueJournal(dir)
+	_, replay, torn, err = openQueueJournal(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestQueueTornTailEveryOffset(t *testing.T) {
 	// Build a reference journal: two complete submissions, then a third
 	// whose record we will shear at every offset.
 	ref := t.TempDir()
-	j, _, _, err := openQueueJournal(ref)
+	j, _, _, err := openQueueJournal(nil, ref)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestQueueTornTailEveryOffset(t *testing.T) {
 		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		j2, replay, tornBytes, err := openQueueJournal(dir)
+		j2, replay, tornBytes, err := openQueueJournal(nil, dir)
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
@@ -267,7 +267,7 @@ func TestQueueTornTailEveryOffset(t *testing.T) {
 		if err := j2.close(); err != nil {
 			t.Fatal(err)
 		}
-		_, replay, tb, err := openQueueJournal(dir)
+		_, replay, tb, err := openQueueJournal(nil, dir)
 		if err != nil || tb != 0 || len(replay) != 3 || replay[2].rec.ID != "after" {
 			t.Fatalf("cut at %d: reopen after repair: err=%v torn=%d n=%d", cut, err, tb, len(replay))
 		}

@@ -14,7 +14,19 @@ package controlplane
 // describes is acknowledged. Submissions are the contract with the
 // tenant ("202 means your campaign survives anything short of disk
 // loss"), and the transition rate is human-scale, so the sync cost is
-// irrelevant.
+// irrelevant. The ack-ordering discipline is strict: append() returns
+// only after frame+flush+fsync all succeeded, and on any failure it
+// truncates the log back to the last clean record boundary before
+// reporting the error — so a rejected submission leaves no trace on
+// disk, a torn record never shadows later appends, and nothing is ever
+// applied in memory that the journal did not accept first.
+//
+// Compaction mirrors the dist journal's protocol: when queue.log grows
+// past its threshold the folded state is rewritten to queue.snapshot
+// (tmp + fsync + rename + parent-dir fsync) and the log truncated.
+// Records carry monotone sequence numbers and the snapshot records the
+// highest one it folded, so replay after a crash anywhere between the
+// steps applies each transition exactly once.
 
 import (
 	"encoding/json"
@@ -23,6 +35,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"spice/internal/faultfs"
 	"spice/internal/trace"
 )
 
@@ -33,24 +46,41 @@ const (
 	qDone   = "done"   // the campaign completed
 	qFail   = "fail"   // the campaign failed (record carries the error)
 	qCancel = "cancel" // the campaign was canceled by the tenant
+	qSnap   = "snap"   // snapshot meta record: highest folded seq
+	qNoop   = "noop"   // storage probe; carries no state
 )
 
 // qrec is one queue journal record.
 type qrec struct {
 	T        string          `json:"t"`
-	ID       string          `json:"id"`
+	Seq      uint64          `json:"seq,omitempty"` // monotone append sequence (snap: highest folded)
+	ID       string          `json:"id,omitempty"`
 	Tenant   string          `json:"tenant,omitempty"`
 	Priority int             `json:"priority,omitempty"`
 	Name     string          `json:"name,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"` // submit only
 	Err      string          `json:"err,omitempty"`  // fail only
-	At       time.Time       `json:"at"`
+	At       time.Time       `json:"at,omitzero"`
 }
 
 // queueJournal is the open write side of queue.log.
 type queueJournal struct {
-	f  *os.File
-	rw *trace.RecordWriter
+	dir string
+	fs  faultfs.FS
+	f   faultfs.File
+	rw  *trace.RecordWriter
+
+	goodLen       int64  // last known clean length of queue.log (incl. magic)
+	nextSeq       uint64 // last sequence number successfully appended
+	pendingRepair bool   // a failed append left bytes past goodLen
+
+	compactBytes   int64 // compaction threshold; 0 disables
+	retries        int   // append retries before the error surfaces
+	compactRetryAt int64 // after a failed compaction, wait for this size
+
+	compactions    int
+	storageErrors  int
+	storageRetries int
 }
 
 // queueReplay is one campaign's recovered lifecycle (last record wins).
@@ -60,72 +90,179 @@ type queueReplay struct {
 	err   string
 }
 
-// openQueueJournal opens (creating if needed) queue.log under dir,
-// replays it, truncates a torn tail, and positions the writer for
-// appending. The replayed campaigns come back in submission order.
-func openQueueJournal(dir string) (*queueJournal, []*queueReplay, int64, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, 0, fmt.Errorf("controlplane: state dir: %w", err)
+func queueLogPath(dir string) string  { return filepath.Join(dir, "queue.log") }
+func queueSnapPath(dir string) string { return filepath.Join(dir, "queue.snapshot") }
+
+// queueScan is the folded on-disk state: snapshot + log replayed with
+// sequence-number dedup, exactly like the dist journal.
+type queueScan struct {
+	order    []*queueReplay
+	byID     map[string]*queueReplay
+	maxSeq   uint64
+	snapSeq  uint64
+	cleanLen int64
+	torn     int64
+}
+
+func (qs *queueScan) apply(r *qrec) {
+	if r.Seq > qs.maxSeq {
+		qs.maxSeq = r.Seq
 	}
-	path := filepath.Join(dir, "queue.log")
-	scan, err := trace.ScanFile(path)
+	switch r.T {
+	case qSubmit:
+		if qs.byID[r.ID] == nil {
+			qr := &queueReplay{rec: *r, state: StateQueued}
+			qs.byID[r.ID] = qr
+			qs.order = append(qs.order, qr)
+		}
+	case qStart:
+		if qr := qs.byID[r.ID]; qr != nil {
+			qr.state = StateRunning
+		}
+	case qDone:
+		if qr := qs.byID[r.ID]; qr != nil {
+			qr.state = StateDone
+		}
+	case qFail:
+		if qr := qs.byID[r.ID]; qr != nil {
+			qr.state = StateFailed
+			qr.err = r.Err
+		}
+	case qCancel:
+		if qr := qs.byID[r.ID]; qr != nil {
+			qr.state = StateCanceled
+		}
+	case qSnap, qNoop:
+		// snap carries only its Seq (folded above); noop is a probe.
+	default:
+		// Unknown record types from a newer writer are tolerated.
+	}
+}
+
+// scanQueueState folds queue.snapshot + queue.log under dir.
+func scanQueueState(fsys faultfs.FS, dir string) (*queueScan, error) {
+	fsys = faultfs.Or(fsys)
+	qs := &queueScan{byID: make(map[string]*queueReplay)}
+
+	snap, err := trace.ScanFileFS(fsys, queueSnapPath(dir))
 	if err != nil {
-		return nil, nil, 0, fmt.Errorf("controlplane: %s: %w", path, err)
+		return nil, fmt.Errorf("controlplane: %s: %w", queueSnapPath(dir), err)
 	}
-	byID := make(map[string]*queueReplay)
-	var order []*queueReplay
+	if snap.TailErr != nil {
+		// Snapshots are fsynced before the rename; a torn one is bit rot.
+		return nil, fmt.Errorf("controlplane: %s: damaged snapshot: %w", queueSnapPath(dir), snap.TailErr)
+	}
+	for _, raw := range snap.Records {
+		var r qrec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("controlplane: undecodable snapshot record (CRC valid): %w", err)
+		}
+		if r.T == qSnap && r.Seq > qs.snapSeq {
+			qs.snapSeq = r.Seq
+		}
+		qs.apply(&r)
+	}
+
+	scan, err := trace.ScanFileFS(fsys, queueLogPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: %s: %w", queueLogPath(dir), err)
+	}
+	qs.cleanLen = scan.CleanLen
+	qs.torn = scan.TornBytes
 	for _, raw := range scan.Records {
 		var r qrec
 		if err := json.Unmarshal(raw, &r); err != nil {
-			return nil, nil, 0, fmt.Errorf("controlplane: undecodable queue record (CRC valid): %w", err)
+			return nil, fmt.Errorf("controlplane: undecodable queue record (CRC valid): %w", err)
 		}
-		switch r.T {
-		case qSubmit:
-			if byID[r.ID] == nil {
-				qr := &queueReplay{rec: r, state: StateQueued}
-				byID[r.ID] = qr
-				order = append(order, qr)
-			}
-		case qStart:
-			if qr := byID[r.ID]; qr != nil {
-				qr.state = StateRunning
-			}
-		case qDone:
-			if qr := byID[r.ID]; qr != nil {
-				qr.state = StateDone
-			}
-		case qFail:
-			if qr := byID[r.ID]; qr != nil {
-				qr.state = StateFailed
-				qr.err = r.Err
-			}
-		case qCancel:
-			if qr := byID[r.ID]; qr != nil {
-				qr.state = StateCanceled
-			}
-		default:
-			// Unknown record types from a newer writer are tolerated.
+		if r.Seq != 0 && r.Seq <= qs.snapSeq {
+			continue // already folded into the snapshot
 		}
+		qs.apply(&r)
 	}
-	if scan.TailErr != nil {
-		if err := os.Truncate(path, scan.CleanLen); err != nil {
+	if qs.snapSeq > qs.maxSeq {
+		qs.maxSeq = qs.snapSeq
+	}
+	return qs, nil
+}
+
+// openQueueJournal opens (creating if needed) the queue journal under
+// dir, replays snapshot + log, truncates a torn tail, and positions the
+// writer for appending. The replayed campaigns come back in submission
+// order.
+func openQueueJournal(fsys faultfs.FS, dir string) (*queueJournal, []*queueReplay, int64, error) {
+	fsys = faultfs.Or(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("controlplane: state dir: %w", err)
+	}
+	qs, err := scanQueueState(fsys, dir)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	path := queueLogPath(dir)
+	if qs.torn > 0 {
+		if err := fsys.Truncate(path, qs.cleanLen); err != nil {
 			return nil, nil, 0, fmt.Errorf("controlplane: truncating torn queue tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("controlplane: opening queue journal: %w", err)
 	}
-	j := &queueJournal{f: f, rw: trace.NewRecordWriter(f, scan.CleanLen > 0)}
-	return j, order, scan.TornBytes, nil
+	j := &queueJournal{
+		dir:     dir,
+		fs:      fsys,
+		f:       f,
+		rw:      trace.NewRecordWriter(f, qs.cleanLen > 0),
+		goodLen: qs.cleanLen,
+		nextSeq: qs.maxSeq,
+	}
+	return j, qs.order, qs.torn, nil
 }
 
-// append frames, writes, flushes and fsyncs one record. Every queue
-// transition is synced — see the durability policy above.
+// append frames, writes, flushes and fsyncs one record — every queue
+// transition is synced (see the durability policy above). A failure is
+// repaired (truncate back to the last clean boundary) and retried up to
+// j.retries times before surfacing; either way the log never holds a
+// partial record in front of the append point, so the caller can safely
+// decline the state change and try again later.
 func (j *queueJournal) append(r *qrec) error {
+	r.Seq = j.nextSeq + 1
 	payload, err := json.Marshal(r)
 	if err != nil {
 		return err
+	}
+	for attempt := 0; ; attempt++ {
+		err = j.tryAppend(payload)
+		if err == nil {
+			j.nextSeq++
+			j.maybeCompact()
+			return nil
+		}
+		j.storageErrors++
+		j.pendingRepair = true
+		if attempt >= j.retries {
+			return err
+		}
+		j.storageRetries++
+		d := time.Duration(1<<uint(attempt)) * 2 * time.Millisecond
+		if d > 50*time.Millisecond {
+			d = 50 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+func (j *queueJournal) tryAppend(payload []byte) error {
+	if j.pendingRepair {
+		if err := j.f.Truncate(j.goodLen); err != nil {
+			return err
+		}
+		j.rw.Reset(j.f, j.goodLen > 0)
+		j.pendingRepair = false
+	}
+	n := trace.FramedLen(len(payload))
+	if j.goodLen == 0 {
+		n += trace.MagicLen
 	}
 	if err := j.rw.Append(payload); err != nil {
 		return err
@@ -133,7 +270,112 @@ func (j *queueJournal) append(r *qrec) error {
 	if err := j.rw.Flush(); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.goodLen += n
+	return nil
+}
+
+// maybeCompact compacts once the log outgrows its threshold, backing
+// off after a failure until the log doubles again.
+func (j *queueJournal) maybeCompact() {
+	if j.compactBytes <= 0 || j.goodLen < j.compactBytes || j.pendingRepair {
+		return
+	}
+	if j.compactRetryAt > 0 && j.goodLen < j.compactRetryAt {
+		return
+	}
+	if err := j.compact(); err != nil {
+		j.storageErrors++
+		j.compactRetryAt = j.goodLen * 2
+		return
+	}
+	j.compactRetryAt = 0
+}
+
+// compact folds snapshot + log into a fresh queue.snapshot (tmp, fsync,
+// rename, parent-dir fsync) and truncates the log. Crash-safe at every
+// step boundary: before the rename the old pair is untouched; after it,
+// superseded log records are skipped by sequence number on replay.
+func (j *queueJournal) compact() error {
+	if err := j.rw.Flush(); err != nil {
+		j.pendingRepair = true
+		return err
+	}
+	qs, err := scanQueueState(j.fs, j.dir)
+	if err != nil {
+		return err
+	}
+	if err := writeQueueSnapshot(j.fs, j.dir, qs); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	j.rw.Reset(j.f, false)
+	j.goodLen = 0
+	j.compactions++
+	return nil
+}
+
+// writeQueueSnapshot serializes the folded queue state: a qSnap meta
+// record, then per campaign (in submission order) its submit record and
+// — if it has left the queued state — one closing state record.
+func writeQueueSnapshot(fsys faultfs.FS, dir string, qs *queueScan) (err error) {
+	tmp := queueSnapPath(dir) + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			_ = fsys.Remove(tmp)
+		}
+	}()
+	rw := trace.NewRecordWriter(f, false)
+	emit := func(r *qrec) {
+		if err != nil {
+			return
+		}
+		var payload []byte
+		if payload, err = json.Marshal(r); err == nil {
+			err = rw.Append(payload)
+		}
+	}
+	emit(&qrec{T: qSnap, Seq: qs.maxSeq})
+	for _, qr := range qs.order {
+		sub := qr.rec
+		sub.Seq = 0
+		emit(&sub)
+		switch qr.state {
+		case StateRunning:
+			emit(&qrec{T: qStart, ID: sub.ID, Tenant: sub.Tenant})
+		case StateDone:
+			emit(&qrec{T: qDone, ID: sub.ID, Tenant: sub.Tenant})
+		case StateFailed:
+			emit(&qrec{T: qFail, ID: sub.ID, Tenant: sub.Tenant, Err: qr.err})
+		case StateCanceled:
+			emit(&qrec{T: qCancel, ID: sub.ID, Tenant: sub.Tenant})
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if err = rw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = fsys.Rename(tmp, queueSnapPath(dir)); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
 }
 
 func (j *queueJournal) close() error {

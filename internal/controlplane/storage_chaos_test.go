@@ -1,0 +1,363 @@
+package controlplane
+
+// Disk-fault chaos tests for the queue journal: the ack-ordering
+// regression (a failed append must leave neither memory nor disk
+// changed, and must never be acknowledged), the ENOSPC degradation /
+// 503 / recovery drill over the real HTTP surface, the bounded-log
+// guarantee under a monotonic workload, and the compaction kill-point
+// sweep mirroring the dist journal's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/dist"
+	"spice/internal/faultfs"
+)
+
+// TestQueueSubmitAckOrdering is the satellite regression for the
+// journal-first discipline: when the append fails mid-record, the
+// submission is refused with ErrStorageDegraded, the in-memory queue is
+// untouched, and the log on disk replays without any trace of it.
+func TestQueueSubmitAckOrdering(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	dir := t.TempDir()
+	s, _ := newHarness(t, Config{
+		StateDir:     dir,
+		FS:           inj,
+		StorageProbe: 20 * time.Millisecond,
+	}, 0)
+
+	id1, err := s.Submit(specA(), dist.CampaignTag{Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The very next mutating operation — the append's write — fails.
+	inj.FailAt(1, faultfs.EIO)
+	_, err = s.Submit(specB(), dist.CampaignTag{Tenant: "bob"})
+	if !errors.Is(err, ErrStorageDegraded) {
+		t.Fatalf("failed-append submit returned %v, want ErrStorageDegraded", err)
+	}
+	if got := len(s.List("")); got != 1 {
+		t.Fatalf("rejected submission reached the in-memory queue: %d campaigns", got)
+	}
+	if !s.StorageHealth().Degraded {
+		t.Fatal("server not degraded after append failure")
+	}
+	qs, err := scanQueueState(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.order) != 1 || qs.order[0].rec.ID != id1 {
+		t.Fatalf("disk state after failed append: %d campaigns, want only %s", len(qs.order), id1)
+	}
+
+	// The prober recovers the moment faults clear, and the same
+	// submission then succeeds and is durably journaled.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.StorageHealth().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered after faults cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	id2, err := s.Submit(specB(), dist.CampaignTag{Tenant: "bob"})
+	if err != nil {
+		t.Fatalf("resubmission after recovery: %v", err)
+	}
+	qs, err = scanQueueState(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.order) != 2 || qs.order[1].rec.ID != id2 {
+		t.Fatalf("recovered journal holds %d campaigns, want [%s %s]", len(qs.order), id1, id2)
+	}
+	h := s.StorageHealth()
+	if h.Degradations != 1 || h.Recoveries != 1 || h.StorageErrors < 1 {
+		t.Fatalf("health counters after one fault cycle: %+v", h)
+	}
+}
+
+// TestStorageDegradedHTTP503AndRecovery drives the acceptance drill
+// over the real HTTP API: persistent ENOSPC makes submissions return
+// 503 with Retry-After (never a dropped-but-acked campaign), /readyz
+// semantics (Ready) fail, campaigns already running keep draining to
+// completion, and service recovers once the faults clear.
+func TestStorageDegradedHTTP503AndRecovery(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	s, _ := newHarness(t, Config{
+		StateDir:     t.TempDir(),
+		FS:           inj,
+		StorageProbe: 20 * time.Millisecond,
+	}, 1)
+	s.Start()
+	mux := http.NewServeMux()
+	s.Mount(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	post := func(spec campaign.Spec, tenant, name string) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(SubmitRequest{Tenant: tenant, Name: name, Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/api/v1/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := post(specA(), "alice", "healthy")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy submit returned %d, want 202", resp.StatusCode)
+	}
+	var acc SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.SetStuck(faultfs.ENOSPC)
+	resp = post(specB(), "bob", "enospc")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under ENOSPC returned %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 response missing Retry-After header")
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Fatal("503 response missing error body")
+	}
+	if err := s.Ready(); !errors.Is(err, ErrStorageDegraded) {
+		t.Fatalf("Ready() under ENOSPC = %v, want ErrStorageDegraded", err)
+	}
+	if got := len(s.List("")); got != 1 {
+		t.Fatalf("rejected submission visible in queue: %d campaigns", got)
+	}
+
+	// Graceful degradation, not a stall: the campaign accepted before
+	// the disk died still runs to completion on its worker leases.
+	waitState(t, s, acc.ID, StateDone)
+
+	inj.Clear()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Ready() != nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready after faults cleared: %v", s.Ready())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = post(specB(), "bob", "after-recovery")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after recovery returned %d, want 202", resp.StatusCode)
+	}
+	var acc2 SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&acc2); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, acc2.ID, StateDone)
+}
+
+// TestQueueCompactionBoundsLog pins the tentpole's size guarantee on a
+// workload that grew the log monotonically before compaction existed:
+// many short-lived campaigns. The log must stay near the threshold
+// while every campaign's terminal state survives replay.
+func TestQueueCompactionBoundsLog(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _, err := openQueueJournal(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threshold = 4096
+	j.compactBytes = threshold
+	spec, _ := json.Marshal(specA())
+	now := time.Unix(1700000000, 0).UTC()
+	const n = 200
+	var maxLen int64
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("c-%03d", i)
+		for _, r := range []*qrec{
+			{T: qSubmit, ID: id, Tenant: "t", Spec: spec, At: now},
+			{T: qStart, ID: id, At: now},
+			{T: qDone, ID: id, At: now},
+		} {
+			if err := j.append(r); err != nil {
+				t.Fatal(err)
+			}
+			if j.goodLen > maxLen {
+				maxLen = j.goodLen
+			}
+		}
+	}
+	if j.compactions < 2 {
+		t.Fatalf("compactions = %d, want several over %d campaigns", j.compactions, n)
+	}
+	// One record may overshoot the threshold before the next check; the
+	// whole history (n × 3 records) must not.
+	if maxLen > threshold+1024 {
+		t.Fatalf("queue.log peaked at %d bytes, not bounded near %d", maxLen, threshold)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replay, torn, err := openQueueJournal(nil, dir)
+	if err != nil || torn != 0 {
+		t.Fatalf("reopen: err=%v torn=%d", err, torn)
+	}
+	if len(replay) != n {
+		t.Fatalf("replayed %d campaigns, want %d", len(replay), n)
+	}
+	for i, qr := range replay {
+		if qr.rec.ID != fmt.Sprintf("c-%03d", i) || qr.state != StateDone {
+			t.Fatalf("campaign %d replayed as %s/%s", i, qr.rec.ID, qr.state)
+		}
+	}
+}
+
+// queueFingerprint folds the on-disk queue state into a deterministic
+// string, ignoring sequence numbers (compaction renumbers them).
+func queueFingerprint(t *testing.T, dir string) string {
+	t.Helper()
+	qs, err := scanQueueState(nil, dir)
+	if err != nil {
+		t.Fatalf("scan of %s: %v", dir, err)
+	}
+	type row struct {
+		ID       string          `json:"id"`
+		Tenant   string          `json:"tenant"`
+		Priority int             `json:"priority"`
+		Name     string          `json:"name"`
+		Spec     json.RawMessage `json:"spec"`
+		At       time.Time       `json:"at"`
+		State    State           `json:"state"`
+		Err      string          `json:"err"`
+	}
+	rows := make([]row, 0, len(qs.order))
+	for _, qr := range qs.order {
+		rows = append(rows, row{
+			ID: qr.rec.ID, Tenant: qr.rec.Tenant, Priority: qr.rec.Priority,
+			Name: qr.rec.Name, Spec: qr.rec.Spec, At: qr.rec.At,
+			State: qr.state, Err: qr.err,
+		})
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestQueueCompactionKillPointSweep mirrors the dist journal's sweep:
+// a fault at every mutating operation inside compact() must leave the
+// folded queue state identical and the journal appendable.
+func TestQueueCompactionKillPointSweep(t *testing.T) {
+	ref := t.TempDir()
+	j, _, _, err := openQueueJournal(nil, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(specA())
+	now := time.Unix(1700000000, 0).UTC()
+	for i, recs := range [][]*qrec{
+		{{T: qSubmit, ID: "a", Tenant: "alice", Priority: 2, Spec: spec, At: now}, {T: qStart, ID: "a"}, {T: qDone, ID: "a"}},
+		{{T: qSubmit, ID: "b", Tenant: "bob", Spec: spec, At: now}, {T: qStart, ID: "b"}, {T: qFail, ID: "b", Err: "boom"}},
+		{{T: qSubmit, ID: "c", Tenant: "bob", Spec: spec, At: now}, {T: qCancel, ID: "c"}},
+		{{T: qSubmit, ID: "d", Tenant: "eve", Spec: spec, At: now}, {T: qStart, ID: "d"}},
+	} {
+		for _, r := range recs {
+			if err := j.append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i == 1 {
+			// A mid-stream compaction so the sweep replaces an existing
+			// snapshot rather than creating the first one.
+			if err := j.compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+	want := queueFingerprint(t, ref)
+
+	// Dry run to count the mutating ops of one compaction.
+	probe := t.TempDir()
+	copyQueueDir(t, ref, probe)
+	inj := faultfs.NewInjector(nil)
+	jp, _, _, err := openQueueJournal(inj, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inj.Ops()
+	if err := jp.compact(); err != nil {
+		t.Fatal(err)
+	}
+	steps := inj.Ops() - before
+	_ = jp.close()
+	if got := queueFingerprint(t, probe); got != want {
+		t.Fatal("fault-free compaction changed the folded state")
+	}
+	if steps < 5 {
+		t.Fatalf("compaction took only %d mutating ops", steps)
+	}
+
+	for k := int64(1); k <= steps; k++ {
+		dir := t.TempDir()
+		copyQueueDir(t, ref, dir)
+		inj := faultfs.NewInjector(nil)
+		jk, _, _, err := openQueueJournal(inj, dir)
+		if err != nil {
+			t.Fatalf("kill point %d: open: %v", k, err)
+		}
+		inj.FailAt(k, faultfs.EIO)
+		cerr := jk.compact()
+		_ = jk.close()
+		if got := queueFingerprint(t, dir); got != want {
+			t.Fatalf("kill point %d (compact err %v): replayed state diverged", k, cerr)
+		}
+		jk2, _, _, err := openQueueJournal(nil, dir)
+		if err != nil {
+			t.Fatalf("kill point %d: reopen: %v", k, err)
+		}
+		if err := jk2.append(&qrec{T: qNoop, At: now}); err != nil {
+			t.Fatalf("kill point %d: append after recovery: %v", k, err)
+		}
+		if err := jk2.close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func copyQueueDir(t *testing.T, src, dst string) {
+	t.Helper()
+	for _, name := range []string{"queue.log", "queue.snapshot"} {
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"net"
 	"time"
 
+	"spice/internal/faultfs"
 	"spice/internal/obs"
 )
 
@@ -45,6 +46,18 @@ type Config struct {
 	// StateDir, if non-empty, makes campaigns crash-safe (write-ahead
 	// journal + checkpoint spool under this directory).
 	StateDir string
+	// CompactBytes compacts the write-ahead journal (fold into a
+	// snapshot, truncate the log) when journal.log grows past this size.
+	// 0 disables compaction.
+	CompactBytes int64
+	// StorageRetries is how many times a failed journal append is
+	// retried with short capped backoff before the coordinator enters
+	// the degraded storage state. 0 degrades on the first failure.
+	StorageRetries int
+	// FS routes every journal and spool operation through an injectable
+	// filesystem (faultfs.Injector — the disk-fault chaos hook). Nil
+	// uses the real OS filesystem.
+	FS faultfs.FS
 	// Scheduler, if set, orders the active campaigns each time a worker
 	// asks for work — the multi-tenant priority/fair-share/quota hook.
 	// Nil offers campaigns in install order.
@@ -125,6 +138,8 @@ func Defaults() Config {
 		RetryBase:           50 * time.Millisecond,
 		RetryMax:            2 * time.Second,
 		MaxAttempts:         8,
+		CompactBytes:        8 << 20,
+		StorageRetries:      2,
 		BreakerThreshold:    3,
 		HedgeFraction:       0.3,
 		IOTimeout:           30 * time.Second,
@@ -150,6 +165,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dist: Config.RetryMax (%v) below RetryBase (%v)", c.RetryMax, c.RetryBase)
 	case c.MaxAttempts < 1:
 		return errors.New("dist: Config.MaxAttempts must be at least 1")
+	case c.CompactBytes < 0:
+		return errors.New("dist: Config.CompactBytes must be >= 0 (0 disables)")
+	case c.StorageRetries < 0:
+		return errors.New("dist: Config.StorageRetries must be >= 0")
 	case c.BreakerThreshold < 0:
 		return errors.New("dist: Config.BreakerThreshold must be >= 0 (0 disables)")
 	case c.BreakerCooldown < 0:
@@ -197,6 +216,13 @@ func disabledOrInt(n int) int {
 	return n
 }
 
+func disabledOrInt64(n int64) int64 {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
+
 // NewCoordinator validates cfg and builds a Coordinator listening on
 // ln, distributing the opaque system payload to workers. The obs hooks
 // are wired: cfg.Metrics gets the Snapshot collector registered,
@@ -217,6 +243,9 @@ func NewCoordinator(ln net.Listener, system json.RawMessage, cfg Config) (*Coord
 		MaxAttempts:      cfg.MaxAttempts,
 		WrapConn:         cfg.WrapConn,
 		StateDir:         cfg.StateDir,
+		CompactBytes:     disabledOrInt64(cfg.CompactBytes),
+		StorageRetries:   disabledOrInt(cfg.StorageRetries),
+		FS:               cfg.FS,
 		Scheduler:        cfg.Scheduler,
 		BreakerThreshold: disabledOrInt(cfg.BreakerThreshold),
 		BreakerCooldown:  cfg.BreakerCooldown,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spice/internal/campaign"
+	"spice/internal/faultfs"
 	"spice/internal/netutil"
 	"spice/internal/obs"
 	"spice/internal/trace"
@@ -69,6 +70,20 @@ type Coordinator struct {
 	// the merged output stays bit-identical to an uninterrupted run.
 	// Empty means in-memory only (the pre-journal behavior).
 	StateDir string
+	// CompactBytes triggers journal compaction (fold snapshot + log into
+	// a fresh snapshot, truncate the log) once journal.log grows past
+	// this size, keeping replay time and disk footprint bounded on
+	// long-lived coordinators. 0 defaults to 8 MiB; negative disables.
+	CompactBytes int64
+	// StorageRetries is how many times a failed journal append is
+	// retried (with short capped backoff) before the coordinator enters
+	// the degraded storage state. 0 defaults to 2; negative means no
+	// retries — degrade on the first failure.
+	StorageRetries int
+	// FS, if set, routes every journal and spool operation through an
+	// injectable filesystem — the disk-fault chaos hook
+	// (faultfs.Injector). Nil uses the real OS filesystem.
+	FS faultfs.FS
 
 	// BreakerThreshold is the consecutive-failure strike count (explicit
 	// fails, lease expiries, disconnects with an active lease, lost
@@ -116,6 +131,18 @@ type Coordinator struct {
 	doneJobs map[string]bool // every job this process has accepted (or replayed) a result for
 	sites    map[string]*siteHealth
 
+	// Degraded storage state: set when a journal append (or spool write)
+	// fails past its retries, cleared when a later durable write — an
+	// append or the janitor's probe record — succeeds. While degraded,
+	// scheduling continues in memory (leases drain, results that fsync
+	// are still accepted) but non-critical records are not journaled and
+	// results that cannot fsync are answered with msgRetry instead of an
+	// ack, so nothing is ever acknowledged without its durability.
+	degraded       bool
+	degradedSince  time.Time
+	lastStorageErr string
+	lastProbe      time.Time
+
 	camps       []*campaignRun  // active campaigns, install order
 	jobsByID    map[string]*job // every active campaign's jobs, by scoped ID
 	campSeq     int
@@ -138,9 +165,11 @@ type campaignRun struct {
 	seq       int       // install order this process
 	submitted time.Time // install time this process
 	spec      campaign.Spec
+	specJSON  json.RawMessage
 	tasks     []campaign.Task
 	jobs      []*job
 	remaining int
+	journaled bool // the jCampaign record reached the journal
 	failErr   error
 	canceled  bool
 	done      chan struct{}
@@ -280,6 +309,28 @@ func (co *Coordinator) ioTimeout() time.Duration {
 	}
 }
 
+func (co *Coordinator) compactBytes() int64 {
+	switch {
+	case co.CompactBytes > 0:
+		return co.CompactBytes
+	case co.CompactBytes < 0:
+		return 0 // disabled
+	default:
+		return 8 << 20
+	}
+}
+
+func (co *Coordinator) storageRetries() int {
+	switch {
+	case co.StorageRetries > 0:
+		return co.StorageRetries
+	case co.StorageRetries < 0:
+		return 0 // degrade on the first failure
+	default:
+		return 2
+	}
+}
+
 // backoff returns the delay before the next lease of jobID after
 // `attempts` grants. The exponential base delay carries deterministic
 // jitter in [d/2, d) keyed by (job, attempt): a mass revocation event
@@ -380,11 +431,13 @@ func (co *Coordinator) RunTagged(spec campaign.Spec, tag CampaignTag) (map[campa
 		co.jobsByID = make(map[string]*job)
 	}
 	if co.StateDir != "" && co.journal == nil {
-		jn, rep, err := openJournal(co.StateDir)
+		jn, rep, err := openJournal(co.FS, co.StateDir)
 		if err != nil {
 			co.mu.Unlock()
 			return nil, err
 		}
+		jn.compactBytes = co.compactBytes()
+		jn.retries = co.storageRetries()
 		co.journal = jn
 		co.replay = rep
 		// Seed the completed-jobs set from the whole journal so a result
@@ -422,6 +475,7 @@ func (co *Coordinator) RunTagged(spec campaign.Spec, tag CampaignTag) (map[campa
 		seq:       co.campSeq,
 		submitted: time.Now(),
 		spec:      spec,
+		specJSON:  specJSON,
 		tasks:     tasks,
 		jobs:      make([]*job, len(tasks)),
 		remaining: len(tasks),
@@ -480,10 +534,11 @@ func (co *Coordinator) RunTagged(spec campaign.Spec, tag CampaignTag) (map[campa
 		"jobs": len(tasks), "recovered_done": len(tasks) - camp.remaining,
 		"tenant": tag.Tenant, "priority": tag.Priority,
 	}})
-	if !co.journalLocked(camp, &jrec{T: jCampaign, Camp: key, Spec: specJSON, Tag: &tag}, true) {
-		// journalLocked already failed the campaign; fall through to the
-		// wait below, which returns the error immediately.
-	}
+	// A failed campaign record no longer kills the campaign: the
+	// coordinator degrades to in-memory scheduling and journalLocked
+	// re-journals the campaign record before the first durable (fsynced)
+	// record that needs it, so the journal never holds orphan records.
+	co.journalLocked(camp, &jrec{T: jCampaign, Camp: key, Spec: specJSON, Tag: &tag}, true)
 	if camp.remaining == 0 && camp.failErr == nil {
 		// Every job was recovered done — nothing left to schedule.
 		camp.finish(nil)
@@ -706,9 +761,29 @@ func (co *Coordinator) janitor(ctx context.Context) {
 				}
 				co.stragglerScanLocked(camp, now)
 			}
+			co.storageProbeLocked(now)
 			co.mu.Unlock()
 		}
 	}
+}
+
+// storageProbeLocked checks whether a degraded disk has come back by
+// appending (and fsyncing) a no-op record. Success flips the
+// coordinator back to healthy; failure leaves it degraded until the
+// next probe window. Caller holds mu.
+func (co *Coordinator) storageProbeLocked(now time.Time) {
+	if !co.degraded || co.journal == nil {
+		return
+	}
+	if now.Sub(co.lastProbe) < co.leaseTTL()/2 {
+		return
+	}
+	co.lastProbe = now
+	if err := co.journal.probe(); err != nil {
+		co.lastStorageErr = err.Error()
+		return
+	}
+	co.storageRecoveredLocked()
 }
 
 // siteStrikeLocked records one failure signal against a site, updating
@@ -758,20 +833,88 @@ func (co *Coordinator) stragglerScanLocked(camp *campaignRun, now time.Time) {
 }
 
 // journalLocked appends one record (fsyncing if sync) and reports
-// success. A write-ahead journal that cannot write is a broken
-// durability promise, so an append error fails the campaign rather
-// than silently degrading to in-memory scheduling. Caller holds mu.
+// success. A failed append — after the journal's own retries — moves
+// the coordinator into the degraded storage state instead of killing
+// the campaign: scheduling continues in memory, and the callers of the
+// one record class whose durability is load-bearing (fsynced done
+// records) check the return value and refuse to acknowledge. While
+// degraded, non-critical records are skipped outright (the disk is
+// known sick; hammering it from under the mutex helps nobody) until a
+// successful durable write clears the state. Caller holds mu.
 func (co *Coordinator) journalLocked(camp *campaignRun, r *jrec, sync bool) bool {
 	if co.journal == nil {
 		return true
 	}
-	if err := co.journal.append(r, sync); err != nil {
-		if camp != nil {
-			camp.finish(fmt.Errorf("dist: journal append: %w", err))
-		}
+	if co.degraded && !sync {
 		return false
 	}
+	if camp != nil && !camp.journaled && r.T != jCampaign {
+		// The campaign record was lost to a degraded spell; nothing about
+		// the campaign may land before it or replay drops the records.
+		if !sync {
+			return false
+		}
+		rec := &jrec{T: jCampaign, Camp: camp.key, Spec: camp.specJSON, Tag: &camp.tag}
+		if err := co.journal.append(rec, false); err != nil {
+			co.storageFaultLocked("journal append", err)
+			return false
+		}
+		camp.journaled = true
+	}
+	if err := co.journal.append(r, sync); err != nil {
+		co.storageFaultLocked("journal append", err)
+		return false
+	}
+	if r.T == jCampaign && camp != nil {
+		camp.journaled = true
+	}
+	co.storageRecoveredLocked()
 	return true
+}
+
+// storageFaultLocked records a storage failure and enters (or extends)
+// the degraded storage state. Caller holds mu.
+func (co *Coordinator) storageFaultLocked(op string, err error) {
+	co.lastStorageErr = err.Error()
+	if co.degraded {
+		return
+	}
+	co.degraded = true
+	co.degradedSince = time.Now()
+	co.stats.StorageDegradations++
+	co.Events.Emit(obs.Event{Name: "storage_degraded", Fields: map[string]any{
+		"op": op, "error": err.Error(),
+	}})
+}
+
+// storageRecoveredLocked leaves the degraded storage state after a
+// successful durable write. Caller holds mu.
+func (co *Coordinator) storageRecoveredLocked() {
+	if !co.degraded {
+		return
+	}
+	co.degraded = false
+	co.stats.StorageRecoveries++
+	co.Events.Emit(obs.Event{Name: "storage_recovered", Fields: map[string]any{
+		"degraded_for": time.Since(co.degradedSince).String(),
+	}})
+}
+
+// CompactJournal triggers a journal compaction immediately, regardless
+// of the size threshold — the explicit operator trigger. A no-op
+// without a journal.
+func (co *Coordinator) CompactJournal() error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.journal == nil {
+		return nil
+	}
+	if err := co.journal.compact(); err != nil {
+		co.journal.storageErrors++
+		co.storageFaultLocked("journal compact", err)
+		return err
+	}
+	return nil
 }
 
 // requeueLocked returns a job with no remaining leases to the pending
@@ -1114,12 +1257,17 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 			// dominates — any future resume hands it out.
 			j.ckpt = req.Ckpt
 			j.ckptSteps = steps
-			if co.journal != nil {
+			if co.journal != nil && !co.degraded {
+				// A checkpoint that cannot reach the spool costs recovery
+				// progress, never correctness: the in-memory copy above keeps
+				// serving resumes, so a sick disk degrades the coordinator
+				// instead of failing the campaign.
 				if err := co.journal.spoolCheckpoint(j.id, req.Ckpt); err != nil {
-					camp.finish(fmt.Errorf("dist: spooling checkpoint for %s: %w", j.id, err))
-					return response{Type: msgOK}
+					co.journal.storageErrors++
+					co.storageFaultLocked("checkpoint spool", err)
+				} else {
+					co.journalLocked(camp, &jrec{T: jCkpt, Camp: camp.key, Job: j.id, Attempt: l.attempt}, false)
 				}
-				co.journalLocked(camp, &jrec{T: jCkpt, Camp: camp.key, Job: j.id, Attempt: l.attempt}, false)
 			}
 		}
 	}
@@ -1181,7 +1329,12 @@ func (co *Coordinator) finish(cs *connState, req *request) response {
 		attempt = winner.attempt
 	}
 	if !co.journalLocked(camp, &jrec{T: jDone, Camp: camp.key, Job: j.id, Attempt: attempt, Log: req.Log}, true) {
-		return response{Type: msgOK}
+		// The result cannot be made durable right now. Acking would break
+		// the promise the fsync exists for; failing the campaign would
+		// throw away a computed result over a possibly transient disk
+		// fault. msgRetry does neither: the worker keeps the line in its
+		// outbox and retransmits once the storage probe clears the state.
+		return response{Type: msgRetry, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
 	}
 	now := time.Now()
 	sh := co.siteLocked(cs.site)
@@ -1285,6 +1438,14 @@ func (co *Coordinator) Stats() Stats {
 func (co *Coordinator) statsLocked() Stats {
 	s := co.stats
 	s.BytesIn, s.BytesOut = co.bytes.snapshot()
+	if co.journal != nil {
+		s.Compactions = co.journal.compactions
+		s.StorageErrors = co.journal.storageErrors
+		s.StorageRetries = co.journal.storageRetries
+		s.JournalBytes = co.journal.goodLen
+	}
+	s.StorageDegraded = co.degraded
+	s.LastStorageErr = co.lastStorageErr
 	return s
 }
 

@@ -201,7 +201,7 @@ func TestJournalTornTailAtEveryOffset(t *testing.T) {
 		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		jn, rep, err := openJournal(dir)
+		jn, rep, err := openJournal(nil, dir)
 		if err != nil {
 			t.Fatalf("cut %d: recovery failed: %v", cut, err)
 		}

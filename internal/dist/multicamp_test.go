@@ -263,7 +263,7 @@ func TestJournalInterleavedCampaignsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, rep, err := openJournal(dir)
+	_, rep, err := openJournal(nil, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

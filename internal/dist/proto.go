@@ -45,6 +45,12 @@ const (
 	msgWait    = "wait"    // nothing runnable right now, retry in DelayMs
 	msgDrained = "drained" // coordinator is closing for good, disconnect
 	msgAbandon = "abandon" // lease was revoked; stop working on the job
+	// msgRetry answers a result the coordinator cannot durably record
+	// right now (degraded storage): the worker keeps the line in its
+	// outbox and retransmits after DelayMs. Unlike ok-with-err this is
+	// NOT an acknowledgment — the result is neither merged nor dropped,
+	// so a storage outage never turns into an acked-but-lost result.
+	msgRetry = "retry"
 )
 
 // request is a worker → coordinator line.

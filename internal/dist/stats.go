@@ -69,6 +69,18 @@ type Stats struct {
 	TornTail    TailCondition
 	TornTailMsg string
 
+	// Durable-storage health. The counters come from the journal (every
+	// append, retry and compaction runs under the coordinator mutex);
+	// the degradation transitions are coordinator-level state changes.
+	Compactions         int    // journal compactions completed (log folded into snapshot)
+	StorageErrors       int    // failed journal/spool operations (each attempt counts)
+	StorageRetries      int    // append attempts retried after a transient fault
+	StorageDegradations int    // transitions into the degraded storage state
+	StorageRecoveries   int    // transitions back to healthy storage
+	StorageDegraded     bool   // currently refusing durability promises
+	JournalBytes        int64  // current clean length of journal.log
+	LastStorageErr      string // most recent storage error text, if any
+
 	// Federation-resilience counters: straggler hedging and per-site
 	// circuit breakers (the per-site breakdown is in SiteStats).
 	StragglersDetected   int // leases flagged as stragglers (rate or stall)

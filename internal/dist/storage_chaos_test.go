@@ -1,0 +1,443 @@
+package dist
+
+// Disk-fault chaos tests for the journal's durable-storage hardening:
+// the compaction kill-point sweep (a fault injected at every mutating
+// operation inside compact() must leave replay state-identical), the
+// snapshot+log replay edge cases, the bounded-log guarantee under a
+// live campaign, and the degraded-storage end-to-end drill (persistent
+// ENOSPC mid-campaign, msgRetry to the workers, recovery when the
+// faults clear, bit-identical results throughout).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/faultfs"
+	"spice/internal/trace"
+)
+
+// chaosWorkLog fabricates a small deterministic work log.
+func chaosWorkLog(seed uint64) *trace.WorkLog {
+	wl := &trace.WorkLog{Kappa: 100, Velocity: 800, Seed: seed}
+	for i := 0; i < 4; i++ {
+		wl.Samples = append(wl.Samples, trace.WorkSample{
+			Lambda: float64(i), Z: float64(i) + 0.5, Work: float64(seed) + float64(i)*0.25,
+		})
+	}
+	return wl
+}
+
+// seedChaosJournal builds a journal dir with realistic shape: a first
+// batch of records, one compaction (so the sweep exercises the
+// rename-over-existing-snapshot path), then a second batch left in the
+// log. Both campaigns carry leases, done logs and fails.
+func seedChaosJournal(t *testing.T, dir string) {
+	t.Helper()
+	jn, _, err := openJournal(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA := json.RawMessage(`{"kappas":[100],"velocities":[800],"replicas":2}`)
+	specB := json.RawMessage(`{"kappas":[300],"velocities":[1600],"replicas":1}`)
+	batch1 := []*jrec{
+		{T: jCampaign, Camp: "campA", Spec: specA, Tag: &CampaignTag{Tenant: "alice", Priority: 2, Name: "a"}},
+		{T: jLease, Camp: "campA", Job: "j1", Worker: "w0", Site: "s0", Attempt: 1},
+		{T: jCkpt, Camp: "campA", Job: "j1", Attempt: 1},
+		{T: jDone, Camp: "campA", Job: "j1", Log: chaosWorkLog(7)},
+		{T: jLease, Camp: "campA", Job: "j2", Worker: "w1", Site: "s1", Attempt: 1},
+		{T: jFail, Camp: "campA", Job: "j2", Err: "boom"},
+	}
+	batch2 := []*jrec{
+		{T: jLease, Camp: "campA", Job: "j2", Worker: "w0", Attempt: 2},
+		{T: jCampaign, Camp: "campB", Spec: specB},
+		{T: jLease, Camp: "campB", Job: "j1", Worker: "w1", Attempt: 1},
+		{T: jFail, Camp: "campB", Job: "j1", Err: "flaky"},
+		{T: jFail, Camp: "campB", Job: "j1", Err: "flaky again"},
+		{T: jDone, Camp: "campB", Job: "j1", Log: chaosWorkLog(9)},
+	}
+	for i, r := range batch1 {
+		if err := jn.append(r, i%3 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.compact(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch2 {
+		if err := jn.append(r, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jn.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// foldFingerprint replays snapshot + log and serializes the folded
+// campaign state deterministically (JSON maps marshal with sorted
+// keys), so two dirs with identical logical state compare equal.
+func foldFingerprint(t *testing.T, dir string) string {
+	t.Helper()
+	rep, err := replayJournalState(faultfs.OS, dir)
+	if err != nil {
+		t.Fatalf("replay of %s: %v", dir, err)
+	}
+	out := make(map[string]any, len(rep.campaigns))
+	for key, c := range rep.campaigns {
+		out[key] = map[string]any{
+			"spec":     string(c.specJSON),
+			"tag":      c.tag,
+			"done":     c.done,
+			"attempts": c.attempts,
+			"workers":  c.workers,
+			"fails":    c.fails,
+		}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// copyJournalDir clones the flat files of a journal state dir.
+func copyJournalDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompactionKillPointSweep injects a fault at EVERY mutating
+// filesystem operation inside compact() in turn and proves that no
+// kill point can corrupt the journal: the replayed state after the
+// failed compaction is bit-identical to the pre-compaction state, and
+// the journal reopens and accepts appends.
+func TestCompactionKillPointSweep(t *testing.T) {
+	ref := t.TempDir()
+	seedChaosJournal(t, ref)
+	want := foldFingerprint(t, ref)
+
+	// Dry run: count the mutating ops a fault-free compaction performs,
+	// and confirm it is itself state-preserving.
+	probe := t.TempDir()
+	copyJournalDir(t, ref, probe)
+	inj := faultfs.NewInjector(nil)
+	jn, _, err := openJournal(inj, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inj.Ops()
+	if err := jn.compact(); err != nil {
+		t.Fatal(err)
+	}
+	steps := inj.Ops() - before
+	if err := jn.close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := foldFingerprint(t, probe); got != want {
+		t.Fatal("fault-free compaction changed the folded state")
+	}
+	if steps < 5 {
+		t.Fatalf("compaction took only %d mutating ops; sweep would prove nothing", steps)
+	}
+
+	for k := int64(1); k <= steps; k++ {
+		dir := t.TempDir()
+		copyJournalDir(t, ref, dir)
+		inj := faultfs.NewInjector(nil)
+		jn, _, err := openJournal(inj, dir)
+		if err != nil {
+			t.Fatalf("kill point %d: open: %v", k, err)
+		}
+		inj.FailAt(k, faultfs.EIO)
+		cerr := jn.compact()
+		_ = jn.close()
+		if inj.Faults() != 1 {
+			t.Fatalf("kill point %d: delivered %d faults, want 1", k, inj.Faults())
+		}
+		if got := foldFingerprint(t, dir); got != want {
+			t.Fatalf("kill point %d (compact err %v): replayed state diverged", k, cerr)
+		}
+		// The survivor must reopen cleanly and take new appends.
+		jn2, _, err := openJournal(nil, dir)
+		if err != nil {
+			t.Fatalf("kill point %d: reopen: %v", k, err)
+		}
+		if err := jn2.append(&jrec{T: jNoop}, true); err != nil {
+			t.Fatalf("kill point %d: append after recovery: %v", k, err)
+		}
+		if err := jn2.close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestJournalReplaySnapshotEmptyLog pins the post-compaction steady
+// state: all state in the snapshot, a zero-length (truncated) log, and
+// replay recovering everything.
+func TestJournalReplaySnapshotEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	seedChaosJournal(t, dir)
+	want := foldFingerprint(t, dir)
+
+	jn, _, err := openJournal(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 0 {
+		t.Fatalf("log not truncated after compaction: %d bytes", fi.Size())
+	}
+	if got := foldFingerprint(t, dir); got != want {
+		t.Fatal("snapshot + empty log replayed differently from snapshot + log")
+	}
+	jn2, rep, err := openJournal(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jn2.close()
+	if rep.tornErr != nil || len(rep.campaigns) != 2 {
+		t.Fatalf("reopen over empty log: torn=%v campaigns=%d", rep.tornErr, len(rep.campaigns))
+	}
+}
+
+// TestJournalReplaySnapshotTornLog tears the log's final record behind
+// an intact snapshot: replay must fold snapshot + the clean log prefix
+// and report the torn tail, exactly as if the snapshot were absent.
+func TestJournalReplaySnapshotTornLog(t *testing.T) {
+	dir := t.TempDir()
+	seedChaosJournal(t, dir)
+
+	data, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := trace.ScanRecords(bytes.NewReader(data))
+	if err != nil || scan.TailErr != nil {
+		t.Fatalf("reference log unreadable: %v / %v", err, scan.TailErr)
+	}
+	if len(scan.Records) < 2 {
+		t.Fatalf("log has only %d records", len(scan.Records))
+	}
+	lastStart := int64(len(data)) - trace.FramedLen(len(scan.Records[len(scan.Records)-1]))
+
+	// Reference: the same dir with the last record cleanly absent.
+	refDir := t.TempDir()
+	copyJournalDir(t, dir, refDir)
+	if err := os.Truncate(journalPath(refDir), lastStart); err != nil {
+		t.Fatal(err)
+	}
+	want := foldFingerprint(t, refDir)
+
+	// Tear mid-record (3 bytes into the final frame) and recover.
+	if err := os.Truncate(journalPath(dir), lastStart+3); err != nil {
+		t.Fatal(err)
+	}
+	jn, rep, err := openJournal(nil, dir)
+	if err != nil {
+		t.Fatalf("recovery over snapshot+torn log: %v", err)
+	}
+	if !errors.Is(rep.tornErr, trace.ErrTruncated) {
+		t.Fatalf("tornErr = %v, want ErrTruncated", rep.tornErr)
+	}
+	if rep.tornBytes != 3 {
+		t.Fatalf("tornBytes = %d, want 3", rep.tornBytes)
+	}
+	if err := jn.close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := foldFingerprint(t, dir); got != want {
+		t.Fatal("snapshot + torn log did not replay to snapshot + clean prefix")
+	}
+}
+
+// TestCoordinatorCompactionBoundedLiveCampaign runs a real campaign
+// with an aggressively small compaction threshold: the journal — which
+// grew monotonically before compaction existed — must stay bounded,
+// the results must stay bit-identical to a local run, and a restarted
+// coordinator must replay the compacted state (snapshot + log) to
+// instant completion.
+func TestCoordinatorCompactionBoundedLiveCampaign(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+	stateDir := t.TempDir()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threshold = 2048
+	co := &Coordinator{
+		Listener:     ln,
+		System:       json.RawMessage(`{"beads":3}`),
+		LeaseTTL:     2 * time.Second,
+		StateDir:     stateDir,
+		CompactBytes: threshold,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, func(i int, w *Worker) { w.CheckpointEvery = 1 })
+
+	got, err := co.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+
+	st := co.Stats()
+	if st.Compactions < 1 {
+		t.Fatalf("stats.Compactions = %d, want >= 1", st.Compactions)
+	}
+	// Bounded: the log can exceed the threshold by at most the records
+	// appended since the last compaction check — one oversized done
+	// record plus change, never the whole campaign history.
+	if st.JournalBytes > threshold+16384 {
+		t.Fatalf("journal.log = %d bytes, not bounded near the %d threshold", st.JournalBytes, threshold)
+	}
+	cancel()
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the compacted state: every job replays done, the
+	// campaign completes with no workers at all, bit-identically.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := &Coordinator{
+		Listener: ln2,
+		System:   json.RawMessage(`{"beads":3}`),
+		LeaseTTL: 2 * time.Second,
+		StateDir: stateDir,
+	}
+	t.Cleanup(func() { _ = co2.Close() })
+	got2, err := co2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got2)
+	if st2 := co2.Stats(); st2.Restarts != 1 || st2.ReplayedRecords == 0 {
+		t.Fatalf("restart did not replay compacted state: %+v", st2)
+	}
+}
+
+// TestStorageDegradedRecovery is the end-to-end degradation drill: the
+// coordinator's disk dies mid-campaign (persistent ENOSPC on every
+// journal and spool operation), the coordinator degrades instead of
+// crashing, workers with finished results are told msgRetry (never
+// acked-and-dropped), and when the disk comes back the janitor's probe
+// restores service and the campaign completes bit-identically.
+func TestStorageDegradedRecovery(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	inj := faultfs.NewInjector(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &Coordinator{
+		Listener:       ln,
+		System:         json.RawMessage(`{"beads":3}`),
+		LeaseTTL:       time.Second,
+		RetryBase:      10 * time.Millisecond,
+		StateDir:       t.TempDir(),
+		FS:             inj,
+		StorageRetries: -1, // degrade on the first failure; no in-line retries
+	}
+	t.Cleanup(func() { _ = co.Close() })
+
+	type runResult struct {
+		logs map[campaign.Combo][]*trace.WorkLog
+		err  error
+	}
+	resultCh := make(chan runResult, 1)
+	go func() {
+		logs, err := co.Run(spec)
+		resultCh <- runResult{logs: logs, err: err}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 1, func(i int, w *Worker) {
+		w.CheckpointEvery = 1
+		w.Throttle = 10 * time.Millisecond
+	})
+
+	// Let the campaign make real progress, then kill the disk.
+	deadline := time.Now().Add(30 * time.Second)
+	for co.Stats().Checkpoints < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never made progress")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	inj.SetStuck(faultfs.ENOSPC)
+	for !co.Stats().StorageDegraded {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never entered the degraded storage state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Hold the fault long enough that at least one finished result hits
+	// the msgRetry path, then clear it and wait for the probe.
+	time.Sleep(300 * time.Millisecond)
+	inj.Clear()
+	for co.Stats().StorageDegraded {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never recovered after faults cleared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case r := <-resultCh:
+		if r.err != nil {
+			t.Fatalf("campaign failed across the degraded spell: %v", r.err)
+		}
+		requireBitIdentical(t, want, r.logs)
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not finish after storage recovery")
+	}
+
+	st := co.Stats()
+	if st.StorageDegradations < 1 || st.StorageRecoveries < 1 {
+		t.Fatalf("degradation cycle not recorded: %+v", st)
+	}
+	if st.StorageErrors < 1 {
+		t.Fatalf("stats.StorageErrors = %d, want >= 1", st.StorageErrors)
+	}
+}

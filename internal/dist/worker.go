@@ -372,15 +372,30 @@ func (w *Worker) runSession(ctx context.Context, name string) error {
 	defer c.drop()
 	// outbox holds result/fail lines the coordinator has not yet
 	// acknowledged. Any reply (ok, even ok-with-err) acknowledges the
-	// line; transport errors keep it queued across reconnects.
+	// line — except retry, the coordinator's degraded-storage answer,
+	// which keeps the line queued and backs off; transport errors keep
+	// it queued across reconnects.
 	var outbox []*request
 	for ctx.Err() == nil {
 		for len(outbox) > 0 {
-			if _, err := c.roundTrip(ctx, outbox[0]); err != nil {
+			resp, err := c.roundTrip(ctx, outbox[0])
+			if err != nil {
 				if ctx.Err() != nil {
 					return nil
 				}
 				return fmt.Errorf("dist: reporting %s: %w", outbox[0].JobID, err)
+			}
+			if resp.Type == msgRetry {
+				delay := time.Duration(resp.DelayMs) * time.Millisecond
+				if delay <= 0 {
+					delay = 50 * time.Millisecond
+				}
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(delay):
+				}
+				continue
 			}
 			outbox = outbox[1:]
 		}

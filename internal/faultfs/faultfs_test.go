@@ -1,0 +1,196 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSPassthroughAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "f.txt")
+	f, err := OS.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v; want \"hello\"", data, err)
+	}
+	moved := filepath.Join(sub, "g.txt")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := OS.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "g.txt" {
+		t.Fatalf("ReadDir after rename = %v, %v", ents, err)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Truncate(moved, 0); err == nil {
+		t.Fatal("Truncate on a removed file should fail")
+	}
+}
+
+func TestInjectorScheduledFault(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	path := filepath.Join(dir, "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.FailAt(2, ENOSPC) // second mutating op from now
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err) // op 2 overall, 1 after arming
+	}
+	_, err = f.Write([]byte("boom"))
+	if !errors.Is(err, ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected ENOSPC, got %v", err)
+	}
+	// One-shot: the next op succeeds again.
+	if _, err := f.Write([]byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, _ := in.ReadFile(path)
+	if string(data) != "okfine" {
+		t.Fatalf("file = %q, want okfine", data)
+	}
+	if in.Faults() != 1 {
+		t.Fatalf("faults = %d, want 1", in.Faults())
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	path := filepath.Join(dir, "f")
+	f, err := in.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.TornWriteAt(1, 0.5, EIO)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, EIO) {
+		t.Fatalf("torn write = (%d, %v), want (4, EIO)", n, err)
+	}
+	f.Close()
+	data, _ := in.ReadFile(path)
+	if string(data) != "abcd" {
+		t.Fatalf("file after torn write = %q, want abcd", data)
+	}
+}
+
+func TestInjectorWedge(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.WedgeAt(1, EIO)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); err == nil {
+			t.Fatalf("write %d succeeded after wedge", i)
+		}
+	}
+	if err := in.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err == nil {
+		t.Fatal("rename succeeded after wedge")
+	}
+	// Reads still work: recovery can scan what survived.
+	if _, err := in.ReadFile(filepath.Join(dir, "f")); err != nil {
+		t.Fatal(err)
+	}
+	in.Clear()
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+	f.Close()
+}
+
+func TestInjectorStuckAndClear(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.SetStuck(ENOSPC)
+	if _, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, ENOSPC) {
+		t.Fatalf("want stuck ENOSPC, got %v", err)
+	}
+	if err := in.SyncDir(dir); !errors.Is(err, ENOSPC) {
+		t.Fatalf("want stuck ENOSPC on syncdir, got %v", err)
+	}
+	in.Clear()
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestInjectorSeededDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		dir := t.TempDir()
+		in := NewInjector(nil)
+		in.SeedFaults(42, 0.3, EIO)
+		f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			// Even the open may be seeded-faulted; retry without the file.
+			return in.Ops(), in.Faults()
+		}
+		for i := 0; i < 50; i++ {
+			_, _ = f.Write([]byte("x"))
+		}
+		f.Close()
+		return in.Ops(), in.Faults()
+	}
+	ops1, faults1 := run()
+	ops2, faults2 := run()
+	if ops1 != ops2 || faults1 != faults2 {
+		t.Fatalf("seeded runs diverged: (%d,%d) vs (%d,%d)", ops1, faults1, ops2, faults2)
+	}
+	if faults1 == 0 {
+		t.Fatal("rate 0.3 over 51 ops delivered no faults")
+	}
+	if faults1 == ops1 {
+		t.Fatal("rate 0.3 faulted every op")
+	}
+}
+
+func TestInjectorFailOpAt(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	in.FailOpAt(OpRename, 2, EIO)
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	f, _ := in.OpenFile(a, os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Close()
+	if err := in.Rename(a, b); err != nil { // rename #1: fine
+		t.Fatal(err)
+	}
+	if err := in.Rename(b, a); err == nil { // rename #2: faulted
+		t.Fatal("second rename should fail")
+	}
+	if err := in.Rename(b, a); err != nil { // rename #3: fine again
+		t.Fatal(err)
+	}
+}

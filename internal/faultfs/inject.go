@@ -1,0 +1,328 @@
+package faultfs
+
+// The fault-injecting FS. Faults are deterministic — scheduled at an
+// exact operation index, wedged from an index onward (the crash model:
+// after the disk dies nothing succeeds), or FNV-seeded (a reproducible
+// pseudo-random sprinkle keyed by seed and operation count) — so every
+// chaos run replays exactly and a failing seed is a complete bug
+// report.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"sync"
+	"syscall"
+)
+
+// Op classifies one mutating filesystem operation.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	OpSyncDir
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpMkdir:
+		return "mkdir"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return "unknown"
+}
+
+// Convenient fault errors. ErrInjected wraps every delivered fault so
+// tests can tell an injected failure from a real one.
+var (
+	ErrInjected = fmt.Errorf("faultfs: injected fault")
+	EIO         = syscall.EIO
+	ENOSPC      = syscall.ENOSPC
+)
+
+// fault is one scheduled failure.
+type fault struct {
+	op    Op      // which operation kind it applies to (opCount = any)
+	at    int64   // fires when the mutating-op counter reaches this value
+	err   error   // error delivered
+	torn  float64 // OpWrite only: fraction of the payload written before failing
+	wedge bool    // once fired, every later mutating op fails too
+}
+
+// Injector wraps an FS and delivers scheduled or seeded faults on
+// mutating operations. Reads are never faulted: recovery code must be
+// able to scan what survived. The zero Injector is not usable; call
+// NewInjector.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	ops     int64 // mutating operations attempted so far
+	perOp   [opCount]int64
+	faults  int64 // faults delivered
+	sched   []fault
+	stuck   error   // non-nil: every mutating op fails (persistent ENOSPC mode)
+	seed    uint64  // FNV-seeded faults when rate > 0
+	rate    float64 // probability per op in [0,1)
+	seedErr error
+}
+
+// NewInjector wraps base (nil = the real OS filesystem).
+func NewInjector(base FS) *Injector {
+	return &Injector{base: Or(base)}
+}
+
+// FailAt schedules a one-shot fault: the n-th mutating operation from
+// now (1-based) fails with err (nil = EIO). Operations after it
+// succeed again — the transient-fault model.
+func (in *Injector) FailAt(n int64, err error) {
+	in.schedule(fault{op: opCount, at: in.opsNow() + n, err: err})
+}
+
+// FailOpAt schedules a one-shot fault on the n-th future operation of
+// kind op specifically (1-based), counting from now.
+func (in *Injector) FailOpAt(op Op, n int64, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sched = append(in.sched, fault{op: op, at: in.perOp[op] + n, err: err})
+}
+
+// TornWriteAt schedules the n-th mutating operation from now to be a
+// torn write: if it is a write, only frac of the payload reaches the
+// file before the error; any other operation kind just fails.
+func (in *Injector) TornWriteAt(n int64, frac float64, err error) {
+	in.schedule(fault{op: opCount, at: in.opsNow() + n, err: err, torn: frac})
+}
+
+// WedgeAt schedules the crash model: the n-th mutating operation from
+// now fails, and so does every one after it, until Clear. WedgeAt(1,
+// err) is "the disk is gone as of now".
+func (in *Injector) WedgeAt(n int64, err error) {
+	in.schedule(fault{op: opCount, at: in.opsNow() + n, err: err, wedge: true})
+}
+
+// SetStuck makes every mutating operation fail with err immediately —
+// the persistent-ENOSPC degradation model. Clear lifts it.
+func (in *Injector) SetStuck(err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if err == nil {
+		err = EIO
+	}
+	in.stuck = err
+}
+
+// SeedFaults arms FNV-seeded faults: each mutating operation fails
+// with probability rate, keyed deterministically by (seed, operation
+// index) so a run replays identically. rate 0 disables.
+func (in *Injector) SeedFaults(seed uint64, rate float64, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seed, in.rate, in.seedErr = seed, rate, err
+}
+
+// Clear removes every armed fault: scheduled, wedged, stuck, seeded.
+// Counters are preserved.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sched = nil
+	in.stuck = nil
+	in.rate = 0
+}
+
+// Ops returns the total mutating operations attempted — the step count
+// a kill-point sweep enumerates.
+func (in *Injector) Ops() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Faults returns how many faults have been delivered.
+func (in *Injector) Faults() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+func (in *Injector) opsNow() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+func (in *Injector) schedule(f fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.sched = append(in.sched, f)
+}
+
+// check counts one mutating operation of kind op and decides its fate:
+// a nil error means proceed; otherwise the error to deliver, and for
+// writes a torn fraction (negative = not torn, fail outright).
+func (in *Injector) check(op Op) (error, float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	in.perOp[op]++
+	if in.stuck != nil {
+		in.faults++
+		return fmt.Errorf("%w: %s: %w", ErrInjected, op, in.stuck), -1
+	}
+	for i, f := range in.sched {
+		match := (f.op == opCount && in.ops == f.at) || (f.op == op && in.perOp[op] == f.at)
+		if f.wedge {
+			match = f.op == opCount && in.ops >= f.at
+		}
+		if !match {
+			continue
+		}
+		err := f.err
+		if err == nil {
+			err = EIO
+		}
+		torn := -1.0
+		if f.torn > 0 {
+			torn = f.torn
+		}
+		if !f.wedge {
+			in.sched = append(in.sched[:i], in.sched[i+1:]...)
+		}
+		in.faults++
+		return fmt.Errorf("%w: %s: %w", ErrInjected, op, err), torn
+	}
+	if in.rate > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d#%d", in.seed, in.ops)
+		// FNV-1a's low bits correlate across inputs differing only in
+		// their final digits; a Murmur-style finalizer decorrelates them.
+		v := h.Sum64()
+		v ^= v >> 33
+		v *= 0xff51afd7ed558ccd
+		v ^= v >> 33
+		if float64(v&0xffff)/65536 < in.rate {
+			err := in.seedErr
+			if err == nil {
+				err = EIO
+			}
+			in.faults++
+			return fmt.Errorf("%w: %s: %w", ErrInjected, op, err), -1
+		}
+	}
+	return nil, -1
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err, _ := in.check(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err, _ := in.check(OpRename); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, _ := in.check(OpRemove); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if err, _ := in.check(OpTruncate); err != nil {
+		return err
+	}
+	return in.base.Truncate(name, size)
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := in.check(OpMkdir); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+// ReadFile and ReadDir are never faulted: recovery must always be able
+// to read whatever the faults left behind.
+func (in *Injector) ReadFile(name string) ([]byte, error)       { return in.base.ReadFile(name) }
+func (in *Injector) ReadDir(name string) ([]fs.DirEntry, error) { return in.base.ReadDir(name) }
+
+func (in *Injector) SyncDir(name string) error {
+	if err, _ := in.check(OpSyncDir); err != nil {
+		return err
+	}
+	return in.base.SyncDir(name)
+}
+
+// injFile routes a File's mutating calls through the injector.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	err, torn := jf.in.check(OpWrite)
+	if err == nil {
+		return jf.f.Write(p)
+	}
+	if torn >= 0 {
+		// Torn write: part of the payload reaches the file, then the
+		// error — the on-disk signature of a crash mid-write.
+		n := int(torn * float64(len(p)))
+		if n > 0 {
+			if wn, werr := jf.f.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (jf *injFile) Sync() error {
+	if err, _ := jf.in.check(OpSync); err != nil {
+		return err
+	}
+	return jf.f.Sync()
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	if err, _ := jf.in.check(OpTruncate); err != nil {
+		return err
+	}
+	return jf.f.Truncate(size)
+}
+
+// Close is never faulted: the journals' error paths close handles they
+// are abandoning, and a faulted close would leak them.
+func (jf *injFile) Close() error { return jf.f.Close() }

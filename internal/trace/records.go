@@ -22,6 +22,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"spice/internal/faultfs"
 )
 
 const (
@@ -68,6 +70,24 @@ func (rw *RecordWriter) Append(payload []byte) error {
 
 // Flush pushes buffered records to the underlying writer.
 func (rw *RecordWriter) Flush() error { return rw.w.Flush() }
+
+// Reset discards any buffered (possibly partially written) state and
+// re-targets the writer at w — the repair path after a failed append:
+// the caller truncates the file back to its last clean record boundary
+// and Resets the writer over it. Pass continuing=false when the
+// truncation removed the stream magic too.
+func (rw *RecordWriter) Reset(w io.Writer, continuing bool) {
+	rw.w.Reset(w)
+	rw.wrote = continuing
+}
+
+// FramedLen returns the on-disk size of one record carrying payloadLen
+// bytes, excluding the stream magic: header plus payload.
+func FramedLen(payloadLen int) int64 { return 8 + int64(payloadLen) }
+
+// MagicLen is the size of the stream magic that precedes the first
+// record.
+const MagicLen = int64(len(recordMagic))
 
 // RecordScan is the result of reading a record stream defensively.
 type RecordScan struct {
@@ -167,7 +187,15 @@ func countRemaining(br *bufio.Reader, consumed int64) int64 {
 // durable logs — the dist journal, the control plane's campaign queue —
 // share one code path for first start and recovery.
 func ScanFile(path string) (*RecordScan, error) {
-	data, err := os.ReadFile(path)
+	return ScanFileFS(faultfs.OS, path)
+}
+
+// ScanFileFS is ScanFile through an injectable filesystem — the form
+// the journals use so disk-fault chaos tests can interpose faultfs.
+// Reads are never fault-injected, but routing them through the same FS
+// keeps every durable-path syscall on one auditable surface.
+func ScanFileFS(fsys faultfs.FS, path string) (*RecordScan, error) {
+	data, err := faultfs.Or(fsys).ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return &RecordScan{}, nil

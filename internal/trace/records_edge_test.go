@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScanRecordsZeroLengthFile pins the fresh-stream contract for a
+// file that exists but is empty (a journal created and killed before
+// its first flush): zero records, CleanLen 0, no tail error — both
+// through ScanRecords and through ScanFileFS on a real file.
+func TestScanRecordsZeroLengthFile(t *testing.T) {
+	scan, err := ScanRecords(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 0 || scan.CleanLen != 0 || scan.TailErr != nil || scan.TornBytes != 0 {
+		t.Fatalf("zero-length scan = %+v, want pristine fresh stream", scan)
+	}
+
+	path := filepath.Join(t.TempDir(), "empty.log")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scan, err = ScanFileFS(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 0 || scan.CleanLen != 0 || scan.TailErr != nil {
+		t.Fatalf("zero-length file scan = %+v, want fresh stream", scan)
+	}
+}
+
+// TestScanRecordsStrayByteAfterCleanFrame pins the boundary case of a
+// single intact record followed by one stray byte: the record is
+// recovered, the stray byte is reported as exactly one torn byte, and
+// CleanLen points at the record boundary in front of it.
+func TestScanRecordsStrayByteAfterCleanFrame(t *testing.T) {
+	var buf bytes.Buffer
+	rw := NewRecordWriter(&buf, false)
+	payload := []byte(`{"t":"noop"}`)
+	if err := rw.Append(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cleanLen := int64(buf.Len())
+	buf.WriteByte(0x7f)
+
+	scan, err := ScanRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 1 || !bytes.Equal(scan.Records[0], payload) {
+		t.Fatalf("clean frame not recovered: %d records", len(scan.Records))
+	}
+	if !errors.Is(scan.TailErr, ErrTruncated) {
+		t.Fatalf("TailErr = %v, want ErrTruncated", scan.TailErr)
+	}
+	if scan.TornBytes != 1 {
+		t.Fatalf("TornBytes = %d, want 1", scan.TornBytes)
+	}
+	if scan.CleanLen != cleanLen {
+		t.Fatalf("CleanLen = %d, want %d", scan.CleanLen, cleanLen)
+	}
+	if scan.CleanLen != MagicLen+FramedLen(len(payload)) {
+		t.Fatalf("CleanLen = %d, inconsistent with MagicLen+FramedLen = %d",
+			scan.CleanLen, MagicLen+FramedLen(len(payload)))
+	}
+}

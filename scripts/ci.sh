@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "FAIL: gofmt needed on:"
+  echo "$unformatted"
+  exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -51,6 +59,25 @@ echo "== control plane multi-tenant chaos (-race) =="
 # queue, and finish both campaigns bit-identical to in-process
 # LocalRunner baselines.
 go test -race -run 'TestChaosKillControlPlaneMidQueue' -count=1 -v ./internal/controlplane
+
+echo "== disk-fault chaos: compaction kill-points + storage degradation (-race) =="
+# Durable-storage gate, both journals. The kill-point sweeps inject a
+# fault at EVERY mutating filesystem operation inside compact() and
+# require the replayed state (snapshot + log suffix) to be identical —
+# for the dist journal that includes the merged PMF inputs bit-for-bit.
+# The degradation drills wedge the disk with persistent ENOSPC
+# mid-service: the coordinator must answer finished workers with retry
+# (never ack-and-drop a result), the control plane must 503 with
+# Retry-After (never ack-and-drop a campaign), in-flight work must keep
+# draining, and both must recover to ready when the faults clear. The
+# bounded-log tests pin that a workload which previously grew the
+# journal monotonically now stays near -compact-bytes.
+go test -race -count=1 \
+  -run 'TestCompactionKillPointSweep|TestJournalReplaySnapshot|TestCoordinatorCompactionBoundedLiveCampaign|TestStorageDegradedRecovery' \
+  -v ./internal/dist
+go test -race -count=1 \
+  -run 'TestQueueCompactionKillPointSweep|TestQueueCompactionBoundsLog|TestQueueSubmitAckOrdering|TestStorageDegradedHTTP503AndRecovery' \
+  -v ./internal/controlplane
 
 echo "== control plane quota + torn-tail unit gates (-race) =="
 # Two tenants over the in-process HTTP API with quota rejection and
