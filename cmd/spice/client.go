@@ -41,11 +41,12 @@ var (
 	tenantFlag = flag.String("tenant", "", "with -submit: tenant the campaign is accounted to")
 	prioFlag   = flag.Int("priority", 0, "with -submit: base scheduling priority (higher first)")
 	nameFlag   = flag.String("campaign-name", "", "with -submit: name distinguishing otherwise-identical submissions")
+	retryMax   = flag.Int("retry-max", 4, "with -server: retries for API calls refused with a Retry-After header (429 rate limit, 503 shed/degraded) before the error is surfaced; the wait is the larger of the server's hint and a decorrelated backoff (0 disables)")
 )
 
 // runClient dispatches one client-mode action.
 func runClient(addr string, spec campaign.Spec, outDir string) error {
-	cl := &controlplane.Client{Base: addr}
+	cl := &controlplane.Client{Base: addr, RetryMax: *retryMax}
 	ctx := context.Background()
 	switch {
 	case *cancelID != "":

@@ -69,6 +69,10 @@ func main() {
 		hedgeStall       = flag.Duration("hedge-stall", 0, "also hedge a job whose step counter has not advanced for this long while still heartbeating (0 disables)")
 		ioTimeout        = flag.Duration("io-timeout", 30*time.Second, "read/write deadline armed before every I/O on every worker connection, so a half-open peer times out instead of wedging a reader (0 disables)")
 
+		// Overload-protection knobs (all scoped to -coordinator).
+		maxInflight = flag.Int("max-inflight", 256, "cap on worker requests processed at once; excess work polls are shed with an immediate jittered wait hint and heartbeats coalesce past half the cap (0 disables)")
+		sendQueue   = flag.Int("send-queue", 32, "per-connection outgoing-response queue bound; a worker that lets it fill (a slow consumer) is evicted with its leases kept alive for re-attach (0 = synchronous writes)")
+
 		// Observability.
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
 		obsEvents = flag.String("obs-events", "", "append the structured JSON-lines scheduling event log to this file (- for stderr)")
@@ -163,6 +167,8 @@ func main() {
 	dcfg.HedgeFraction = *hedgeFraction
 	dcfg.HedgeStall = *hedgeStall
 	dcfg.IOTimeout = *ioTimeout
+	dcfg.MaxInflight = *maxInflight
+	dcfg.SendQueue = *sendQueue
 	dcfg.Metrics = reg
 	dcfg.Events = events
 

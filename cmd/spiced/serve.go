@@ -52,6 +52,14 @@ var (
 
 	compactBytes   = flag.Int64("compact-bytes", 8<<20, "with -serve: compact a journal (fold it into a snapshot and truncate the log) when it grows past this size, bounding the on-disk footprint and replay time; applies to both the campaign queue and the job journal (0 disables)")
 	storageRetries = flag.Int("storage-retries", 2, "with -serve: retries (short capped backoff) for a failed journal append before the service enters the degraded storage state — submissions get 503 + Retry-After, running campaigns keep draining, and a background probe restores service when the disk recovers")
+
+	// Overload-protection knobs. -max-inflight is the one "how much at
+	// once" dial for the daemon: it caps worker requests in processing at
+	// the embedded coordinator AND concurrent API requests at the HTTP
+	// layer (excess of either is shed with a retry hint, never queued).
+	serveMaxInflight = flag.Int("max-inflight", 256, "with -serve: cap on requests processed at once — worker polls at the coordinator (shed with a jittered wait hint) and concurrent HTTP API requests (shed with 503 + Retry-After) (0 disables both)")
+	serveSendQueue   = flag.Int("send-queue", 32, "with -serve: per-connection outgoing-response queue bound at the coordinator; a worker that lets it fill (a slow consumer) is evicted with its leases kept alive for re-attach (0 = synchronous writes)")
+	tenantRPS        = flag.Float64("tenant-rps", 0, "with -serve: per-tenant token-bucket rate limit on mutating API calls (submit, cancel) in requests/second; over-rate calls get 429 + Retry-After (0 disables)")
 )
 
 // parseQuota parses "maxQueued[:maxRunning]".
@@ -128,6 +136,8 @@ func runServe(reg *obs.Registry, events *obs.EventLog) error {
 	dcfg.StateDir = *serveState
 	dcfg.CompactBytes = *compactBytes
 	dcfg.StorageRetries = *storageRetries
+	dcfg.MaxInflight = *serveMaxInflight
+	dcfg.SendQueue = *serveSendQueue
 	dcfg.Metrics = reg
 	dcfg.Events = events
 	co, err := dist.NewCoordinator(ln, sysJSON, dcfg)
@@ -157,6 +167,8 @@ func runServe(reg *obs.Registry, events *obs.EventLog) error {
 		Backfill:       *backfill,
 		CompactBytes:   *compactBytes,
 		StorageRetries: *storageRetries,
+		TenantRPS:      *tenantRPS,
+		MaxConcurrent:  *serveMaxInflight,
 		Metrics:        reg,
 		Events:         events,
 	})

@@ -84,13 +84,37 @@ type StatsResponse struct {
 
 // Mount registers the API handlers on mux. Pair it with obs.NewMux so
 // one listener serves both the API and /metrics, /healthz, /readyz.
+// When Config.MaxConcurrent is set every handler runs behind the
+// request-concurrency limiter.
 func (s *Server) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("POST /api/v1/campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/campaigns", s.handleList)
-	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.handleCancel)
-	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("POST /api/v1/campaigns", s.limited(s.handleSubmit))
+	mux.HandleFunc("GET /api/v1/campaigns", s.limited(s.handleList))
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.limited(s.handleGet))
+	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.limited(s.handleCancel))
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.limited(s.handleResult))
+	mux.HandleFunc("GET /api/v1/stats", s.limited(s.handleStats))
+}
+
+// limited wraps h behind the MaxConcurrent semaphore. The acquire is
+// non-blocking: a saturated server answers 503 + Retry-After in
+// microseconds rather than parking the request goroutine — shed load
+// costs almost nothing, queued load costs memory and latency for
+// everyone behind it.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	if s.httpSem == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, req *http.Request) {
+		select {
+		case s.httpSem <- struct{}{}:
+			defer func() { <-s.httpSem }()
+			h(w, req)
+		default:
+			s.httpSheds.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": ErrOverloaded.Error()})
+		}
+	}
 }
 
 // writeJSON writes v with status code.
@@ -110,6 +134,15 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
+	case errors.Is(err, ErrRateLimited):
+		// Over-rate, not over-quota: the bucket refills continuously,
+		// so unlike the bare-429 quota rejection this one carries
+		// Retry-After — the client's cue that backing off will work.
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, ErrStorageDegraded):
 		code = http.StatusServiceUnavailable
 		// Storage degradation is expected to be transient (the probe

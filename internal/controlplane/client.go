@@ -4,6 +4,16 @@ package controlplane
 // `spice -server ...` speaks. It is deliberately thin: JSON in, JSON
 // out, package errors reconstructed from status codes so callers can
 // errors.Is against the same sentinels the server uses.
+//
+// Retries are opt-in (RetryMax) and deliberately narrow: only
+// responses that carry a Retry-After header are retried — the
+// server's explicit "this is transient, come back" signal (rate
+// limit, shed load, degraded storage). A bare 429 (standing quota) or
+// any other error returns immediately; waiting would not help. The
+// delay is the larger of the server's hint and a decorrelated-jitter
+// backoff from the shared internal/backoff policy, and every retry
+// spends from the optional RetryBudget so a stuck fleet of clients
+// cannot grind a recovering server.
 
 import (
 	"bytes"
@@ -12,13 +22,21 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"spice/internal/backoff"
 	"spice/internal/campaign"
 	"spice/internal/dist"
 	"spice/internal/trace"
 )
+
+// clientRetryPolicy paces client retries between the server's
+// Retry-After hints: fast enough to catch a 1-second recovery, slow
+// enough that a refused fleet thins out instead of hammering.
+var clientRetryPolicy = backoff.Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second}
 
 // Client talks to a control plane over HTTP.
 type Client struct {
@@ -26,6 +44,18 @@ type Client struct {
 	Base string
 	// HTTP is the client to use (nil = http.DefaultClient).
 	HTTP *http.Client
+	// RetryMax is how many times a request refused with a Retry-After
+	// header (429 rate limit, 503 shed/degraded) is retried before the
+	// error is surfaced. 0 disables retries.
+	RetryMax int
+	// RetryBudget, when set, is spent once per retry; an empty budget
+	// surfaces the error instead of retrying. Share one budget across
+	// the process so concurrent calls respect a single fleet-wide
+	// retry rate. Nil = unlimited.
+	RetryBudget *backoff.Budget
+
+	mu sync.Mutex
+	bo *backoff.Decorrelated
 }
 
 func (c *Client) url(path string) string {
@@ -36,20 +66,63 @@ func (c *Client) url(path string) string {
 	return base + path
 }
 
+// nextDelay draws the client-side retry delay. The decorrelated
+// generator is seeded per client instance from the wall clock, so a
+// herd of clients refused together spreads back out.
+func (c *Client) nextDelay() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bo == nil {
+		seed := backoff.Seed(c.Base) ^ uint64(time.Now().UnixNano())
+		c.bo = clientRetryPolicy.Decorrelated(seed)
+	}
+	return c.bo.Next()
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+	}
+	for attempt := 0; ; attempt++ {
+		hint, err := c.doOnce(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if hint < 0 || attempt >= c.RetryMax {
+			return err
+		}
+		if !c.RetryBudget.Spend() {
+			return fmt.Errorf("%w (retry budget exhausted)", err)
+		}
+		d := c.nextDelay()
+		if hint > d {
+			d = hint
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(d):
+		}
+	}
+}
+
+// doOnce performs one HTTP exchange. The returned hint is the
+// server's Retry-After as a duration when the response is retryable,
+// or -1 when it is not (success, hard error, or no header).
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) (time.Duration, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
 	if err != nil {
-		return err
+		return -1, err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTP
@@ -58,7 +131,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return err
+		return -1, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
@@ -75,22 +148,48 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		wrap := func(sentinel error) error {
 			return fmt.Errorf("%w: %s", sentinel, strings.TrimPrefix(msg, sentinel.Error()+": "))
 		}
+		hint := retryAfter(resp)
 		switch resp.StatusCode {
 		case http.StatusTooManyRequests:
-			return wrap(ErrQuotaExceeded)
+			if hint >= 0 {
+				return hint, wrap(ErrRateLimited)
+			}
+			return -1, wrap(ErrQuotaExceeded)
 		case http.StatusNotFound:
-			return wrap(ErrNotFound)
+			return -1, wrap(ErrNotFound)
 		case http.StatusConflict:
-			return fmt.Errorf("controlplane: %s", msg)
+			return -1, fmt.Errorf("controlplane: %s", msg)
 		case http.StatusServiceUnavailable:
-			return wrap(ErrClosed)
+			// Three conditions share the status; the body's sentinel
+			// prefix tells them apart so errors.Is keeps working.
+			for _, sentinel := range []error{ErrStorageDegraded, ErrOverloaded} {
+				if strings.HasPrefix(msg, sentinel.Error()) {
+					return hint, wrap(sentinel)
+				}
+			}
+			return hint, wrap(ErrClosed)
 		}
-		return fmt.Errorf("controlplane: %s %s: %s", method, path, msg)
+		return -1, fmt.Errorf("controlplane: %s %s: %s", method, path, msg)
 	}
 	if out == nil {
-		return nil
+		return -1, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return -1, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryAfter parses the Retry-After header (delay-seconds form) into
+// a duration, or -1 when absent/unparseable — absence is the signal
+// that the refusal is not transient.
+func retryAfter(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return -1
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return -1
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Submit submits a campaign and returns its ID.

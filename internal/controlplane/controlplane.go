@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"spice/internal/backoff"
 	"spice/internal/campaign"
 	"spice/internal/dist"
 	"spice/internal/faultfs"
@@ -112,6 +114,30 @@ type Config struct {
 	// filesystem (faultfs.Injector — the disk-fault chaos hook). Nil
 	// uses the real OS filesystem.
 	FS faultfs.FS
+
+	// --- Overload protection ---
+
+	// TenantRPS rate-limits each tenant's mutating calls (Submit,
+	// Cancel) to this many per second via a per-tenant token bucket.
+	// Over-rate calls are refused with ErrRateLimited (HTTP 429 +
+	// Retry-After) — unlike ErrQuotaExceeded, waiting and retrying
+	// succeeds. 0 disables rate limiting.
+	TenantRPS float64
+	// TenantBurst is the token-bucket burst for TenantRPS (how many
+	// calls a quiet tenant may fire back-to-back). 0 defaults to
+	// 2×TenantRPS, minimum 1.
+	TenantBurst int
+	// MaxConcurrent caps in-flight HTTP requests across the mounted
+	// API (0 = unlimited). Excess requests are shed immediately with
+	// 503 + Retry-After instead of queueing behind s.mu — under
+	// overload a fast refusal beats a slow success.
+	MaxConcurrent int
+	// MaxQueueDepth caps non-terminal campaigns across all tenants
+	// (0 = unlimited). Submissions beyond it are refused with
+	// ErrOverloaded (503 + Retry-After) before touching the journal —
+	// admission control so the queue cannot grow without bound while
+	// workers are behind.
+	MaxQueueDepth int
 }
 
 // Campaign is the public view of one queued-or-finished campaign.
@@ -172,6 +198,15 @@ type Server struct {
 
 	pol *grid.Policy // fair-share ledger for dispatch ordering (under mu)
 
+	// Overload protection. buckets holds the per-tenant rate-limit
+	// token buckets (under mu); httpSem is the request-concurrency
+	// semaphore (nil when MaxConcurrent is 0); httpSheds counts
+	// requests refused at the semaphore — an atomic because the shed
+	// path must not touch mu at all.
+	buckets   map[string]*backoff.Budget
+	httpSem   chan struct{}
+	httpSheds atomic.Int64
+
 	// usageMu guards usageSnap, a read-copy of the fair-share ledger for
 	// the lease scheduler. The scheduler runs inside the coordinator's
 	// lock and must not take s.mu (Get/List call into the coordinator
@@ -201,6 +236,14 @@ var (
 	// Retry-After header; the prober clears the state when the disk
 	// recovers.
 	ErrStorageDegraded = errors.New("controlplane: storage degraded, retry later")
+	// ErrRateLimited refuses a call over the tenant's TenantRPS token
+	// bucket. Maps to HTTP 429 + Retry-After; transient by
+	// construction — the bucket refills continuously.
+	ErrRateLimited = errors.New("controlplane: tenant rate limit exceeded, retry later")
+	// ErrOverloaded sheds load when the control plane is saturated
+	// (queue depth or request concurrency over its cap). Maps to 503 +
+	// Retry-After. Campaigns already admitted keep draining.
+	ErrOverloaded = errors.New("controlplane: overloaded, retry later")
 )
 
 // New builds a Server: opens and replays queue.log, installs the
@@ -220,6 +263,10 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		entries: make(map[string]*entry),
 		pol:     grid.NewPolicy(cfg.Aging),
+		buckets: make(map[string]*backoff.Budget),
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.httpSem = make(chan struct{}, cfg.MaxConcurrent)
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.mSubmits = reg.CounterVec("spice_cp_submissions_total",
@@ -386,6 +433,27 @@ func (s *Server) Close() error {
 	return s.journal.close()
 }
 
+// allowLocked spends one token from tenant's rate bucket, creating it
+// on first sight. Always true when TenantRPS is 0. Requires s.mu.
+func (s *Server) allowLocked(tenant string) bool {
+	if s.cfg.TenantRPS <= 0 {
+		return true
+	}
+	b, ok := s.buckets[tenant]
+	if !ok {
+		burst := s.cfg.TenantBurst
+		if burst <= 0 {
+			burst = int(2 * s.cfg.TenantRPS)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		b = backoff.NewBudget(s.cfg.TenantRPS, burst)
+		s.buckets[tenant] = b
+	}
+	return b.Spend()
+}
+
 // quotaFor resolves tenant's quota.
 func (s *Server) quotaFor(tenant string) Quota {
 	if q, ok := s.cfg.Quotas[tenant]; ok {
@@ -418,6 +486,22 @@ func (s *Server) Submit(spec campaign.Spec, tag dist.CampaignTag) (string, error
 	defer s.mu.Unlock()
 	if s.closed {
 		return "", ErrClosed
+	}
+	if !s.allowLocked(tag.Tenant) {
+		s.reject(tag.Tenant, "rate")
+		return "", fmt.Errorf("%w: tenant %q over %g req/s", ErrRateLimited, tag.Tenant, s.cfg.TenantRPS)
+	}
+	if max := s.cfg.MaxQueueDepth; max > 0 {
+		depth := 0
+		for _, e := range s.order {
+			if !e.State.terminal() {
+				depth++
+			}
+		}
+		if depth >= max {
+			s.reject(tag.Tenant, "overload")
+			return "", fmt.Errorf("%w: %d campaigns in flight (max %d)", ErrOverloaded, depth, max)
+		}
 	}
 	if s.degraded {
 		// The 202 contract is "your campaign survives anything short of
@@ -621,6 +705,11 @@ func (s *Server) Cancel(id string) (State, error) {
 		st := e.State
 		s.mu.Unlock()
 		return st, nil
+	}
+	if !s.allowLocked(e.Tenant) {
+		s.reject(e.Tenant, "rate")
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: tenant %q over %g req/s", ErrRateLimited, e.Tenant, s.cfg.TenantRPS)
 	}
 	if s.degraded {
 		s.mu.Unlock()
@@ -906,6 +995,7 @@ func (s *Server) collect(e *obs.Emitter) {
 	e.Counter("spice_storage_recoveries_total", "Transitions back to healthy storage.", float64(sh.Recoveries), jl)
 	e.Gauge("spice_storage_degraded", "1 while the journal is refusing durability promises.", degraded, jl)
 	e.Gauge("spice_storage_journal_bytes", "Current clean length of the journal log.", float64(sh.JournalBytes), jl)
+	e.Counter("spice_cp_http_shed_total", "HTTP requests shed at the concurrency limiter.", float64(s.httpSheds.Load()))
 	tenants := make([]string, 0, len(depth))
 	for t := range depth {
 		tenants = append(tenants, t)

@@ -23,6 +23,7 @@ import (
 	"net"
 	"time"
 
+	"spice/internal/backoff"
 	"spice/internal/faultfs"
 	"spice/internal/obs"
 )
@@ -82,6 +83,17 @@ type Config struct {
 	// may fire. 0 means LeaseTTL/2.
 	HedgeAfter time.Duration
 
+	// --- Overload protection (coordinator) ---
+
+	// MaxInflight caps worker requests in processing at once; excess
+	// work polls are shed with an immediate jittered wait hint, and
+	// heartbeat coalescing arms past half the cap. 0 disables shedding.
+	MaxInflight int
+	// SendQueue bounds each connection's outgoing-response queue; a peer
+	// that fills it (a slow consumer) is evicted with its leases kept
+	// alive for re-attach. 0 disables the queue (synchronous writes).
+	SendQueue int
+
 	// --- Transport (both sides) ---
 
 	// IOTimeout arms a fresh read/write deadline before every I/O on
@@ -114,6 +126,13 @@ type Config struct {
 	ReconnectWindow time.Duration
 	// ReconnectBackoffMax caps the exponential re-dial backoff.
 	ReconnectBackoffMax time.Duration
+	// RetryBudget, if set, is a shared token-bucket retry budget for the
+	// reconnect loop: when a fleet-wide outage heals, each re-dial spends
+	// one token, and sessions that find the bucket empty stretch to the
+	// maximum backoff instead of joining the reconnect wave. Share one
+	// budget across every worker in a process to bound its aggregate
+	// retry rate. Nil means unlimited (every retry on schedule).
+	RetryBudget *backoff.Budget
 
 	// --- Observability (both sides) ---
 
@@ -142,6 +161,8 @@ func Defaults() Config {
 		StorageRetries:      2,
 		BreakerThreshold:    3,
 		HedgeFraction:       0.3,
+		MaxInflight:         256,
+		SendQueue:           32,
 		IOTimeout:           30 * time.Second,
 		Slots:               1,
 		BeatInterval:        200 * time.Millisecond,
@@ -179,6 +200,10 @@ func (c Config) Validate() error {
 		return errors.New("dist: Config.HedgeStall must be >= 0")
 	case c.HedgeAfter < 0:
 		return errors.New("dist: Config.HedgeAfter must be >= 0")
+	case c.MaxInflight < 0:
+		return errors.New("dist: Config.MaxInflight must be >= 0 (0 disables)")
+	case c.SendQueue < 0:
+		return errors.New("dist: Config.SendQueue must be >= 0 (0 disables)")
 	case c.IOTimeout < 0:
 		return errors.New("dist: Config.IOTimeout must be >= 0 (0 disables)")
 	case c.Slots < 1:
@@ -252,6 +277,8 @@ func NewCoordinator(ln net.Listener, system json.RawMessage, cfg Config) (*Coord
 		HedgeFraction:    cfg.HedgeFraction,
 		HedgeStall:       cfg.HedgeStall,
 		HedgeAfter:       cfg.HedgeAfter,
+		MaxInflight:      disabledOrInt(cfg.MaxInflight),
+		SendQueue:        disabledOrInt(cfg.SendQueue),
 		IOTimeout:        disabledOrDuration(cfg.IOTimeout),
 		Events:           cfg.Events,
 	}
@@ -286,6 +313,7 @@ func NewWorker(name, site, addr string, build BuildFunc, cfg Config) (*Worker, e
 		Reconnect:           cfg.Reconnect,
 		ReconnectWindow:     cfg.ReconnectWindow,
 		ReconnectBackoffMax: cfg.ReconnectBackoffMax,
+		RetryBudget:         cfg.RetryBudget,
 		Dial:                cfg.Dial,
 		IOTimeout:           disabledOrDuration(cfg.IOTimeout),
 		Events:              cfg.Events,

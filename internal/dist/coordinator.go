@@ -6,11 +6,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"spice/internal/backoff"
 	"spice/internal/campaign"
 	"spice/internal/faultfs"
 	"spice/internal/netutil"
@@ -114,6 +115,21 @@ type Coordinator struct {
 	// instead of wedging its reader. 0 defaults to 30s; negative
 	// disables the deadlines.
 	IOTimeout time.Duration
+	// MaxInflight caps how many worker requests may be in processing at
+	// once across all connections. Excess msgNext polls are shed with an
+	// immediate jittered msgWait that never touches the scheduler lock;
+	// results, fails and heartbeats are never shed (they shrink the
+	// backlog). Heartbeat coalescing arms once load passes half the cap.
+	// 0 defaults to 256; negative disables shedding and coalescing.
+	MaxInflight int
+	// SendQueue bounds each connection's outgoing-response queue, drained
+	// by a per-connection writer goroutine. A peer that lets the queue
+	// fill — a slow consumer pipelining requests without reading replies
+	// — is evicted: the connection is closed but its leases survive, so
+	// the worker's reconnect re-attaches mid-flight pulls instead of
+	// redoing them. 0 defaults to 32; negative disables the queue
+	// (synchronous writes, no eviction).
+	SendQueue int
 	// Events, if set, receives the structured scheduling event stream:
 	// every lease grant/expiry/adoption, breaker transition, speculation
 	// settlement and journal replay, carrying the same (job, attempt)
@@ -148,7 +164,6 @@ type Coordinator struct {
 	campSeq     int
 	closed      bool
 	started     bool
-	liveConns   int
 	stats       Stats
 	jobStats    map[string]*JobStats
 	bytes       counter
@@ -156,6 +171,16 @@ type Coordinator struct {
 	serveDone   chan error
 	closeOnce   sync.Once
 	closeErr    error
+
+	// Overload-protection state, kept in atomics so the shed path and
+	// the wait-hint scaling never contend on mu — that contention is the
+	// very overload they exist to relieve.
+	conns     atomic.Int64 // live worker connections
+	inflight  atomic.Int64 // requests decoded and not yet answered
+	shed      atomic.Int64 // msgNext polls answered without the scheduler
+	evictions atomic.Int64 // slow-consumer connections killed
+	coalesced atomic.Int64 // heartbeats answered from connection-local state
+	queuePeak atomic.Int64 // high-water mark of any send queue
 }
 
 // campaignRun is the job table of one active campaign.
@@ -239,6 +264,13 @@ func (j *job) leaseOf(cs *connState) *lease {
 type connState struct {
 	name string
 	site string
+	// evicted marks a slow-consumer eviction: the connection dies but
+	// its leases survive for the worker's reconnect to re-attach.
+	evicted atomic.Bool
+	// waits counts msgWait replies sent to this connection — the jitter
+	// key that de-synchronizes an idle fleet. Only the connection's own
+	// reader goroutine touches it.
+	waits int
 }
 
 func (co *Coordinator) leaseTTL() time.Duration {
@@ -331,6 +363,36 @@ func (co *Coordinator) storageRetries() int {
 	}
 }
 
+func (co *Coordinator) maxInflight() int {
+	switch {
+	case co.MaxInflight > 0:
+		return co.MaxInflight
+	case co.MaxInflight < 0:
+		return 0 // disabled: never shed, never coalesce
+	default:
+		return 256
+	}
+}
+
+func (co *Coordinator) sendQueueLen() int {
+	switch {
+	case co.SendQueue > 0:
+		return co.SendQueue
+	case co.SendQueue < 0:
+		return 0 // disabled: synchronous writes, no eviction
+	default:
+		return 32
+	}
+}
+
+// coalesceWindow is how stale a connection-local heartbeat answer may
+// be under load. Kept well under the lease TTL so coalescing can never
+// age a lease into expiry, and under the TTL/4 janitor period so a
+// coalesced lease still refreshes between janitor scans.
+func (co *Coordinator) coalesceWindow() time.Duration {
+	return co.leaseTTL() / 8
+}
+
 // backoff returns the delay before the next lease of jobID after
 // `attempts` grants. The exponential base delay carries deterministic
 // jitter in [d/2, d) keyed by (job, attempt): a mass revocation event
@@ -339,21 +401,47 @@ func (co *Coordinator) storageRetries() int {
 // same schedule replays identically across runs — no shared RNG state,
 // no scheduling nondeterminism.
 func (co *Coordinator) backoff(jobID string, attempts int) time.Duration {
-	d := co.retryBase()
-	for i := 1; i < attempts; i++ {
-		d *= 2
-		if d >= co.retryMax() {
-			d = co.retryMax()
-			break
+	return backoff.Policy{Base: co.retryBase(), Max: co.retryMax()}.Keyed(jobID, attempts)
+}
+
+// idlePollBudget is the aggregate msgNext polls/sec an idle fleet is
+// allowed to cost the coordinator: the wait hint scales with the number
+// of connected workers so 500 idle workers back off to multi-second
+// polls instead of each polling every LeaseTTL/2 in lockstep.
+const idlePollBudget = 200
+
+// waitHint builds a msgWait reply around a base delay: the delay is
+// floored by the fleet-size poll budget when the fleet is purely idle
+// (scale true), capped at the lease TTL, and carries deterministic
+// per-(worker, poll) jitter in [0.5, 1) so a fleet that went idle at
+// the same instant de-synchronizes within one wait cycle. Lock-free —
+// both the scheduler path and the shed path use it.
+func (co *Coordinator) waitHint(cs *connState, base time.Duration, scale bool) response {
+	delay := base
+	if scale {
+		if min := time.Duration(co.conns.Load()) * time.Second / idlePollBudget; min > delay {
+			delay = min
 		}
 	}
-	if d > co.retryMax() {
-		d = co.retryMax()
+	if ttl := co.leaseTTL(); delay > ttl {
+		delay = ttl
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s#%d", jobID, attempts)
-	frac := 0.5 + 0.5*float64(h.Sum64()&0xfff)/4096
-	return time.Duration(float64(d) * frac)
+	cs.waits++
+	delay = time.Duration(float64(delay) * backoff.Frac(fmt.Sprintf("%s#%d", cs.name, cs.waits)))
+	ms := int(delay / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return response{Type: msgWait, DelayMs: ms}
+}
+
+// shedNext answers a msgNext without ever touching the scheduler lock:
+// the coordinator is over its in-flight request cap and this poll is
+// load it can refuse. The hint scales with fleet size so the herd that
+// caused the overload spreads out instead of retrying in lockstep.
+func (co *Coordinator) shedNext(cs *connState) response {
+	co.shed.Add(1)
+	return co.waitHint(cs, co.leaseTTL()/4, true)
 }
 
 // startLocked spins up the accept loop and the lease janitor. Caller
@@ -686,10 +774,7 @@ func (co *Coordinator) doClose() error {
 	// on their own before the listener shutdown cuts them off.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		co.mu.Lock()
-		n := co.liveConns
-		co.mu.Unlock()
-		if n == 0 {
+		if co.conns.Load() == 0 {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -947,9 +1032,7 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(cc))
 	enc := json.NewEncoder(cc)
 	cs := &connState{}
-	co.mu.Lock()
-	co.liveConns++
-	co.mu.Unlock()
+	co.conns.Add(1)
 	defer co.dropConn(cs)
 
 	var hello request
@@ -967,16 +1050,97 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 	if err := enc.Encode(&response{Type: msgOK, System: co.System}); err != nil {
 		return
 	}
+
+	// Responses flow through a bounded per-connection send queue drained
+	// by a writer goroutine, so a peer that stops reading can never wedge
+	// this reader or hold response memory unboundedly: when the queue
+	// fills, the slow consumer is evicted. Eviction kills the connection
+	// but keeps its leases (dropConn skips the revocation) so the
+	// worker's reconnect re-attaches mid-flight pulls instead of
+	// redoing them from the last checkpoint.
+	var (
+		sendQ      chan response
+		writerDone chan struct{}
+	)
+	if q := co.sendQueueLen(); q > 0 {
+		sendQ = make(chan response, q)
+		writerDone = make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for resp := range sendQ {
+				if enc.Encode(&resp) != nil {
+					// Dead transport: keep draining so the reader, which may
+					// be about to close the channel, never blocks on it.
+					for range sendQ {
+					}
+					return
+				}
+			}
+		}()
+		defer func() { close(sendQ); <-writerDone }()
+	}
+	send := func(resp response) bool {
+		if sendQ == nil {
+			return enc.Encode(&resp) == nil
+		}
+		select {
+		case sendQ <- resp:
+			if d := int64(len(sendQ)); d > co.queuePeak.Load() {
+				co.queuePeak.Store(d)
+			}
+			return true
+		default:
+			cs.evicted.Store(true)
+			co.evictions.Add(1)
+			co.Events.Emit(obs.Event{Name: "slow_consumer_evicted", Site: cs.site, Worker: cs.name,
+				Fields: map[string]any{"queued": len(sendQ)}})
+			_ = conn.Close()
+			return false
+		}
+	}
+
+	// Heartbeat-coalescing state, local to this reader goroutine: the
+	// last plain beat per job that the normal path answered with a clean
+	// msgOK. Under load, a twin of such a beat inside the coalesce
+	// window is answered from here without taking the scheduler lock.
+	type beatMark struct {
+		attempt int
+		at      time.Time
+	}
+	marks := make(map[string]beatMark)
+	window := co.coalesceWindow()
+
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		var resp response
+		n := co.inflight.Add(1)
+		limit := int64(co.maxInflight())
 		switch req.Type {
 		case msgNext:
-			resp = co.assign(cs)
-		case msgBeat, msgProgress:
+			if limit > 0 && n > limit {
+				// Over the in-flight cap: shed the poll. Results, fails and
+				// heartbeats are never shed — they shrink the backlog.
+				resp = co.shedNext(cs)
+			} else {
+				resp = co.assign(cs)
+			}
+		case msgBeat:
+			if m, ok := marks[req.JobID]; ok && window > 0 && limit > 0 && 2*n >= limit &&
+				m.attempt == req.Attempt && time.Since(m.at) < window {
+				co.coalesced.Add(1)
+				resp = response{Type: msgOK}
+			} else {
+				resp = co.heartbeat(cs, &req)
+				if resp.Type == msgOK && resp.Err == "" {
+					marks[req.JobID] = beatMark{attempt: req.Attempt, at: time.Now()}
+				} else {
+					delete(marks, req.JobID)
+				}
+			}
+		case msgProgress:
 			resp = co.heartbeat(cs, &req)
 		case msgResult:
 			resp = co.finish(cs, &req)
@@ -985,7 +1149,8 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		default:
 			resp = response{Type: msgOK, Err: fmt.Sprintf("dist: unknown message %q", req.Type)}
 		}
-		if err := enc.Encode(&resp); err != nil {
+		co.inflight.Add(-1)
+		if !send(resp) {
 			return
 		}
 		if resp.Type == msgDrained {
@@ -995,11 +1160,18 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 }
 
 // dropConn revokes every lease held by a dying connection so its jobs
-// requeue immediately instead of waiting out the TTL.
+// requeue immediately instead of waiting out the TTL. A slow-consumer
+// eviction is the exception: the lease survives the conn, because the
+// worker behind it is presumed alive and mid-pull — its reconnect
+// re-attaches the lease (heartbeat), and the janitor TTL-expires it if
+// the worker really died.
 func (co *Coordinator) dropConn(cs *connState) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
-	co.liveConns--
+	co.conns.Add(-1)
+	if cs.evicted.Load() {
+		return
+	}
 	now := time.Now()
 	for _, camp := range co.camps {
 		for _, j := range camp.jobs {
@@ -1104,8 +1276,10 @@ func (co *Coordinator) assign(cs *connState) response {
 	if !co.siteLocked(cs.site).admissible(now, co.breakerCooldown()) {
 		// Quarantined site (or a probe already in flight): no work until
 		// the breaker relents. The paper's §V.C.4 outage as a scheduling
-		// decision rather than an operator post-mortem.
-		return response{Type: msgWait, DelayMs: int(co.leaseTTL() / 2 / time.Millisecond)}
+		// decision rather than an operator post-mortem. The adaptive hint
+		// spreads a whole quarantined site's workers apart instead of
+		// having them re-poll in the lockstep the fixed TTL/2 hint caused.
+		return co.waitHint(cs, co.leaseTTL()/2, true)
 	}
 	offered := co.offerOrderLocked(now)
 	var soonest time.Duration
@@ -1144,24 +1318,27 @@ func (co *Coordinator) assign(cs *connState) response {
 			}
 		}
 	}
-	// Nothing runnable: leased jobs in flight, or pending ones backing off.
+	// Nothing runnable: leased jobs in flight, or pending ones backing
+	// off. A pending job's backoff expiry keeps the hint short so the
+	// job is picked up promptly; a purely idle fleet (nothing pending at
+	// all) scales its poll interval with its own size.
 	delay := soonest
+	scale := false
 	if delay <= 0 || delay > co.leaseTTL() {
 		delay = co.leaseTTL() / 2
+		scale = soonest == 0
 	}
 	if co.hedgingEnabled() {
 		// Idle workers are the hedge pool: they must poll fast enough to
 		// pick up a straggler flag soon after the janitor raises it, not
-		// half a lease TTL later when the crawling job may have limped home.
+		// half a lease TTL later when the crawling job may have limped
+		// home — so fleet scaling never applies to a hedging fleet.
+		scale = false
 		if lim := co.hedgeAfter() / 2; lim > 0 && delay > lim {
 			delay = lim
 		}
 	}
-	ms := int(delay / time.Millisecond)
-	if ms < 1 {
-		ms = 1
-	}
-	return response{Type: msgWait, DelayMs: ms}
+	return co.waitHint(cs, delay, scale)
 }
 
 // ckptSteps extracts the engine step counter from an opaque checkpoint
@@ -1228,8 +1405,27 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 			Attempt: j.attempts, Resumed: len(j.ckpt) > 0,
 		}, false)
 	default:
-		// Leased to someone else: the beating worker lost the job.
-		return response{Type: msgAbandon}
+		// Leased to someone else — unless "someone else" is this worker's
+		// own evicted previous connection. A slow-consumer eviction kills
+		// the conn but keeps the lease precisely so this beat can
+		// re-attach it: same worker, same attempt, new pipe, no requeue.
+		for _, prev := range j.leases {
+			if prev.worker == cs.name && prev.owner != cs && prev.owner.evicted.Load() &&
+				(req.Attempt == 0 || req.Attempt == prev.attempt) {
+				prev.owner = cs
+				prev.site = cs.site
+				l = prev
+				co.stats.Adoptions++
+				co.jobStats[j.id].Adoptions++
+				co.Events.Emit(obs.Event{Name: "lease_reattached", Job: j.id,
+					Attempt: prev.attempt, Site: cs.site, Worker: cs.name})
+				break
+			}
+		}
+		if l == nil {
+			// The beating worker genuinely lost the job.
+			return response{Type: msgAbandon}
+		}
 	}
 	l.lastBeat = now
 	if req.Type == msgProgress && len(req.Ckpt) > 0 {
@@ -1446,6 +1642,12 @@ func (co *Coordinator) statsLocked() Stats {
 	}
 	s.StorageDegraded = co.degraded
 	s.LastStorageErr = co.lastStorageErr
+	s.RequestsShed = int(co.shed.Load())
+	s.SlowConsumerEvictions = int(co.evictions.Load())
+	s.HeartbeatsCoalesced = int(co.coalesced.Load())
+	s.InflightRequests = int(co.inflight.Load())
+	s.ConnectedWorkers = int(co.conns.Load())
+	s.SendQueuePeak = int(co.queuePeak.Load())
 	return s
 }
 

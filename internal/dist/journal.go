@@ -47,6 +47,7 @@ import (
 	"sort"
 	"time"
 
+	"spice/internal/backoff"
 	"spice/internal/faultfs"
 	"spice/internal/trace"
 )
@@ -325,6 +326,13 @@ func openJournal(fsys faultfs.FS, dir string) (*journal, *journalReplay, error) 
 // surfaced — and even then the log is left at a clean boundary, so
 // later appends stay replayable. Callers serialize through the
 // coordinator's mutex.
+// journalRepairBackoff paces append retries after a repair: 2ms
+// doubling to a 50ms cap — the same shared policy the worker reconnect
+// loop and the control-plane client use, minus the jitter (appends are
+// serialized under the coordinator mutex, so there is no herd to
+// spread).
+var journalRepairBackoff = backoff.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
+
 func (j *journal) append(r *jrec, sync bool) error {
 	r.Seq = j.nextSeq + 1
 	payload, err := json.Marshal(r)
@@ -347,11 +355,7 @@ func (j *journal) append(r *jrec, sync bool) error {
 		// Capped backoff. Short on purpose: this runs under the
 		// coordinator's mutex, and a transient fault (one full stripe,
 		// one interrupted syscall) clears quickly or not at all.
-		d := time.Duration(1<<uint(attempt)) * 2 * time.Millisecond
-		if d > 50*time.Millisecond {
-			d = 50 * time.Millisecond
-		}
-		time.Sleep(d)
+		time.Sleep(journalRepairBackoff.Exp(attempt + 1))
 	}
 }
 

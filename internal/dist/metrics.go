@@ -57,6 +57,12 @@ func RegisterMetrics(reg *obs.Registry, src StatsSource) {
 		e.Counter("spice_dist_breaker_trips_total", "Site breakers opened (quarantine events).", float64(s.BreakerTrips))
 		e.Counter("spice_dist_breaker_probes_total", "Half-open probe jobs dispatched.", float64(s.BreakerProbes))
 		e.Counter("spice_dist_breaker_closes_total", "Breakers closed again by a successful result.", float64(s.BreakerCloses))
+		e.Counter("spice_overload_requests_shed_total", "Work polls answered with a shed wait over the in-flight cap.", float64(s.RequestsShed))
+		e.Counter("spice_overload_slow_consumer_evictions_total", "Connections killed for a full send queue (leases survived).", float64(s.SlowConsumerEvictions))
+		e.Counter("spice_overload_heartbeats_coalesced_total", "Heartbeats answered from connection-local state under load.", float64(s.HeartbeatsCoalesced))
+		e.Gauge("spice_overload_inflight", "Requests decoded and not yet answered.", float64(s.InflightRequests))
+		e.Gauge("spice_overload_connected_workers", "Live worker connections.", float64(s.ConnectedWorkers))
+		e.Gauge("spice_overload_send_queue_peak", "High-water mark of any connection's send queue.", float64(s.SendQueuePeak))
 
 		names := make([]string, 0, len(snap.Sites))
 		for name := range snap.Sites {
@@ -93,6 +99,7 @@ type WorkerStats struct {
 	CheckpointBytes int64
 	Steps           int64 // MD steps advanced across all jobs (checkpoint deltas)
 	Reconnects      int64 // successful re-dials after a transport failure
+	BudgetStretches int64 // re-dials stretched to max backoff by an empty retry budget
 }
 
 // RegisterMetrics registers a scrape-time collector on reg rendering
@@ -113,6 +120,7 @@ func (w *Worker) RegisterMetrics(reg *obs.Registry) {
 		e.Counter("spice_worker_checkpoint_bytes_total", "Serialized checkpoint payload bytes.", float64(st.CheckpointBytes), wl)
 		e.Counter("spice_worker_steps_total", "MD steps advanced across all jobs.", float64(st.Steps), wl)
 		e.Counter("spice_worker_reconnects_total", "Successful re-dials after a transport failure.", float64(st.Reconnects), wl)
+		e.Counter("spice_worker_budget_stretches_total", "Re-dials stretched to max backoff by an empty retry budget.", float64(st.BudgetStretches), wl)
 		e.Gauge("spice_worker_slots", "Configured concurrent job slots.", float64(maxInt(w.Slots, 1)), wl)
 	})
 }

@@ -1,0 +1,372 @@
+package dist
+
+// Unit tests for the coordinator's overload-protection layer: bounded
+// send queues with slow-consumer eviction (and the lease-reattach
+// recovery path), the global in-flight request cap with msgNext
+// shedding, heartbeat coalescing under load, and the adaptive wait
+// hints that scale an idle fleet's poll interval with its own size.
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/trace"
+)
+
+func singleJobSpec() campaign.Spec {
+	return campaign.Spec{
+		Kappas:     []float64{100},
+		Velocities: []float64{800},
+		Replicas:   1,
+		Distance:   3,
+		Seed:       21,
+	}
+}
+
+// blockWrites is a WrapConn shim that parks coordinator→worker writes
+// while blocked is set, releasing them when release is closed — the
+// deterministic stand-in for a worker whose receive path stopped
+// draining (full socket buffers, wedged process) while its send path
+// still delivers requests.
+type blockWrites struct {
+	net.Conn
+	blocked *atomic.Bool
+	release chan struct{}
+}
+
+func (b *blockWrites) Write(p []byte) (int, error) {
+	if b.blocked.Load() {
+		<-b.release
+	}
+	return b.Conn.Write(p)
+}
+
+// TestSlowConsumerEvictionAndLeaseReattach pins the eviction contract
+// end to end: a connection that stops draining responses is evicted
+// once its bounded send queue fills, its lease survives, the worker's
+// next connection re-attaches the lease with a heartbeat (an adoption,
+// not a retry), and the campaign completes bit-identically — the
+// eviction is invisible in the science.
+func TestSlowConsumerEvictionAndLeaseReattach(t *testing.T) {
+	spec := singleJobSpec()
+	want := localBaseline(t, spec)
+
+	var blocked atomic.Bool
+	release := make(chan struct{})
+	co := newCoordinator(t)
+	co.SendQueue = 1
+	co.WrapConn = func(c net.Conn) net.Conn {
+		return &blockWrites{Conn: c, blocked: &blocked, release: release}
+	}
+
+	done := make(chan struct{})
+	var logs map[campaign.Combo][]*trace.WorkLog
+	var runErr error
+	go func() {
+		defer close(done)
+		logs, runErr = co.Run(spec)
+	}()
+
+	addr := co.Listener.Addr().String()
+	c1 := dialTestClient(t, addr, "storm-w")
+	var assign *response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := c1.rt(&request{Type: msgNext})
+		if resp.Type == msgAssign {
+			assign = resp
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never assigned the job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	jobID, attempt := assign.Job.ID, assign.Job.Attempt
+
+	// Stop draining responses and pipeline three beats: the first's
+	// reply parks the writer, the second fills the queue of one, the
+	// third finds it full — eviction, not blocking.
+	blocked.Store(true)
+	for i := 0; i < 3; i++ {
+		if err := c1.enc.Encode(&request{Type: msgBeat, JobID: jobID, Attempt: attempt}); err != nil {
+			t.Fatalf("beat %d: %v", i, err)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for co.Stats().SlowConsumerEvictions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow consumer never evicted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	blocked.Store(false)
+	close(release) // let the parked writer run into the closed conn and exit
+
+	st := co.Stats()
+	if st.SlowConsumerEvictions != 1 {
+		t.Fatalf("SlowConsumerEvictions = %d, want 1", st.SlowConsumerEvictions)
+	}
+	if st.Disconnects != 0 {
+		t.Fatalf("eviction revoked the lease: Disconnects = %d, want 0", st.Disconnects)
+	}
+
+	// The same worker reconnects and beats: the surviving lease must
+	// re-attach (no abandon, no requeue), and the pull finishes on the
+	// new pipe.
+	c2 := dialTestClient(t, addr, "storm-w")
+	if resp := c2.rt(&request{Type: msgBeat, JobID: jobID, Attempt: attempt}); resp.Type != msgOK || resp.Err != "" {
+		t.Fatalf("reattach beat answered %q (err %q), want clean ok", resp.Type, resp.Err)
+	}
+	if got := co.Stats().Adoptions; got < 1 {
+		t.Fatalf("Adoptions = %d after reattach, want >= 1", got)
+	}
+	log := pullLog(t, assign)
+	if resp := c2.rt(&request{Type: msgResult, JobID: jobID, Attempt: attempt, Log: log}); resp.Type != msgOK || resp.Err != "" {
+		t.Fatalf("result answered %q (err %q)", resp.Type, resp.Err)
+	}
+
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	requireBitIdentical(t, want, logs)
+	if retries := co.Stats().Retries; retries != 0 {
+		t.Fatalf("eviction caused %d retries, want 0 (lease survived)", retries)
+	}
+}
+
+// TestInflightShedOverLimit pins the in-flight cap AND the property
+// that makes it an overload valve: shedding never touches the
+// scheduler lock. The test holds co.mu so two polls park inside
+// assign, then proves a third poll is answered (shed, jittered hint)
+// while the lock is still held.
+func TestInflightShedOverLimit(t *testing.T) {
+	co := newCoordinator(t)
+	co.MaxInflight = 2
+	co.mu.Lock()
+	co.startLocked()
+	co.mu.Unlock()
+	addr := co.Listener.Addr().String()
+
+	a := dialTestClient(t, addr, "pa")
+	b := dialTestClient(t, addr, "pb")
+	c := dialTestClient(t, addr, "pc")
+
+	// Stall the scheduler: the first two polls enter assign and block
+	// on the mutex, pinning the in-flight gauge at the cap.
+	co.mu.Lock()
+	if err := a.enc.Encode(&request{Type: msgNext}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.enc.Encode(&request{Type: msgNext}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for co.inflight.Load() < 2 {
+		if time.Now().After(deadline) {
+			co.mu.Unlock()
+			t.Fatalf("in-flight gauge stuck at %d", co.inflight.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third poll is over the cap: it must come back shed — while
+	// the scheduler lock is still held, which is only possible if the
+	// shed path never takes it.
+	shed := c.rt(&request{Type: msgNext})
+	if shed.Type != msgWait || shed.DelayMs < 1 {
+		t.Fatalf("over-cap poll answered %+v, want jittered wait", shed)
+	}
+	if got := co.shed.Load(); got != 1 {
+		co.mu.Unlock()
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	co.mu.Unlock()
+
+	// The parked polls drain normally once the scheduler frees up.
+	for _, cl := range []*testClient{a, b} {
+		var resp response
+		if err := cl.dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != msgWait || resp.DelayMs < 1 {
+			t.Fatalf("parked poll answered %+v, want wait", resp)
+		}
+	}
+	if st := co.Stats(); st.RequestsShed != 1 || st.InflightRequests != 0 {
+		t.Fatalf("final stats: shed %d inflight %d, want 1 and 0", st.RequestsShed, st.InflightRequests)
+	}
+}
+
+// TestHeartbeatCoalescingUnderLoad pins the coalescing fast path: with
+// the coordinator at half its in-flight cap, a repeat heartbeat inside
+// the coalesce window is answered from connection-local state, and the
+// campaign still completes bit-identically.
+func TestHeartbeatCoalescingUnderLoad(t *testing.T) {
+	spec := singleJobSpec()
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	co.MaxInflight = 2 // one in-flight request counts as "half loaded"
+
+	done := make(chan struct{})
+	var logs map[campaign.Combo][]*trace.WorkLog
+	var runErr error
+	go func() {
+		defer close(done)
+		logs, runErr = co.Run(spec)
+	}()
+
+	c := dialTestClient(t, co.Listener.Addr().String(), "beater")
+	var assign *response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := c.rt(&request{Type: msgNext})
+		if resp.Type == msgAssign {
+			assign = resp
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never assigned the job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	jobID, attempt := assign.Job.ID, assign.Job.Attempt
+
+	// First beat goes through the scheduler and records the mark; the
+	// immediate twin must be coalesced.
+	if resp := c.rt(&request{Type: msgBeat, JobID: jobID, Attempt: attempt}); resp.Type != msgOK {
+		t.Fatalf("first beat answered %q", resp.Type)
+	}
+	if resp := c.rt(&request{Type: msgBeat, JobID: jobID, Attempt: attempt}); resp.Type != msgOK {
+		t.Fatalf("second beat answered %q", resp.Type)
+	}
+	if got := co.Stats().HeartbeatsCoalesced; got < 1 {
+		t.Fatalf("HeartbeatsCoalesced = %d, want >= 1", got)
+	}
+
+	log := pullLog(t, assign)
+	if resp := c.rt(&request{Type: msgResult, JobID: jobID, Attempt: attempt, Log: log}); resp.Type != msgOK || resp.Err != "" {
+		t.Fatalf("result answered %q (err %q)", resp.Type, resp.Err)
+	}
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	requireBitIdentical(t, want, logs)
+}
+
+// TestAdaptiveWaitHintScalesWithFleet pins the idle-poll budget: a
+// lone idle worker waits about half a lease TTL, a 60-strong idle
+// fleet is told to back off further (up to the TTL cap), and
+// successive hints to one connection are jittered apart.
+func TestAdaptiveWaitHintScalesWithFleet(t *testing.T) {
+	co := newCoordinator(t)
+	co.LeaseTTL = 200 * time.Millisecond
+	co.mu.Lock()
+	co.startLocked()
+	co.mu.Unlock()
+	addr := co.Listener.Addr().String()
+
+	probe := dialTestClient(t, addr, "probe")
+	solo := probe.rt(&request{Type: msgNext})
+	if solo.Type != msgWait || solo.DelayMs < 1 {
+		t.Fatalf("solo idle poll answered %+v", solo)
+	}
+	// Base leaseTTL/2 = 100ms, jitter [0.5, 1): strictly under 100ms.
+	if solo.DelayMs >= 100 {
+		t.Fatalf("solo DelayMs = %d, want < 100 (no fleet to scale for)", solo.DelayMs)
+	}
+
+	for i := 0; i < 60; i++ {
+		dialTestClient(t, addr, "idle")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for co.conns.Load() < 61 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d conns registered", co.conns.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// 61 conns × 1s / 200 polls/s = 305ms, capped at the 200ms TTL,
+	// jittered down to no less than half: at least 100ms — strictly
+	// above anything the solo fleet was told.
+	fleet := probe.rt(&request{Type: msgNext})
+	if fleet.Type != msgWait {
+		t.Fatalf("fleet idle poll answered %q", fleet.Type)
+	}
+	if fleet.DelayMs < 100 {
+		t.Fatalf("fleet DelayMs = %d, want >= 100 (scaled above the solo hint)", fleet.DelayMs)
+	}
+	if fleet.DelayMs <= solo.DelayMs {
+		t.Fatalf("fleet hint %dms not above solo hint %dms", fleet.DelayMs, solo.DelayMs)
+	}
+
+	// Jitter: successive hints to the same connection must not repeat
+	// into lockstep.
+	seen := map[int]bool{fleet.DelayMs: true}
+	for i := 0; i < 4; i++ {
+		seen[probe.rt(&request{Type: msgNext}).DelayMs] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("5 successive wait hints identical: %v", seen)
+	}
+}
+
+// TestCoordinatorCloseMidCheckpointStream is the shutdown regression:
+// Close while a worker is mid-checkpoint-stream must drain cleanly —
+// no panic, no wedged writer goroutines — and the process goroutine
+// count returns to its baseline once the workers give up.
+func TestCoordinatorCloseMidCheckpointStream(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	co := newCoordinator(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, func(i int, w *Worker) {
+		w.CheckpointEvery = 1
+		w.Throttle = 20 * time.Millisecond
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.Run(testSpec())
+		done <- err
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for co.Stats().Checkpoints < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint ever streamed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatalf("Close mid-checkpoint: %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("Run returned nil after Close cut the campaign short")
+	}
+	cancel() // release the workers
+
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after Close: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -34,6 +34,10 @@ func Summary(w io.Writer, s dist.Stats, prefix string) {
 			prefix, s.StragglersDetected, s.SpeculationsLaunched, s.SpeculationsWon, s.SpeculationsWasted,
 			s.BreakerTrips, s.BreakerProbes, s.BreakerCloses)
 	}
+	if s.RequestsShed > 0 || s.SlowConsumerEvictions > 0 || s.HeartbeatsCoalesced > 0 {
+		fmt.Fprintf(w, "%soverload: %d poll(s) shed, %d slow consumer(s) evicted, %d heartbeat(s) coalesced, send-queue peak %d\n",
+			prefix, s.RequestsShed, s.SlowConsumerEvictions, s.HeartbeatsCoalesced, s.SendQueuePeak)
+	}
 }
 
 // Sites writes the per-site health table, one row per federation site,

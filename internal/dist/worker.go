@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spice/internal/backoff"
 	"spice/internal/campaign"
 	"spice/internal/md"
 	"spice/internal/netutil"
@@ -78,6 +79,12 @@ type Worker struct {
 	// ReconnectBackoffMax caps the exponential re-dial backoff
 	// (default 1s; the first retry waits half a BeatInterval).
 	ReconnectBackoffMax time.Duration
+	// RetryBudget, if set, bounds the aggregate reconnect rate of every
+	// session sharing it (fleet safety): each re-dial spends one token,
+	// and a session that finds the bucket empty stretches to
+	// ReconnectBackoffMax instead of joining the reconnect wave. Nil
+	// means unlimited.
+	RetryBudget *backoff.Budget
 	// Dial overrides the transport (tests wrap QoS shims here).
 	// Default: net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
@@ -116,6 +123,7 @@ type workerMetrics struct {
 	checkpointBytes atomic.Int64
 	steps           atomic.Int64
 	reconnects      atomic.Int64
+	budgetStretches atomic.Int64
 }
 
 // WorkerStats snapshots the worker's execution counters.
@@ -129,6 +137,7 @@ func (w *Worker) WorkerStats() WorkerStats {
 		CheckpointBytes: w.m.checkpointBytes.Load(),
 		Steps:           w.m.steps.Load(),
 		Reconnects:      w.m.reconnects.Load(),
+		BudgetStretches: w.m.budgetStretches.Load(),
 	}
 }
 
@@ -236,6 +245,7 @@ func (w *Worker) Run(ctx context.Context) error {
 type rtConn struct {
 	w    *Worker
 	name string
+	bo   *backoff.Decorrelated // re-dial delays: decorrelated jitter, per-session seed
 
 	conn     net.Conn
 	dec      *json.Decoder
@@ -245,6 +255,23 @@ type rtConn struct {
 	system       json.RawMessage // coordinator's payload from the last hello
 	failingSince time.Time       // first failure of the current outage; zero when healthy
 	connected    bool            // a hello has succeeded before (re-dials count as reconnects)
+}
+
+// sessionSeq salts each session's backoff seed so sessions sharing a
+// name (common in tests and clone fleets) still jitter independently.
+var sessionSeq atomic.Uint64
+
+func newRTConn(w *Worker, name string) *rtConn {
+	base := w.beatInterval() / 2
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	seed := backoff.Seed(name) + sessionSeq.Add(1)*0x9e3779b97f4a7c15
+	return &rtConn{
+		w:    w,
+		name: name,
+		bo:   backoff.Policy{Base: base, Max: w.reconnectBackoffMax()}.Decorrelated(seed),
+	}
 }
 
 // connect dials and performs the hello handshake, installing a watcher
@@ -280,6 +307,7 @@ func (c *rtConn) connect(ctx context.Context) error {
 	c.conn, c.dec, c.enc, c.connDone = conn, dec, enc, done
 	c.system = hello.System
 	c.failingSince = time.Time{}
+	c.bo.Reset()
 	if c.connected {
 		c.w.m.reconnects.Add(1)
 		c.w.Events.Emit(obs.Event{Name: "worker_reconnected", Worker: c.name, Site: c.w.site()})
@@ -298,9 +326,12 @@ func (c *rtConn) drop() {
 	c.conn = nil
 }
 
-// retry reports whether the transport should keep trying after err,
-// sleeping the (doubling) backoff if so.
-func (c *rtConn) retry(ctx context.Context, backoff *time.Duration) bool {
+// retry reports whether the transport should keep trying, sleeping the
+// shared decorrelated-jitter backoff if so. Each session jitters on its
+// own seed, so a fleet severed by one event re-dials spread out instead
+// of in lockstep; a session that finds the shared RetryBudget empty
+// stretches to the maximum backoff instead of joining the wave.
+func (c *rtConn) retry(ctx context.Context) bool {
 	if !c.w.Reconnect || ctx.Err() != nil {
 		return false
 	}
@@ -309,13 +340,15 @@ func (c *rtConn) retry(ctx context.Context, backoff *time.Duration) bool {
 	} else if time.Since(c.failingSince) > c.w.reconnectWindow() {
 		return false
 	}
+	d := c.bo.Next()
+	if !c.w.RetryBudget.Spend() {
+		d = c.bo.Max()
+		c.w.m.budgetStretches.Add(1)
+	}
 	select {
 	case <-ctx.Done():
 		return false
-	case <-time.After(*backoff):
-	}
-	if *backoff *= 2; *backoff > c.w.reconnectBackoffMax() {
-		*backoff = c.w.reconnectBackoffMax()
+	case <-time.After(d):
 	}
 	return true
 }
@@ -323,10 +356,6 @@ func (c *rtConn) retry(ctx context.Context, backoff *time.Duration) bool {
 // roundTrip sends one request and reads its reply, reconnecting and
 // retransmitting as allowed by the worker's Reconnect policy.
 func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error) {
-	backoff := c.w.beatInterval() / 2
-	if backoff <= 0 {
-		backoff = 10 * time.Millisecond
-	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -337,7 +366,7 @@ func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error)
 				if errors.As(err, &fe) {
 					return nil, fe.err
 				}
-				if !c.retry(ctx, &backoff) {
+				if !c.retry(ctx) {
 					return nil, err
 				}
 				continue
@@ -345,7 +374,7 @@ func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error)
 		}
 		if err := c.enc.Encode(req); err != nil {
 			c.drop()
-			if !c.retry(ctx, &backoff) {
+			if !c.retry(ctx) {
 				return nil, err
 			}
 			continue
@@ -356,7 +385,7 @@ func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error)
 			// after reconnecting retransmits it and the coordinator
 			// dedups by (job, attempt).
 			c.drop()
-			if !c.retry(ctx, &backoff) {
+			if !c.retry(ctx) {
 				return nil, err
 			}
 			continue
@@ -368,7 +397,7 @@ func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error)
 // runSession is one slot's lifetime: keep a transport alive, retransmit
 // anything unacknowledged, and work the queue until drained.
 func (w *Worker) runSession(ctx context.Context, name string) error {
-	c := &rtConn{w: w, name: name}
+	c := newRTConn(w, name)
 	defer c.drop()
 	// outbox holds result/fail lines the coordinator has not yet
 	// acknowledged. Any reply (ok, even ok-with-err) acknowledges the

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 )
@@ -249,5 +250,188 @@ func TestGateShapeClearsAndComposesWithBlackhole(t *testing.T) {
 	g.Blackhole(0)
 	if _, err := gc.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
 		t.Fatalf("write during partition err = %v, want ErrPartitioned", err)
+	}
+}
+
+// TestGateShapeConcurrentConnsPaceIndependently pins the pacer's
+// granularity: shaping models each connection as its own link, so a
+// fleet of conns through one gate pays the latency once each, in
+// parallel — not serialized behind a single shared pipe.
+func TestGateShapeConcurrentConnsPaceIndependently(t *testing.T) {
+	const conns = 8
+	const lat = 60 * time.Millisecond
+	g := NewGate()
+	g.SetShape(Shape{Latency: lat}, Shape{})
+
+	elapsed := make([]time.Duration, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		c, s := net.Pipe()
+		defer s.Close()
+		gc := g.Wrap(c)
+		defer gc.Close()
+		go func() {
+			buf := make([]byte, 4)
+			_, _ = io.ReadFull(s, buf)
+		}()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			if _, err := gc.Write([]byte("ping")); err != nil {
+				t.Error(err)
+			}
+			elapsed[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	for i, el := range elapsed {
+		if el < lat-5*time.Millisecond {
+			t.Fatalf("conn %d shaped write took %v, want >= %v", i, el, lat)
+		}
+	}
+	// Serialized across connections this would take conns*lat = 480 ms;
+	// independent pacers overlap the sleeps.
+	if wall > 3*lat {
+		t.Fatalf("%d concurrent shaped writes took %v total — pacing is serialized across conns", conns, wall)
+	}
+}
+
+// TestGateShapeBandwidthConcurrentConns drives the serialization-delay
+// model under fan-out: back-to-back transfers queue on their own conn
+// (second write waits for the first to clear), while other conns'
+// queues drain in parallel.
+func TestGateShapeBandwidthConcurrentConns(t *testing.T) {
+	const conns = 4
+	g := NewGate()
+	// 100 KB/s: each 4 KiB message occupies its link for 40 ms, so two
+	// back-to-back messages per conn queue to >= ~80 ms.
+	g.SetShape(Shape{KBps: 100}, Shape{})
+
+	elapsed := make([]time.Duration, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		c, s := net.Pipe()
+		defer s.Close()
+		gc := g.Wrap(c)
+		defer gc.Close()
+		go func() { _, _ = io.Copy(io.Discard, s) }()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := make([]byte, 4096)
+			t0 := time.Now()
+			for j := 0; j < 2; j++ {
+				if _, err := gc.Write(msg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			elapsed[i] = time.Since(t0)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	for i, el := range elapsed {
+		if el < 75*time.Millisecond {
+			t.Fatalf("conn %d: two 4 KiB writes took %v, want >= ~80ms per-conn queueing", i, el)
+		}
+	}
+	// Serialized across connections this would take >= conns*80 ms.
+	if wall >= conns*80*time.Millisecond {
+		t.Fatalf("%d conns' transfers took %v total — bandwidth queue is shared across conns", conns, wall)
+	}
+}
+
+// TestGateSetShapeLiveUnderConcurrentTraffic flips shaping while a
+// fleet of connections is mid-traffic: no data may be lost or
+// reordered, and once the shape is cleared new writes run at full
+// speed. (Under -race this also pins SetShape/shapes as properly
+// synchronized against concurrent I/O.)
+func TestGateSetShapeLiveUnderConcurrentTraffic(t *testing.T) {
+	const conns = 4
+	g := NewGate()
+
+	type pipe struct {
+		gc net.Conn
+		s  net.Conn
+	}
+	pipes := make([]pipe, conns)
+	for i := range pipes {
+		c, s := net.Pipe()
+		pipes[i] = pipe{gc: g.Wrap(c), s: s}
+		defer s.Close()
+		defer pipes[i].gc.Close()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	reshaperDone := make(chan struct{})
+	go func() { // reshaper: toggles latency while traffic flows
+		defer close(reshaperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g.SetShape(Shape{Latency: time.Millisecond}, Shape{Latency: time.Millisecond})
+			g.SetShape(Shape{}, Shape{})
+		}
+	}()
+	for i := range pipes {
+		p := pipes[i]
+		go func() { // echo server on the raw side
+			buf := make([]byte, 1)
+			for {
+				if _, err := io.ReadFull(p.s, buf); err != nil {
+					return
+				}
+				if _, err := p.s.Write(buf); err != nil {
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, 1)
+			for seq := 0; seq < 20; seq++ {
+				if _, err := p.gc.Write([]byte{byte(i<<4 | seq%16)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.ReadFull(p.gc, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(i<<4|seq%16) {
+					t.Errorf("conn %d echo %d: got %#x", i, seq, buf[0])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-reshaperDone
+
+	g.SetShape(Shape{}, Shape{})
+	p := pipes[0]
+	start := time.Now()
+	if _, err := p.gc.Write([]byte{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(p.gc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 40*time.Millisecond {
+		t.Fatalf("cleared shape still delaying after live reshaping: %v", el)
 	}
 }

@@ -94,8 +94,18 @@ func ServeHandler(addr string, h http.Handler) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		ln:   ln,
-		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
+		ln: ln,
+		// A stalled or malicious scraper must not pin a connection (and
+		// its goroutine) forever. WriteTimeout is generous because
+		// /debug/pprof/profile and /debug/pprof/trace stream for their
+		// requested duration — profiles longer than ~2 minutes are cut.
+		srv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		},
 		done: make(chan struct{}),
 	}
 	go func() {

@@ -50,6 +50,34 @@ echo "== dist slow-site speculation (-race) =="
 # event log's per-name counts to the same numbers.
 go test -race -timeout 180s -run 'TestChaosSlowSiteSpeculation' -count=1 -v ./internal/dist
 
+echo "== worker-storm overload chaos (-race) =="
+# Overload-robustness e2e: a 500-worker in-process fleet floods the
+# coordinator, a netsim blackhole severs every connection at once, and
+# the thundering-herd reconnect must land jittered (decorrelated
+# per-worker backoff), lose no accepted job, keep the merged PMF
+# bit-identical to a LocalRunner baseline, hold every send queue inside
+# its configured bound, and drain back to the goroutine baseline after
+# Close.
+go test -race -timeout 300s -run 'TestChaosWorkerStorm' -count=1 -v ./internal/dist
+
+echo "== overload shedding drills (-race) =="
+# Backpressure unit gates. Coordinator: a write-blocked slow consumer is
+# evicted on a full send queue while its lease survives for the
+# reconnect to adopt; the in-flight cap sheds polls on a lock-free path
+# (proved by answering while the coordinator mutex is held); heartbeats
+# coalesce under load; idle wait hints scale with fleet size and stay
+# jittered. Control plane: a tenant hammering past its token bucket
+# gets 429 + Retry-After while another tenant's admitted campaign
+# drains, queue-depth admission and the HTTP concurrency limiter shed
+# with Retry-After, and the client retries only refusals that carry the
+# header, spending its fleet retry budget.
+go test -race -count=1 \
+  -run 'TestSlowConsumerEvictionAndLeaseReattach|TestInflightShedOverLimit|TestHeartbeatCoalescingUnderLoad|TestAdaptiveWaitHintScalesWithFleet|TestCoordinatorCloseMidCheckpointStream' \
+  -v ./internal/dist
+go test -race -count=1 \
+  -run 'TestTenantRateLimit429Drill|TestMaxQueueDepthAdmission|TestHTTPConcurrencyShed|TestClientRetry|TestCancelRateLimited' \
+  -v ./internal/controlplane
+
 echo "== control plane multi-tenant chaos (-race) =="
 # Control-plane e2e: a real spiced -serve process takes two tenants'
 # campaigns over HTTP (one running, one queued behind -max-active),
