@@ -73,6 +73,13 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 256, "cap on worker requests processed at once; excess work polls are shed with an immediate jittered wait hint and heartbeats coalesce past half the cap (0 disables)")
 		sendQueue   = flag.Int("send-queue", 32, "per-connection outgoing-response queue bound; a worker that lets it fill (a slow consumer) is evicted with its leases kept alive for re-attach (0 = synchronous writes)")
 
+		// Wire-protocol knobs (scoped to -coordinator). Each connection
+		// settles on min(coordinator, worker), so old spiced daemons keep
+		// working against a v1 coordinator and vice versa.
+		wireVer    = flag.Int("wire", dist.Defaults().WireVersion, "maximum wire protocol version to grant workers: 0 = legacy JSON lines (netcat-debuggable), 1 = binary CRC-framed records with varint fields")
+		noDelta    = flag.Bool("no-delta", false, "disable incremental (delta) checkpoints on v1 connections; every progress message then carries a full checkpoint image")
+		noCompress = flag.Bool("no-compress", false, "disable block compression of bulk v1 payloads (checkpoints, resume images, work logs)")
+
 		// Observability.
 		obsAddr   = flag.String("obs-addr", "", "serve /metrics (Prometheus text), /healthz and /debug/pprof/ on this address (e.g. 127.0.0.1:9090)")
 		obsEvents = flag.String("obs-events", "", "append the structured JSON-lines scheduling event log to this file (- for stderr)")
@@ -169,6 +176,9 @@ func main() {
 	dcfg.IOTimeout = *ioTimeout
 	dcfg.MaxInflight = *maxInflight
 	dcfg.SendQueue = *sendQueue
+	dcfg.WireVersion = *wireVer
+	dcfg.Compression = !*noCompress
+	dcfg.DeltaCheckpoints = !*noDelta
 	dcfg.Metrics = reg
 	dcfg.Events = events
 
@@ -279,8 +289,15 @@ func startCoordinator(addr string, sys *core.SystemConfig, workers int, dcfg dis
 		return nil, nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	// In-process workers inherit the coordinator's wire knobs so the
+	// loopback fleet exercises the same transport an external spiced
+	// would negotiate.
+	wcfg := dist.Defaults()
+	wcfg.WireVersion = dcfg.WireVersion
+	wcfg.Compression = dcfg.Compression
+	wcfg.DeltaCheckpoints = dcfg.DeltaCheckpoints
 	for i := 0; i < workers; i++ {
-		w, err := dist.NewWorker(fmt.Sprintf("local-%d", i), "", ln.Addr().String(), core.BuildFromJSON, dist.Defaults())
+		w, err := dist.NewWorker(fmt.Sprintf("local-%d", i), "", ln.Addr().String(), core.BuildFromJSON, wcfg)
 		if err != nil {
 			cancel()
 			ln.Close()

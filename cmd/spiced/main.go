@@ -32,6 +32,16 @@ import (
 	"spice/internal/obs"
 )
 
+// Wire-protocol knobs, shared by worker mode and -serve: the flag caps
+// what this process offers (worker) or grants (-serve's embedded
+// coordinator); each connection settles on the lower of the two sides,
+// so mixed-version fleets always interoperate.
+var (
+	wireVer    = flag.Int("wire", dist.Defaults().WireVersion, "maximum wire protocol version to negotiate: 0 = legacy JSON lines (netcat-debuggable), 1 = binary CRC-framed records with varint fields")
+	noDelta    = flag.Bool("no-delta", false, "disable incremental (delta) checkpoints on v1 connections; every progress message then carries a full checkpoint image")
+	noCompress = flag.Bool("no-compress", false, "disable block compression of bulk v1 payloads (checkpoints, resume images, work logs)")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spiced: ")
@@ -116,6 +126,9 @@ func main() {
 	dcfg.ReconnectWindow = *window
 	dcfg.ReconnectBackoffMax = *backoffMax
 	dcfg.IOTimeout = *ioTimeout
+	dcfg.WireVersion = *wireVer
+	dcfg.Compression = !*noCompress
+	dcfg.DeltaCheckpoints = !*noDelta
 	dcfg.Metrics = reg
 	dcfg.Events = events
 	w, err := dist.NewWorker(*name, *site, *coordinator, core.BuildFromJSON, dcfg)

@@ -138,6 +138,9 @@ func runServe(reg *obs.Registry, events *obs.EventLog) error {
 	dcfg.StorageRetries = *storageRetries
 	dcfg.MaxInflight = *serveMaxInflight
 	dcfg.SendQueue = *serveSendQueue
+	dcfg.WireVersion = *wireVer
+	dcfg.Compression = !*noCompress
+	dcfg.DeltaCheckpoints = !*noDelta
 	dcfg.Metrics = reg
 	dcfg.Events = events
 	co, err := dist.NewCoordinator(ln, sysJSON, dcfg)
@@ -179,8 +182,14 @@ func runServe(reg *obs.Registry, events *obs.EventLog) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// In-process workers inherit the wire knobs so the loopback fleet
+	// exercises the same transport an external spiced would negotiate.
+	wcfg := dist.Defaults()
+	wcfg.WireVersion = dcfg.WireVersion
+	wcfg.Compression = dcfg.Compression
+	wcfg.DeltaCheckpoints = dcfg.DeltaCheckpoints
 	for i := 0; i < *serveWorkers; i++ {
-		w, err := dist.NewWorker(fmt.Sprintf("cp-local-%d", i), "", ln.Addr().String(), core.BuildFromJSON, dist.Defaults())
+		w, err := dist.NewWorker(fmt.Sprintf("cp-local-%d", i), "", ln.Addr().String(), core.BuildFromJSON, wcfg)
 		if err != nil {
 			return err
 		}

@@ -26,6 +26,7 @@ import (
 	"spice/internal/backoff"
 	"spice/internal/faultfs"
 	"spice/internal/obs"
+	"spice/internal/wire"
 )
 
 // Config carries every dist runtime knob. Semantics are uniform flag
@@ -96,6 +97,21 @@ type Config struct {
 
 	// --- Transport (both sides) ---
 
+	// WireVersion is the newest wire protocol version this side speaks:
+	// 0 pins the legacy JSON-lines transport, 1 enables binary framing.
+	// Each connection negotiates min(coordinator, worker) on hello, so a
+	// mixed-version fleet always interoperates; an unknown (future)
+	// version offered by a peer downgrades to 0 with a logged event.
+	WireVersion int
+	// Compression enables lz block compression on bulk payloads
+	// (checkpoints, resume images, system configs) on v1+ connections.
+	// Ignored on v0 — JSON lines have nowhere to carry the flags.
+	Compression bool
+	// DeltaCheckpoints makes workers send each progress checkpoint as a
+	// delta against the last acknowledged one on v1+ connections; the
+	// coordinator folds deltas back into complete images before
+	// spooling, so resume and journal replay never see a partial state.
+	DeltaCheckpoints bool
 	// IOTimeout arms a fresh read/write deadline before every I/O on
 	// every dist connection. 0 disables the deadlines.
 	IOTimeout time.Duration
@@ -163,6 +179,9 @@ func Defaults() Config {
 		HedgeFraction:       0.3,
 		MaxInflight:         256,
 		SendQueue:           32,
+		WireVersion:         wire.MaxVersion,
+		Compression:         true,
+		DeltaCheckpoints:    true,
 		IOTimeout:           30 * time.Second,
 		Slots:               1,
 		BeatInterval:        200 * time.Millisecond,
@@ -204,6 +223,8 @@ func (c Config) Validate() error {
 		return errors.New("dist: Config.MaxInflight must be >= 0 (0 disables)")
 	case c.SendQueue < 0:
 		return errors.New("dist: Config.SendQueue must be >= 0 (0 disables)")
+	case c.WireVersion < 0 || c.WireVersion > wire.MaxVersion:
+		return fmt.Errorf("dist: Config.WireVersion %d outside [0, %d]", c.WireVersion, wire.MaxVersion)
 	case c.IOTimeout < 0:
 		return errors.New("dist: Config.IOTimeout must be >= 0 (0 disables)")
 	case c.Slots < 1:
@@ -279,6 +300,9 @@ func NewCoordinator(ln net.Listener, system json.RawMessage, cfg Config) (*Coord
 		HedgeAfter:       cfg.HedgeAfter,
 		MaxInflight:      disabledOrInt(cfg.MaxInflight),
 		SendQueue:        disabledOrInt(cfg.SendQueue),
+		WireVersion:      cfg.WireVersion,
+		Compression:      cfg.Compression,
+		DeltaCheckpoints: cfg.DeltaCheckpoints,
 		IOTimeout:        disabledOrDuration(cfg.IOTimeout),
 		Events:           cfg.Events,
 	}
@@ -315,6 +339,9 @@ func NewWorker(name, site, addr string, build BuildFunc, cfg Config) (*Worker, e
 		ReconnectBackoffMax: cfg.ReconnectBackoffMax,
 		RetryBudget:         cfg.RetryBudget,
 		Dial:                cfg.Dial,
+		WireVersion:         cfg.WireVersion,
+		Compression:         cfg.Compression,
+		DeltaCheckpoints:    cfg.DeltaCheckpoints,
 		IOTimeout:           disabledOrDuration(cfg.IOTimeout),
 		Events:              cfg.Events,
 	}

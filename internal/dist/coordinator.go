@@ -17,6 +17,7 @@ import (
 	"spice/internal/netutil"
 	"spice/internal/obs"
 	"spice/internal/trace"
+	"spice/internal/wire"
 )
 
 // Coordinator shards campaigns across TCP workers. It implements
@@ -130,6 +131,21 @@ type Coordinator struct {
 	// redoing them. 0 defaults to 32; negative disables the queue
 	// (synchronous writes, no eviction).
 	SendQueue int
+	// WireVersion is the newest wire protocol version this coordinator
+	// grants on hello: each connection negotiates min(coordinator,
+	// worker's offer), so mixed fleets interoperate and a hello offering
+	// an unknown (future) version downgrades to 0 with a logged event.
+	// Direct struct construction keeps the legacy default of 0 (JSON
+	// lines only); Config.Defaults() enables the newest version.
+	WireVersion int
+	// Compression grants lz block compression on bulk payloads over v1+
+	// connections.
+	Compression bool
+	// DeltaCheckpoints grants delta-encoded progress checkpoints over
+	// v1+ connections. Deltas are folded back into complete images
+	// before any spool or farthest-wins decision, so journal replay and
+	// hedged re-execution always see full resume images.
+	DeltaCheckpoints bool
 	// Events, if set, receives the structured scheduling event stream:
 	// every lease grant/expiry/adoption, breaker transition, speculation
 	// settlement and journal replay, carrying the same (job, attempt)
@@ -181,6 +197,13 @@ type Coordinator struct {
 	evictions atomic.Int64 // slow-consumer connections killed
 	coalesced atomic.Int64 // heartbeats answered from connection-local state
 	queuePeak atomic.Int64 // high-water mark of any send queue
+
+	// Wire-protocol accounting, atomic because negotiation happens on
+	// the accept path before any lock and the bench polls them hot.
+	wireV0         atomic.Int64 // connections negotiated to JSON-lines
+	wireV1         atomic.Int64 // connections negotiated to binary framing
+	wireDowngrades atomic.Int64 // hellos offering an unknown (future) version
+	polls          atomic.Int64 // msgNext requests received
 }
 
 // campaignRun is the job table of one active campaign.
@@ -233,6 +256,13 @@ type lease struct {
 	stepsAt  time.Time // when steps last advanced (granted until then)
 	rate     float64   // EWMA steps/sec
 	haveRate bool
+
+	// base is the last complete checkpoint image resolved from this
+	// lease — the document its next delta is encoded against. Per-lease,
+	// never per-job: a hedged job has two leases streaming independent
+	// checkpoint lineages, and folding one worker's delta against the
+	// other's base would corrupt silently if the CRC check ever missed.
+	base []byte
 }
 
 // job is one schedulable pull and its scheduling history.
@@ -264,6 +294,11 @@ func (j *job) leaseOf(cs *connState) *lease {
 type connState struct {
 	name string
 	site string
+	// Negotiated transport state, written once at hello (before any
+	// other request is processed) and read by the grant/heartbeat paths.
+	wire  int
+	delta bool
+	comp  bool
 	// evicted marks a slow-consumer eviction: the connection dies but
 	// its leases survive for the worker's reconnect to re-attach.
 	evicted atomic.Bool
@@ -299,6 +334,17 @@ func (co *Coordinator) maxAttempts() int {
 		return co.MaxAttempts
 	}
 	return 8
+}
+
+// wireVersion clamps the granted-version ceiling into the known range.
+func (co *Coordinator) wireVersion() int {
+	if co.WireVersion <= 0 {
+		return wire.V0
+	}
+	if co.WireVersion > wire.MaxVersion {
+		return wire.MaxVersion
+	}
+	return co.WireVersion
 }
 
 func (co *Coordinator) breakerThreshold() int {
@@ -1029,15 +1075,28 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		conn = co.WrapConn(conn)
 	}
 	cc := &countConn{Conn: conn, c: &co.bytes}
-	dec := json.NewDecoder(bufio.NewReader(cc))
-	enc := json.NewEncoder(cc)
+	br := bufio.NewReader(cc)
 	cs := &connState{}
 	co.conns.Add(1)
 	defer co.dropConn(cs)
 
+	// The hello exchange always travels as one JSON line per direction —
+	// version discovery cannot require already knowing the version, and
+	// old workers only speak JSON lines. A raw line read (not a
+	// json.Decoder, which buffers bytes past the value) leaves br
+	// positioned exactly at the first post-negotiation message, which
+	// belongs to whichever codec the grant names.
+	sendHelloErr := func(msg string) {
+		b, _ := json.Marshal(&response{Type: msgOK, Err: msg})
+		_, _ = cc.Write(append(b, '\n'))
+	}
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return
+	}
 	var hello request
-	if err := dec.Decode(&hello); err != nil || hello.Type != msgHello {
-		_ = enc.Encode(&response{Type: msgOK, Err: "dist: expected hello"})
+	if err := json.Unmarshal(line, &hello); err != nil || hello.Type != msgHello {
+		sendHelloErr("dist: expected hello")
 		return
 	}
 	cs.name = hello.Name
@@ -1046,10 +1105,35 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		// Unconfigured workers are their own one-machine site.
 		cs.site = hello.Name
 	}
-	co.Events.Emit(obs.Event{Name: "worker_connected", Site: cs.site, Worker: cs.name})
-	if err := enc.Encode(&response{Type: msgOK, System: co.System}); err != nil {
+	ver, downgraded := wire.Negotiate(co.wireVersion(), hello.Wire)
+	if downgraded {
+		// Never silent: a future-versioned worker still gets served (on
+		// v0, the one version everything speaks) but the mismatch is on
+		// the record for the operator.
+		co.wireDowngrades.Add(1)
+		co.Events.Emit(obs.Event{Name: "wire_downgraded", Site: cs.site, Worker: cs.name,
+			Fields: map[string]any{"offered": hello.Wire, "granted": ver}})
+	}
+	cs.wire = ver
+	cs.delta = ver >= wire.V1 && co.DeltaCheckpoints && !hello.NoDelta
+	cs.comp = ver >= wire.V1 && co.Compression && !hello.NoComp
+	if ver >= wire.V1 {
+		co.wireV1.Add(1)
+	} else {
+		co.wireV0.Add(1)
+	}
+	co.Events.Emit(obs.Event{Name: "worker_connected", Site: cs.site, Worker: cs.name,
+		Fields: map[string]any{"wire": ver, "delta": cs.delta, "compression": cs.comp}})
+	grant := &response{Type: msgOK, System: wire.JSONPayload(co.System),
+		Wire: ver, Delta: cs.delta, Comp: cs.comp}
+	reply, err := json.Marshal(grant)
+	if err != nil {
 		return
 	}
+	if _, err := cc.Write(append(reply, '\n')); err != nil {
+		return
+	}
+	codec := wire.NewCodec(ver, br, cc, cs.comp)
 
 	// Responses flow through a bounded per-connection send queue drained
 	// by a writer goroutine, so a peer that stops reading can never wedge
@@ -1068,7 +1152,7 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		go func() {
 			defer close(writerDone)
 			for resp := range sendQ {
-				if enc.Encode(&resp) != nil {
+				if codec.Encode(&resp) != nil {
 					// Dead transport: keep draining so the reader, which may
 					// be about to close the channel, never blocks on it.
 					for range sendQ {
@@ -1081,7 +1165,7 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 	}
 	send := func(resp response) bool {
 		if sendQ == nil {
-			return enc.Encode(&resp) == nil
+			return codec.Encode(&resp) == nil
 		}
 		select {
 		case sendQ <- resp:
@@ -1112,7 +1196,7 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if err := codec.Decode(&req); err != nil {
 			return
 		}
 		var resp response
@@ -1120,6 +1204,7 @@ func (co *Coordinator) serveConn(conn net.Conn) {
 		limit := int64(co.maxInflight())
 		switch req.Type {
 		case msgNext:
+			co.polls.Add(1)
 			if limit > 0 && n > limit {
 				// Over the in-flight cap: shed the poll. Results, fails and
 				// heartbeats are never shed — they shrink the backlog.
@@ -1213,6 +1298,10 @@ func (co *Coordinator) grantLocked(camp *campaignRun, j *job, cs *connState, now
 		lastBeat:    now,
 		stepsAt:     now,
 		steps:       j.ckptSteps,
+		// The resume image seeds the delta base on both sides: the worker
+		// keeps the bytes it was handed, so its first progress after a
+		// resume can already travel as a delta.
+		base: j.ckpt,
 	}
 	j.leases = append(j.leases, l)
 	sh := co.siteLocked(cs.site)
@@ -1247,7 +1336,13 @@ func (co *Coordinator) grantLocked(camp *campaignRun, j *job, cs *connState, now
 	}}
 	resumed := len(j.ckpt) > 0
 	if resumed {
-		resp.Resume = j.ckpt
+		// Always a complete image (deltas are folded on receipt),
+		// compressed when this connection negotiated it.
+		if cs.comp {
+			resp.Resume = wire.Compress(j.ckpt)
+		} else {
+			resp.Resume = wire.JSONPayload(j.ckpt)
+		}
 		co.stats.Resumes++
 		js.Resumes++
 	}
@@ -1390,6 +1485,11 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 			lastBeat: now,
 			stepsAt:  now,
 			steps:    j.ckptSteps,
+			// The adopted worker's delta base is whatever its last acked
+			// checkpoint was — unknowable here. Seed the farthest image we
+			// hold: if the worker's base differs, its next delta fails the
+			// CRC check and NeedFull heals the pair in one round trip.
+			base: j.ckpt,
 		}
 		j.leases = append(j.leases, l)
 		co.siteLocked(cs.site).assignments++
@@ -1428,9 +1528,34 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 		}
 	}
 	l.lastBeat = now
-	if req.Type == msgProgress && len(req.Ckpt) > 0 {
+	if req.Type == msgProgress && req.Ckpt != nil {
+		// Fold before anything else: every consumer downstream of this
+		// point — farthest-wins, the spool, journal replay, a hedge's
+		// resume — sees only complete images. A delta that cannot be
+		// resolved right here is never stored; the worker is asked for a
+		// full image instead, so a crash between receipt and fold can at
+		// worst lose one checkpoint generation, never corrupt one.
+		raw, err := req.Ckpt.Resolve(l.base)
+		if err != nil {
+			// Base mismatch (coordinator restart, lost ack, adoption) or a
+			// corrupt payload that survived the frame CRC: either way the
+			// incremental lineage is broken. NeedFull restarts it.
+			if errors.Is(err, wire.ErrBaseMismatch) {
+				co.stats.DeltaBaseMisses++
+			} else {
+				co.stats.CheckpointsRejected++
+			}
+			l.base = nil
+			co.Events.Emit(obs.Event{Name: "checkpoint_need_full", Job: j.id, Attempt: l.attempt,
+				Site: l.site, Worker: l.worker, Fields: map[string]any{"error": err.Error()}})
+			return response{Type: msgOK, NeedFull: true}
+		}
 		co.stats.Checkpoints++
-		steps := ckptSteps(req.Ckpt)
+		if req.Ckpt.IsDelta() {
+			co.stats.DeltasFolded++
+		}
+		l.base = raw
+		steps := ckptSteps(raw)
 		if steps > l.steps {
 			if dt := now.Sub(l.stepsAt); dt > 0 {
 				r := float64(steps-l.steps) / dt.Seconds()
@@ -1446,19 +1571,19 @@ func (co *Coordinator) heartbeat(cs *connState, req *request) response {
 		}
 		co.Events.Emit(obs.Event{Name: "checkpoint", Job: j.id, Attempt: l.attempt,
 			Site: l.site, Worker: l.worker,
-			Fields: map[string]any{"steps": steps, "bytes": len(req.Ckpt)}})
+			Fields: map[string]any{"steps": steps, "bytes": req.Ckpt.WireLen(), "raw_bytes": len(raw)}})
 		if steps >= j.ckptSteps {
 			// Farthest-wins: with two concurrent leases on the same
 			// bit-exact trajectory, the checkpoint farther along strictly
 			// dominates — any future resume hands it out.
-			j.ckpt = req.Ckpt
+			j.ckpt = raw
 			j.ckptSteps = steps
 			if co.journal != nil && !co.degraded {
 				// A checkpoint that cannot reach the spool costs recovery
 				// progress, never correctness: the in-memory copy above keeps
 				// serving resumes, so a sick disk degrades the coordinator
 				// instead of failing the campaign.
-				if err := co.journal.spoolCheckpoint(j.id, req.Ckpt); err != nil {
+				if err := co.journal.spoolCheckpoint(j.id, raw); err != nil {
 					co.journal.storageErrors++
 					co.storageFaultLocked("checkpoint spool", err)
 				} else {
@@ -1648,6 +1773,10 @@ func (co *Coordinator) statsLocked() Stats {
 	s.InflightRequests = int(co.inflight.Load())
 	s.ConnectedWorkers = int(co.conns.Load())
 	s.SendQueuePeak = int(co.queuePeak.Load())
+	s.WireV0Conns = int(co.wireV0.Load())
+	s.WireV1Conns = int(co.wireV1.Load())
+	s.WireDowngrades = int(co.wireDowngrades.Load())
+	s.WorkPolls = co.polls.Load()
 	return s
 }
 

@@ -561,6 +561,12 @@ func (j *journal) spoolPath(jobID string) string {
 // renamed over the old one with a parent-directory fsync, so the spool
 // always holds a complete checkpoint — at worst one generation stale,
 // never torn, and durable across power loss.
+//
+// ckpt is always a COMPLETE image: the coordinator folds wire deltas
+// against the lease's base before calling here (fold-before-spool), so
+// journal replay and hedged re-execution never need a delta chain — a
+// spool file alone is a valid resume image regardless of which wire
+// version produced it.
 func (j *journal) spoolCheckpoint(jobID string, ckpt []byte) error {
 	final := j.spoolPath(jobID)
 	tmp := final + ".tmp"

@@ -63,6 +63,13 @@ func RegisterMetrics(reg *obs.Registry, src StatsSource) {
 		e.Gauge("spice_overload_inflight", "Requests decoded and not yet answered.", float64(s.InflightRequests))
 		e.Gauge("spice_overload_connected_workers", "Live worker connections.", float64(s.ConnectedWorkers))
 		e.Gauge("spice_overload_send_queue_peak", "High-water mark of any connection's send queue.", float64(s.SendQueuePeak))
+		e.Counter("spice_wire_v0_conns_total", "Connections negotiated to the legacy JSON-lines transport.", float64(s.WireV0Conns))
+		e.Counter("spice_wire_v1_conns_total", "Connections negotiated to binary framing.", float64(s.WireV1Conns))
+		e.Counter("spice_wire_downgrades_total", "Hellos offering an unknown version, served on v0.", float64(s.WireDowngrades))
+		e.Counter("spice_wire_work_polls_total", "Work-poll requests received (shed or served).", float64(s.WorkPolls))
+		e.Counter("spice_dist_deltas_folded_total", "Delta checkpoints folded into complete images.", float64(s.DeltasFolded))
+		e.Counter("spice_dist_delta_base_misses_total", "Deltas rejected for an unknown base (answered NeedFull).", float64(s.DeltaBaseMisses))
+		e.Counter("spice_dist_checkpoints_rejected_total", "Checkpoint payloads that failed to decode.", float64(s.CheckpointsRejected))
 
 		names := make([]string, 0, len(snap.Sites))
 		for name := range snap.Sites {
@@ -91,15 +98,21 @@ func RegisterMetrics(reg *obs.Registry, src StatsSource) {
 
 // WorkerStats is the snapshot of one Worker's execution counters.
 type WorkerStats struct {
-	JobsStarted     int64
-	JobsDone        int64
-	JobsFailed      int64
-	JobsAbandoned   int64 // leases revoked under the worker (lost races, drains)
-	CheckpointsSent int64
-	CheckpointBytes int64
-	Steps           int64 // MD steps advanced across all jobs (checkpoint deltas)
-	Reconnects      int64 // successful re-dials after a transport failure
-	BudgetStretches int64 // re-dials stretched to max backoff by an empty retry budget
+	JobsStarted   int64
+	JobsDone      int64
+	JobsFailed    int64
+	JobsAbandoned int64 // leases revoked under the worker (lost races, drains)
+	// CheckpointsSent counts checkpoints actually put on the wire;
+	// CheckpointBytes is the bytes that traveled (post-compression,
+	// post-delta) while CheckpointRawBytes is the serialized documents
+	// they reconstruct to — raw/wire is the transport win.
+	CheckpointsSent    int64
+	CheckpointBytes    int64
+	CheckpointRawBytes int64
+	CheckpointDeltas   int64 // checkpoints that traveled as deltas
+	Steps              int64 // MD steps advanced across all jobs (checkpoint deltas)
+	Reconnects         int64 // successful re-dials after a transport failure
+	BudgetStretches    int64 // re-dials stretched to max backoff by an empty retry budget
 }
 
 // RegisterMetrics registers a scrape-time collector on reg rendering
@@ -117,7 +130,9 @@ func (w *Worker) RegisterMetrics(reg *obs.Registry) {
 		e.Counter("spice_worker_jobs_failed_total", "Jobs that failed locally.", float64(st.JobsFailed), wl)
 		e.Counter("spice_worker_jobs_abandoned_total", "Leases revoked mid-pull (lost races, drains).", float64(st.JobsAbandoned), wl)
 		e.Counter("spice_worker_checkpoints_sent_total", "Checkpoints streamed to the coordinator.", float64(st.CheckpointsSent), wl)
-		e.Counter("spice_worker_checkpoint_bytes_total", "Serialized checkpoint payload bytes.", float64(st.CheckpointBytes), wl)
+		e.Counter("spice_worker_checkpoint_bytes_total", "Checkpoint bytes as they traveled on the wire (post-compression, post-delta).", float64(st.CheckpointBytes), wl)
+		e.Counter("spice_worker_checkpoint_raw_bytes_total", "Serialized checkpoint document bytes before compression/delta.", float64(st.CheckpointRawBytes), wl)
+		e.Counter("spice_worker_checkpoint_deltas_total", "Checkpoints that traveled as deltas against an acknowledged base.", float64(st.CheckpointDeltas), wl)
 		e.Counter("spice_worker_steps_total", "MD steps advanced across all jobs.", float64(st.Steps), wl)
 		e.Counter("spice_worker_reconnects_total", "Successful re-dials after a transport failure.", float64(st.Reconnects), wl)
 		e.Counter("spice_worker_budget_stretches_total", "Re-dials stretched to max backoff by an empty retry budget.", float64(st.BudgetStretches), wl)

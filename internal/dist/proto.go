@@ -14,89 +14,39 @@
 // bit-identical to a single-process campaign.LocalRunner run no matter
 // how many workers ran it, in what order, or how many died.
 //
-// The wire format is JSON-lines over TCP, one request and one response
-// object per line, exactly like the steering remote bridge: the
-// transport stays debuggable with netcat and needs nothing beyond the
-// standard library.
+// The transport is versioned and negotiated per connection by
+// internal/wire. v0 is JSON-lines over TCP, one request and one
+// response object per line, exactly like the steering remote bridge —
+// debuggable with netcat, spoken by every worker ever built. v1 frames
+// messages as CRC-checked binary records with compressed payloads and
+// delta-encoded checkpoints; see the wire package for the format and
+// DESIGN.md §15 for the negotiation and fold invariants.
 package dist
 
 import (
-	"encoding/json"
-
-	"spice/internal/campaign"
-	"spice/internal/trace"
+	"spice/internal/wire"
 )
 
-// Wire message types. The conversation is strictly request/response,
-// worker-initiated: every worker line gets exactly one coordinator line
-// back, so framing never needs message IDs.
+// The message vocabulary lives in internal/wire (the codec layer owns
+// the wire contract); dist keeps its historical short names as aliases.
 const (
-	// worker → coordinator
-	msgHello    = "hello"    // register; reply carries the system payload
-	msgNext     = "next"     // request a job; reply assign/wait/drained
-	msgBeat     = "beat"     // lease heartbeat, no new checkpoint
-	msgProgress = "progress" // heartbeat carrying a fresh checkpoint
-	msgResult   = "result"   // job finished, log attached
-	msgFail     = "fail"     // job failed on this worker
+	msgHello    = wire.MsgHello
+	msgNext     = wire.MsgNext
+	msgBeat     = wire.MsgBeat
+	msgProgress = wire.MsgProgress
+	msgResult   = wire.MsgResult
+	msgFail     = wire.MsgFail
 
-	// coordinator → worker
-	msgOK      = "ok"      // ack; hello's ok carries the system payload
-	msgAssign  = "assign"  // here is a job (spec + maybe a resume checkpoint)
-	msgWait    = "wait"    // nothing runnable right now, retry in DelayMs
-	msgDrained = "drained" // coordinator is closing for good, disconnect
-	msgAbandon = "abandon" // lease was revoked; stop working on the job
-	// msgRetry answers a result the coordinator cannot durably record
-	// right now (degraded storage): the worker keeps the line in its
-	// outbox and retransmits after DelayMs. Unlike ok-with-err this is
-	// NOT an acknowledgment — the result is neither merged nor dropped,
-	// so a storage outage never turns into an acked-but-lost result.
-	msgRetry = "retry"
+	msgOK      = wire.MsgOK
+	msgAssign  = wire.MsgAssign
+	msgWait    = wire.MsgWait
+	msgDrained = wire.MsgDrained
+	msgAbandon = wire.MsgAbandon
+	msgRetry   = wire.MsgRetry
 )
 
-// request is a worker → coordinator line.
-type request struct {
-	Type string `json:"type"`
-	Name string `json:"name,omitempty"` // hello: worker name
-	// Site is the worker's site identity on hello (spiced -site) — the
-	// grain at which the coordinator tracks health, runs circuit
-	// breakers, and places speculative hedges (never on the site already
-	// holding the lease). Empty falls back to the worker name, so every
-	// unconfigured worker is its own one-machine site.
-	Site  string `json:"site,omitempty"`
-	JobID string `json:"jobId,omitempty"` // beat/progress/result/fail
-	// Attempt echoes the lease attempt the worker was assigned, making
-	// result/fail handling idempotent by (job, attempt): a line from a
-	// lease the coordinator already retired is acked and dropped rather
-	// than applied twice. 0 (old workers) is treated as a wildcard.
-	Attempt int `json:"attempt,omitempty"`
-	// Ckpt is the JSON-encoded smd.PullCheckpoint on progress lines. It
-	// stays opaque to the coordinator, which only stores and forwards it.
-	Ckpt json.RawMessage `json:"ckpt,omitempty"`
-	// Log is the result payload. Go's encoding/json prints float64
-	// values with enough digits to round-trip exactly, so shipping work
-	// samples as JSON preserves bit-identity.
-	Log *trace.WorkLog `json:"log,omitempty"`
-	Err string         `json:"err,omitempty"` // fail reason
-}
-
-// response is a coordinator → worker line.
-type response struct {
-	Type    string          `json:"type"`
-	Job     *wireJob        `json:"job,omitempty"`     // assign
-	Resume  json.RawMessage `json:"resume,omitempty"`  // assign: last checkpoint
-	DelayMs int             `json:"delayMs,omitempty"` // wait
-	// Spec rides on assign lines (campaigns change between jobs on a
-	// long-lived coordinator); System rides on the hello reply.
-	Spec   *campaign.Spec  `json:"spec,omitempty"`
-	System json.RawMessage `json:"system,omitempty"`
-	Err    string          `json:"err,omitempty"`
-}
-
-// wireJob identifies one pull assignment.
-type wireJob struct {
-	ID      string         `json:"id"`
-	Combo   campaign.Combo `json:"combo"`
-	Seed    uint64         `json:"seed"`
-	Index   int            `json:"index"`
-	Attempt int            `json:"attempt,omitempty"` // lease attempt to echo back
-}
+type (
+	request  = wire.Request
+	response = wire.Response
+	wireJob  = wire.Job
+)

@@ -100,6 +100,15 @@ type Stats struct {
 	InflightRequests      int // gauge: requests decoded and not yet answered
 	ConnectedWorkers      int // gauge: live worker connections
 	SendQueuePeak         int // gauge: high-water mark of any connection's send queue
+
+	// Wire-protocol counters (the spice_wire_* metric family).
+	WireV0Conns         int   // connections negotiated to the legacy JSON-lines transport
+	WireV1Conns         int   // connections negotiated to binary framing
+	WireDowngrades      int   // hellos offering an unknown (future) version, served on v0
+	DeltasFolded        int   // delta checkpoints folded into complete images
+	DeltaBaseMisses     int   // deltas rejected for a base this coordinator no longer holds
+	CheckpointsRejected int   // checkpoint payloads that failed to decode (answered NeedFull)
+	WorkPolls           int64 // msgNext requests received (shed or served)
 }
 
 // TornTailErr reconstructs the typed error for the recorded tail

@@ -38,6 +38,12 @@ func Summary(w io.Writer, s dist.Stats, prefix string) {
 		fmt.Fprintf(w, "%soverload: %d poll(s) shed, %d slow consumer(s) evicted, %d heartbeat(s) coalesced, send-queue peak %d\n",
 			prefix, s.RequestsShed, s.SlowConsumerEvictions, s.HeartbeatsCoalesced, s.SendQueuePeak)
 	}
+	// The wire line only appears once something beyond a pure-v0 fleet
+	// happened: a binary connection, a downgrade, or delta traffic.
+	if s.WireV1Conns > 0 || s.WireDowngrades > 0 || s.DeltasFolded > 0 || s.DeltaBaseMisses > 0 {
+		fmt.Fprintf(w, "%swire: %d v1 / %d v0 conn(s), %d downgrade(s), %d delta(s) folded, %d base miss(es)\n",
+			prefix, s.WireV1Conns, s.WireV0Conns, s.WireDowngrades, s.DeltasFolded, s.DeltaBaseMisses)
+	}
 }
 
 // Sites writes the per-site health table, one row per federation site,

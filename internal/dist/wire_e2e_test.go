@@ -1,0 +1,470 @@
+package dist
+
+// End-to-end tests for the versioned wire transport: every cell of the
+// version matrix (old↔new in both directions, mixed fleets) must merge
+// campaign output bit-identical to a single-process LocalRunner, the
+// delta-checkpoint fold must survive worker loss and coordinator
+// crashes, and a hand-rolled v1 client pins the NeedFull healing
+// protocol byte by byte.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"spice/internal/campaign"
+	"spice/internal/netsim"
+	"spice/internal/trace"
+	"spice/internal/wire"
+)
+
+// v1Worker turns a startWorkers-spawned worker into a full v1 client:
+// binary framing, compression, delta checkpoints, and a checkpoint per
+// sample (throttled so several heartbeats fit inside one job).
+func v1Worker(w *Worker) {
+	w.WireVersion = wire.V1
+	w.Compression = true
+	w.DeltaCheckpoints = true
+	w.CheckpointEvery = 1
+	w.Throttle = 10 * time.Millisecond
+}
+
+// TestWireMatrixBitIdentical runs the cross-version matrix. Whatever
+// the two sides negotiate — legacy JSON on either end, full v1 with
+// deltas and compression, or a mixed fleet speaking both at once — the
+// merged PMF inputs must be bit-identical to the LocalRunner baseline.
+func TestWireMatrixBitIdentical(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	cells := []struct {
+		name    string
+		coV1    bool // coordinator grants v1 + delta + compression
+		workers int
+		mutate  func(i int, w *Worker)
+		check   func(t *testing.T, st Stats, ws []*Worker)
+	}{
+		{
+			// New coordinator, old fleet: every hello offers 0, every
+			// connection stays on JSON lines.
+			name: "v1-coordinator-v0-workers", coV1: true, workers: 3,
+			check: func(t *testing.T, st Stats, ws []*Worker) {
+				if st.WireV0Conns < 3 || st.WireV1Conns != 0 {
+					t.Fatalf("wire conns v0=%d v1=%d, want all v0", st.WireV0Conns, st.WireV1Conns)
+				}
+			},
+		},
+		{
+			// Old coordinator, new fleet: workers offer v1, the grant
+			// caps them at v0. No downgrade event — v0 is a known version.
+			name: "v0-coordinator-v1-workers", coV1: false, workers: 3,
+			mutate: func(i int, w *Worker) { v1Worker(w) },
+			check: func(t *testing.T, st Stats, ws []*Worker) {
+				if st.WireV0Conns < 3 || st.WireV1Conns != 0 || st.WireDowngrades != 0 {
+					t.Fatalf("wire conns v0=%d v1=%d downgrades=%d, want all v0 without downgrades",
+						st.WireV0Conns, st.WireV1Conns, st.WireDowngrades)
+				}
+			},
+		},
+		{
+			// Full v1: deltas must actually fold, and the raw/wire byte
+			// ratio must show the transport doing work.
+			name: "v1-delta-compression", coV1: true, workers: 3,
+			mutate: func(i int, w *Worker) { v1Worker(w) },
+			check: func(t *testing.T, st Stats, ws []*Worker) {
+				if st.WireV1Conns < 3 {
+					t.Fatalf("WireV1Conns = %d, want >= 3", st.WireV1Conns)
+				}
+				if st.DeltasFolded < 1 {
+					t.Fatalf("no deltas folded: %+v", st)
+				}
+				var raw, sent int64
+				for _, w := range ws {
+					ws := w.WorkerStats()
+					raw += ws.CheckpointRawBytes
+					sent += ws.CheckpointBytes
+				}
+				if raw == 0 || sent >= raw {
+					t.Fatalf("checkpoint bytes: %d on the wire for %d raw, want a reduction", sent, raw)
+				}
+			},
+		},
+		{
+			// Mixed fleet: v0 and v1 workers on one coordinator at once.
+			name: "mixed-fleet", coV1: true, workers: 4,
+			mutate: func(i int, w *Worker) {
+				if i%2 == 0 {
+					v1Worker(w)
+				}
+			},
+			check: func(t *testing.T, st Stats, ws []*Worker) {
+				if st.WireV0Conns < 1 || st.WireV1Conns < 1 {
+					t.Fatalf("wire conns v0=%d v1=%d, want both present", st.WireV0Conns, st.WireV1Conns)
+				}
+				if st.DeltasFolded < 1 {
+					t.Fatalf("no deltas folded in the mixed fleet: %+v", st)
+				}
+			},
+		},
+	}
+
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			co := newCoordinator(t)
+			if cell.coV1 {
+				co.WireVersion = wire.V1
+				co.Compression = true
+				co.DeltaCheckpoints = true
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var ws []*Worker
+			startWorkers(ctx, co, cell.workers, func(i int, w *Worker) {
+				if cell.mutate != nil {
+					cell.mutate(i, w)
+				}
+				ws = append(ws, w)
+			})
+			got, err := co.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBitIdentical(t, want, got)
+			cell.check(t, co.Stats(), ws)
+		})
+	}
+}
+
+// TestWireV1ClientFoldAndNeedFull drives the delta protocol with a
+// hand-rolled v1 client, pinning the healing handshake: a delta against
+// a base the coordinator does not hold is answered OK+NeedFull (never
+// an error), a full image re-seeds the base, and a well-formed delta is
+// folded so the coordinator's stored image equals the client's
+// post-delta document byte for byte. A second client offering an
+// unknown future version must be downgraded to v0 and still served.
+func TestWireV1ClientFoldAndNeedFull(t *testing.T) {
+	spec := testSpec()
+	co := newCoordinator(t)
+	co.WireVersion = wire.V1
+	co.Compression = true
+	co.DeltaCheckpoints = true
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := co.Run(spec)
+		errCh <- err
+	}()
+	addr := co.Listener.Addr().String()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The hello exchange is one JSON line per direction in every
+	// version; the negotiated codec takes over at the byte after it.
+	hb, err := json.Marshal(&request{Type: msgHello, Name: "hand-v1", Wire: wire.V1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(hb, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello response
+	if err := json.Unmarshal(line, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != msgOK || hello.Wire != wire.V1 || !hello.Delta || !hello.Comp {
+		t.Fatalf("hello grant = %+v, want v1 with delta and compression", hello)
+	}
+	codec := wire.NewCodec(hello.Wire, br, conn, hello.Comp)
+	rt := func(req *request) *response {
+		t.Helper()
+		if err := codec.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp response
+		if err := codec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return &resp
+	}
+
+	assign := rt(&request{Type: msgNext})
+	if assign.Type != msgAssign {
+		t.Fatalf("next got %q, want assign", assign.Type)
+	}
+	jobID, attempt := assign.Job.ID, assign.Job.Attempt
+
+	// Synthetic checkpoint documents with advancing step counters, so
+	// every fold passes the coordinator's farthest-wins gate.
+	ck := func(steps int) []byte {
+		return []byte(fmt.Sprintf(`{"steps":%d,"positions":[1.5,2.5,3.5,%d.0]}`, steps, steps))
+	}
+	progress := func(p *wire.Payload) *response {
+		t.Helper()
+		return rt(&request{Type: msgProgress, JobID: jobID, Attempt: attempt, Ckpt: p})
+	}
+
+	// 1. First checkpoint travels complete (compressed): plain fold.
+	ck1 := ck(4)
+	if resp := progress(wire.Compress(ck1)); resp.Type != msgOK || resp.NeedFull || resp.Err != "" {
+		t.Fatalf("full checkpoint rejected: %+v", resp)
+	}
+	// 2. A delta against a base the coordinator never held: OK+NeedFull,
+	// counted as a base miss, never an error or a torn fold.
+	ck2 := ck(8)
+	if resp := progress(wire.Delta([]byte(`{"steps":0}`), ck2)); resp.Type != msgOK || !resp.NeedFull {
+		t.Fatalf("bogus-base delta: %+v, want OK+NeedFull", resp)
+	}
+	if st := co.Stats(); st.DeltaBaseMisses != 1 {
+		t.Fatalf("DeltaBaseMisses = %d, want 1", st.DeltaBaseMisses)
+	}
+	// 3. The client obeys NeedFull and re-seeds with a complete image.
+	if resp := progress(wire.Compress(ck2)); resp.Type != msgOK || resp.NeedFull {
+		t.Fatalf("re-seeding full checkpoint: %+v", resp)
+	}
+	// 4. A well-formed delta folds cleanly.
+	ck3 := ck(12)
+	if resp := progress(wire.Delta(ck2, ck3)); resp.Type != msgOK || resp.NeedFull {
+		t.Fatalf("valid delta: %+v, want plain OK", resp)
+	}
+	if st := co.Stats(); st.DeltasFolded < 1 {
+		t.Fatalf("DeltasFolded = %d, want >= 1", st.DeltasFolded)
+	}
+	// The folded image the coordinator would hand a resuming worker must
+	// equal the client's post-delta document exactly.
+	co.mu.Lock()
+	var folded []byte
+	if j := co.jobsByID[jobID]; j != nil {
+		folded = append([]byte(nil), j.ckpt...)
+	}
+	co.mu.Unlock()
+	if !bytes.Equal(folded, ck3) {
+		t.Fatalf("folded image %q, want %q", folded, ck3)
+	}
+
+	// A peer from the future: its hello offers a version this build does
+	// not know, so it is downgraded to v0 — served, logged, counted.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	hb2, _ := json.Marshal(&request{Type: msgHello, Name: "futuristic", Wire: 99})
+	if _, err := conn2.Write(append(hb2, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	line2, err := bufio.NewReader(conn2).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello2 response
+	if err := json.Unmarshal(line2, &hello2); err != nil {
+		t.Fatal(err)
+	}
+	if hello2.Type != msgOK || hello2.Wire != wire.V0 || hello2.Delta || hello2.Comp {
+		t.Fatalf("future hello grant = %+v, want plain v0", hello2)
+	}
+	if st := co.Stats(); st.WireDowngrades != 1 {
+		t.Fatalf("WireDowngrades = %d, want 1", st.WireDowngrades)
+	}
+
+	// The checkpoints were synthetic, so the job must not be re-executed
+	// from them: cancel the campaign instead of letting it finish.
+	key, err := SpecKey(spec, CampaignTag{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !co.CancelCampaign(key) {
+		t.Fatal("CancelCampaign found no campaign")
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCampaignCanceled) {
+			t.Fatalf("Run returned %v, want ErrCampaignCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled campaign never returned")
+	}
+}
+
+// TestDeltaFoldResumeOnWorkerLoss kills a v1 delta-checkpointing worker
+// after its deltas have folded, then lets fresh v1 workers resume from
+// the folded images. Bit-identical output proves fold-before-spool
+// reconstructs exact resume state — the delta path never ships a
+// checkpoint the scheduler could not hand to a different worker.
+func TestDeltaFoldResumeOnWorkerLoss(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+
+	co := newCoordinator(t)
+	co.WireVersion = wire.V1
+	co.Compression = true
+	co.DeltaCheckpoints = true
+	co.RetryBase = 5 * time.Millisecond
+
+	resCh := make(chan map[campaign.Combo][]*trace.WorkLog, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		logs, err := co.Run(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- logs
+	}()
+
+	doomedCtx, killDoomed := context.WithCancel(context.Background())
+	defer killDoomed()
+	startWorkers(doomedCtx, co, 1, func(i int, w *Worker) {
+		w.Name = "doomed-v1"
+		v1Worker(w)
+		w.Throttle = 30 * time.Millisecond
+	})
+
+	// Only kill once at least one delta has folded, so the checkpoint a
+	// successor resumes from was reconstructed, not received whole.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := co.Stats(); st.DeltasFolded > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no delta ever folded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killDoomed()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	startWorkers(ctx, co, 2, func(i int, w *Worker) { v1Worker(w) })
+
+	select {
+	case logs := <-resCh:
+		requireBitIdentical(t, want, logs)
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("campaign did not finish after v1 worker loss")
+	}
+	st := co.Stats()
+	if st.Resumes < 1 {
+		t.Fatalf("expected a resume from a folded checkpoint, stats = %+v", st)
+	}
+	if st.DeltasFolded < 1 {
+		t.Fatalf("expected folded deltas, stats = %+v", st)
+	}
+}
+
+// TestDeltaFoldCrashRestart is the journal-recovery test on the v1
+// transport: the coordinator is crashed (SIGKILL-shaped: listener gone,
+// connections black-holed) after delta checkpoints have folded into the
+// spool, and a fresh coordinator over the same state directory must
+// finish the campaign bit-identically from those folded images. Workers
+// reconnect mid-delta-chain; the CRC check on their next delta either
+// matches the replayed base or heals through OK+NeedFull.
+func TestDeltaFoldCrashRestart(t *testing.T) {
+	spec := testSpec()
+	want := localBaseline(t, spec)
+	stateDir := t.TempDir()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	gate := netsim.NewGate()
+	co1 := &Coordinator{
+		Listener:         ln,
+		System:           json.RawMessage(`{"beads":3}`),
+		LeaseTTL:         2 * time.Second,
+		StateDir:         stateDir,
+		WrapConn:         gate.Wrap,
+		WireVersion:      wire.V1,
+		Compression:      true,
+		DeltaCheckpoints: true,
+	}
+	go func() {
+		// Dies with the simulated crash; only its journal and spool
+		// survive into the second act.
+		_, _ = co1.Run(spec)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w := &Worker{
+			Name:             fmt.Sprintf("survivor-v1-%d", i),
+			Addr:             addr,
+			Build:            testBuild,
+			BeatInterval:     20 * time.Millisecond,
+			CheckpointEvery:  1,
+			Throttle:         20 * time.Millisecond,
+			Reconnect:        true,
+			ReconnectWindow:  30 * time.Second,
+			WireVersion:      wire.V1,
+			Compression:      true,
+			DeltaCheckpoints: true,
+		}
+		go w.Run(ctx)
+	}
+
+	// Crash only after both jobs have spooled checkpoints AND at least
+	// one spooled image came out of a delta fold.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if len(spooledCheckpoints(t, stateDir)) >= 2 && co1.Stats().DeltasFolded > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("folded checkpoints never reached the spool (stats %+v)", co1.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ln.Close()
+	gate.Blackhole(0)
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := &Coordinator{
+		Listener:         ln2,
+		System:           json.RawMessage(`{"beads":3}`),
+		LeaseTTL:         2 * time.Second,
+		RetryBase:        10 * time.Millisecond,
+		StateDir:         stateDir,
+		WireVersion:      wire.V1,
+		Compression:      true,
+		DeltaCheckpoints: true,
+	}
+	t.Cleanup(func() { _ = co2.Close() })
+
+	got, err := co2.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, got)
+
+	st := co2.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("stats.Restarts = %d, want 1", st.Restarts)
+	}
+	if st.Resumes+st.Adoptions < 1 {
+		t.Fatalf("nothing resumed or adopted after the crash, stats = %+v", st)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"spice/internal/obs"
 	"spice/internal/smd"
 	"spice/internal/trace"
+	"spice/internal/wire"
 )
 
 // BuildFunc constructs the simulation for one job. The system payload
@@ -88,6 +89,19 @@ type Worker struct {
 	// Dial overrides the transport (tests wrap QoS shims here).
 	// Default: net.Dial("tcp", addr).
 	Dial func(addr string) (net.Conn, error)
+	// WireVersion is the newest wire protocol version offered on hello:
+	// 0 pins the legacy JSON-lines transport, 1 offers binary framing.
+	// The coordinator grants min(its own, offered), so any worker talks
+	// to any coordinator. Direct struct construction defaults to 0
+	// (legacy behavior); Config.Defaults() enables the newest version.
+	WireVersion int
+	// Compression asks for lz block compression on bulk payloads over
+	// v1+ connections.
+	Compression bool
+	// DeltaCheckpoints sends each progress checkpoint as a delta against
+	// the last acknowledged one over v1+ connections; the coordinator
+	// folds them back into complete images before spooling.
+	DeltaCheckpoints bool
 	// IOTimeout arms a fresh read/write deadline before every I/O call on
 	// the coordinator connection (netutil.WithDeadlines), so a half-open
 	// peer surfaces as a timeout the Reconnect machinery can heal instead
@@ -115,30 +129,51 @@ type Worker struct {
 
 // workerMetrics is the worker's always-on atomic counter set.
 type workerMetrics struct {
-	jobsStarted     atomic.Int64
-	jobsDone        atomic.Int64
-	jobsFailed      atomic.Int64
-	jobsAbandoned   atomic.Int64
-	checkpointsSent atomic.Int64
-	checkpointBytes atomic.Int64
-	steps           atomic.Int64
-	reconnects      atomic.Int64
-	budgetStretches atomic.Int64
+	jobsStarted   atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsAbandoned atomic.Int64
+	// checkpointsSent counts checkpoints actually put on the wire (the
+	// newest-wins buffer may drop marshaled ones that were superseded
+	// before a heartbeat fired); checkpointBytes counts the bytes that
+	// traveled — post-compression, post-delta — while checkpointRawBytes
+	// counts the serialized documents they reconstruct to. The ratio is
+	// the wire win. checkpointDeltas counts how many went as deltas.
+	checkpointsSent    atomic.Int64
+	checkpointBytes    atomic.Int64
+	checkpointRawBytes atomic.Int64
+	checkpointDeltas   atomic.Int64
+	steps              atomic.Int64
+	reconnects         atomic.Int64
+	budgetStretches    atomic.Int64
 }
 
 // WorkerStats snapshots the worker's execution counters.
 func (w *Worker) WorkerStats() WorkerStats {
 	return WorkerStats{
-		JobsStarted:     w.m.jobsStarted.Load(),
-		JobsDone:        w.m.jobsDone.Load(),
-		JobsFailed:      w.m.jobsFailed.Load(),
-		JobsAbandoned:   w.m.jobsAbandoned.Load(),
-		CheckpointsSent: w.m.checkpointsSent.Load(),
-		CheckpointBytes: w.m.checkpointBytes.Load(),
-		Steps:           w.m.steps.Load(),
-		Reconnects:      w.m.reconnects.Load(),
-		BudgetStretches: w.m.budgetStretches.Load(),
+		JobsStarted:        w.m.jobsStarted.Load(),
+		JobsDone:           w.m.jobsDone.Load(),
+		JobsFailed:         w.m.jobsFailed.Load(),
+		JobsAbandoned:      w.m.jobsAbandoned.Load(),
+		CheckpointsSent:    w.m.checkpointsSent.Load(),
+		CheckpointBytes:    w.m.checkpointBytes.Load(),
+		CheckpointRawBytes: w.m.checkpointRawBytes.Load(),
+		CheckpointDeltas:   w.m.checkpointDeltas.Load(),
+		Steps:              w.m.steps.Load(),
+		Reconnects:         w.m.reconnects.Load(),
+		BudgetStretches:    w.m.budgetStretches.Load(),
 	}
+}
+
+// wireVersion clamps the offered version into the known range.
+func (w *Worker) wireVersion() int {
+	if w.WireVersion <= 0 {
+		return wire.V0
+	}
+	if w.WireVersion > wire.MaxVersion {
+		return wire.MaxVersion
+	}
+	return w.WireVersion
 }
 
 func (w *Worker) beatInterval() time.Duration {
@@ -237,19 +272,23 @@ func (w *Worker) Run(ctx context.Context) error {
 	return nil
 }
 
-// rtConn is one session's transport: a JSON-lines connection that
+// rtConn is one session's transport: a negotiated connection that
 // (with Reconnect) transparently re-dials and re-hellos after failures.
 // Retrying a request across a reconnect may deliver it twice — once on
 // the dying conn, once on the fresh one — which is exactly the
 // duplicate-delivery case the coordinator's idempotency rules absorb.
+// Each hello renegotiates the wire version, so a reconnect may land on
+// a different (older) coordinator and downgrade the codec mid-session.
 type rtConn struct {
 	w    *Worker
 	name string
 	bo   *backoff.Decorrelated // re-dial delays: decorrelated jitter, per-session seed
 
 	conn     net.Conn
-	dec      *json.Decoder
-	enc      *json.Encoder
+	codec    wire.Codec
+	wire     int           // negotiated version of the current conn
+	delta    bool          // coordinator granted delta checkpoints
+	comp     bool          // coordinator granted payload compression
 	connDone chan struct{} // stops the ctx watcher for the current conn
 
 	system       json.RawMessage // coordinator's payload from the last hello
@@ -276,25 +315,54 @@ func newRTConn(w *Worker, name string) *rtConn {
 
 // connect dials and performs the hello handshake, installing a watcher
 // that closes the conn when ctx is cancelled (unparking blocked I/O).
+//
+// The hello exchange always travels as one JSON line per direction —
+// version discovery cannot require already knowing the version, and an
+// old coordinator only speaks JSON lines. The reply is read with a raw
+// line read (a json.Decoder would buffer bytes past the value that
+// belong to the negotiated codec); both sides then switch codecs at the
+// exact byte position after the reply's newline.
 func (c *rtConn) connect(ctx context.Context) error {
 	conn, err := c.w.dial()
 	if err != nil {
 		return fmt.Errorf("dist: dial %s: %w", c.w.Addr, err)
 	}
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(&request{Type: msgHello, Name: c.name, Site: c.w.site()}); err != nil {
+	offer := &request{Type: msgHello, Name: c.name, Site: c.w.site(),
+		Wire: c.w.wireVersion(), NoDelta: !c.w.DeltaCheckpoints, NoComp: !c.w.Compression}
+	line, err := json.Marshal(offer)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	if _, err := conn.Write(append(line, '\n')); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	reply, err := br.ReadBytes('\n')
+	if err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: hello: %w", err)
 	}
 	var hello response
-	if err := dec.Decode(&hello); err != nil {
+	if err := json.Unmarshal(reply, &hello); err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: hello: %w", err)
 	}
 	if hello.Err != "" {
 		conn.Close()
 		return fatalError{errors.New(hello.Err)}
+	}
+	ver := hello.Wire
+	if ver > offer.Wire || ver > wire.MaxVersion || ver < 0 {
+		// A grant we never offered or cannot speak: fall back to the one
+		// version everything speaks rather than fail the fleet.
+		ver = wire.V0
+	}
+	system, err := hello.System.Resolve(nil)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: hello system payload: %w", err)
 	}
 	done := make(chan struct{})
 	go func() {
@@ -304,8 +372,10 @@ func (c *rtConn) connect(ctx context.Context) error {
 		case <-done:
 		}
 	}()
-	c.conn, c.dec, c.enc, c.connDone = conn, dec, enc, done
-	c.system = hello.System
+	c.conn, c.connDone = conn, done
+	c.codec = wire.NewCodec(ver, br, conn, hello.Comp)
+	c.wire, c.delta, c.comp = ver, hello.Delta && ver >= wire.V1, hello.Comp && ver >= wire.V1
+	c.system = system
 	c.failingSince = time.Time{}
 	c.bo.Reset()
 	if c.connected {
@@ -372,7 +442,19 @@ func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error)
 				continue
 			}
 		}
-		if err := c.enc.Encode(req); err != nil {
+		// A reconnect may have renegotiated down to a connection that
+		// cannot carry the checkpoint payload this request was built with
+		// (a v0 JSON line cannot frame a delta or compressed block).
+		// Degrade the progress to a plain beat — the checkpoint is an
+		// optimization, the heartbeat is the contract — and let the caller
+		// see the conversion via req.Type so it does not advance its base.
+		if req.Type == msgProgress && req.Ckpt != nil && req.Ckpt.Flags != 0 {
+			if c.wire < wire.V1 || (req.Ckpt.IsDelta() && !c.delta) {
+				req.Type = msgBeat
+				req.Ckpt = nil
+			}
+		}
+		if err := c.codec.Encode(req); err != nil {
 			c.drop()
 			if !c.retry(ctx) {
 				return nil, err
@@ -380,7 +462,7 @@ func (c *rtConn) roundTrip(ctx context.Context, req *request) (*response, error)
 			continue
 		}
 		var resp response
-		if err := c.dec.Decode(&resp); err != nil {
+		if err := c.codec.Decode(&resp); err != nil {
 			// The request may or may not have been applied; the retry
 			// after reconnecting retransmits it and the coordinator
 			// dedups by (job, attempt).
@@ -469,6 +551,21 @@ func (w *Worker) runSession(ctx context.Context, name string) error {
 	return nil
 }
 
+// ckptPayload chooses a checkpoint's wire form for the connection as
+// negotiated right now: delta against the last acknowledged base when
+// granted and a base exists, else compressed, else plain JSON.
+func (w *Worker) ckptPayload(c *rtConn, base, raw []byte) *wire.Payload {
+	if c.wire >= wire.V1 {
+		if c.delta && len(base) > 0 {
+			return wire.Delta(base, raw)
+		}
+		if c.comp {
+			return wire.Compress(raw)
+		}
+	}
+	return wire.JSONPayload(raw)
+}
+
 // runJob executes one assignment, heartbeating while the pull runs in a
 // separate goroutine. The connection is only ever touched from this
 // goroutine, preserving the strict one-request-one-response framing.
@@ -486,13 +583,23 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 
 	opts := smd.RunOpts{CheckpointEvery: w.checkpointEvery()}
 	prevSteps := 0
-	if len(assign.Resume) > 0 {
+	// ckptBase is the last checkpoint image the coordinator acknowledged
+	// — the delta base. A resume image seeds it: the coordinator seeds
+	// its side of the pair from the same spooled bytes on grant, so the
+	// first progress after a resume can already travel as a delta.
+	var ckptBase []byte
+	resume, err := assign.Resume.Resolve(nil)
+	if err != nil {
+		return nil, fmt.Errorf("dist: resume payload for %s: %w", jb.ID, err)
+	}
+	if len(resume) > 0 {
 		var ck smd.PullCheckpoint
-		if err := json.Unmarshal(assign.Resume, &ck); err != nil {
+		if err := json.Unmarshal(resume, &ck); err != nil {
 			return nil, fmt.Errorf("dist: decoding resume checkpoint for %s: %w", jb.ID, err)
 		}
 		opts.Resume = &ck
 		prevSteps = ck.Steps
+		ckptBase = resume
 	}
 	w.m.jobsStarted.Add(1)
 	jobEvents := w.Events.Scope(obs.Event{Job: jb.ID, Attempt: jb.Attempt,
@@ -513,8 +620,6 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 		if err != nil {
 			return err
 		}
-		w.m.checkpointsSent.Add(1)
-		w.m.checkpointBytes.Add(int64(len(b)))
 		if d := pc.Steps - prevSteps; d > 0 {
 			// OnCheckpoint runs serially inside one pull, so plain reads
 			// of prevSteps are safe; only the shared counters are atomic.
@@ -574,9 +679,12 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 			return req, nil
 		case <-beat.C:
 			req := &request{Type: msgBeat, JobID: jb.ID, Attempt: jb.Attempt}
+			var raw []byte
 			select {
 			case b := <-ckptCh:
-				req = &request{Type: msgProgress, JobID: jb.ID, Attempt: jb.Attempt, Ckpt: b}
+				raw = b
+				req = &request{Type: msgProgress, JobID: jb.ID, Attempt: jb.Attempt,
+					Ckpt: w.ckptPayload(c, ckptBase, b)}
 			default:
 			}
 			// With Reconnect on, this round-trip rides out coordinator
@@ -593,6 +701,24 @@ func (w *Worker) runJob(ctx context.Context, spec campaign.Spec, c *rtConn, assi
 					return nil, nil
 				}
 				return nil, fmt.Errorf("dist: heartbeat %s: %w", jb.ID, err)
+			}
+			// Advance the delta base only for a checkpoint that actually
+			// traveled (roundTrip degrades a progress built for a richer
+			// connection back to a beat after a downgrading reconnect) and
+			// was cleanly accepted. NeedFull means the coordinator lost our
+			// base (restart, adoption, lost ack): the next one goes full.
+			if req.Type == msgProgress && raw != nil {
+				w.m.checkpointsSent.Add(1)
+				w.m.checkpointRawBytes.Add(int64(len(raw)))
+				w.m.checkpointBytes.Add(int64(req.Ckpt.WireLen()))
+				if req.Ckpt.IsDelta() {
+					w.m.checkpointDeltas.Add(1)
+				}
+				if resp.NeedFull {
+					ckptBase = nil
+				} else if resp.Type == msgOK && resp.Err == "" {
+					ckptBase = raw
+				}
 			}
 			if resp.Type == msgAbandon {
 				abandoned.Store(true)

@@ -89,6 +89,67 @@ func FramedLen(payloadLen int) int64 { return 8 + int64(payloadLen) }
 // record.
 const MagicLen = int64(len(recordMagic))
 
+// RecordReader reads framed records one at a time from a live stream —
+// the form a network transport needs, where ScanRecords' read-to-EOF
+// contract would block forever. Unlike the scan, a reader cannot
+// distinguish a torn tail from a record that has not finished arriving;
+// it reports a stream that ends mid-record as io.ErrUnexpectedEOF and
+// leaves recovery policy to the caller.
+type RecordReader struct {
+	r     *bufio.Reader
+	first bool
+}
+
+// NewRecordReader wraps r. If r is already a *bufio.Reader it is used
+// directly — the transport handoff case, where buffered bytes read past
+// a negotiation boundary must not be lost to a second buffer layer.
+func NewRecordReader(r io.Reader) *RecordReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &RecordReader{r: br, first: true}
+}
+
+// Next returns the next record's payload. A clean end at a record
+// boundary is io.EOF; an end inside a record is io.ErrUnexpectedEOF; a
+// bad magic, oversized length, or checksum mismatch wraps ErrFormat.
+func (rr *RecordReader) Next() ([]byte, error) {
+	if rr.first {
+		magic := make([]byte, len(recordMagic))
+		if _, err := io.ReadFull(rr.r, magic); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF // empty stream: no records at all
+			}
+			return nil, err
+		}
+		if string(magic) != recordMagic {
+			return nil, fmt.Errorf("trace: not a record stream: %w", ErrFormat)
+		}
+		rr.first = false
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		return nil, err // io.EOF at a boundary, ErrUnexpectedEOF inside
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecordLen {
+		return nil, fmt.Errorf("trace: record length %d exceeds limit: %w", length, ErrFormat)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rr.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("trace: record checksum mismatch: %w", ErrFormat)
+	}
+	return payload, nil
+}
+
 // RecordScan is the result of reading a record stream defensively.
 type RecordScan struct {
 	// Records is the longest clean prefix of intact records.

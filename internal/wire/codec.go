@@ -1,0 +1,538 @@
+package wire
+
+// Codec implementations. A Codec owns one direction-pair of a
+// negotiated connection: after the JSON-line hello exchange, both sides
+// construct the codec the grant named over the same reader/writer and
+// every subsequent message flows through it. Codec selection therefore
+// lives in exactly one place (NewCodec) instead of scattered
+// json.NewEncoder calls.
+//
+// v1 framing: every message is one CRC-checked internal/trace record.
+// Inside a record:
+//
+//	[kind byte]              1 = Request, 2 = Response
+//	[uvarint field bitmap]   bit i set ⇒ field i follows, in bit order
+//	[fields...]
+//
+// Field encodings: strings and blobs are uvarint length + bytes; ints
+// are uvarints; bools occupy no bytes (the bit is the value); payloads
+// are [encoding byte][flags byte][uvarint len][data]. The message type
+// travels as a small code (bit 0, always set). Job and Spec and WorkLog
+// travel as JSON blobs — they are either tiny (Job) or bulk documents
+// whose JSON form is the bit-identity contract (WorkLog samples), with
+// lz compression applied to the bulk ones when the connection
+// negotiated it. Unknown kinds, type codes, or bitmap bits are decode
+// errors: v1 is strict, version skew belongs in the hello negotiation,
+// not in silently-ignored fields.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"spice/internal/campaign"
+	"spice/internal/trace"
+)
+
+// Codec frames protocol messages on an established connection. msg is
+// *Request or *Response; each side encodes one and decodes the other.
+// A codec is safe for one concurrent encoder plus one concurrent
+// decoder (the coordinator's reader loop and send-queue writer).
+type Codec interface {
+	Encode(msg any) error
+	Decode(msg any) error
+	Version() int
+}
+
+// NewCodec returns the codec for a negotiated version. r must be the
+// same buffered reader the hello line was read from — bytes it buffered
+// past the newline belong to the first framed message. compress enables
+// lz blocks on bulk payloads (v1 only; v0 ignores it — JSON lines have
+// nowhere to put a flags byte).
+func NewCodec(version int, r io.Reader, w io.Writer, compress bool) Codec {
+	if version >= V1 {
+		return &binaryCodec{
+			rr:       trace.NewRecordReader(r),
+			rw:       trace.NewRecordWriter(w, false),
+			compress: compress,
+		}
+	}
+	return &jsonCodec{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}
+}
+
+// jsonCodec is v0: one JSON object per line, exactly the bytes the dist
+// package spoke before this package existed.
+type jsonCodec struct {
+	emu sync.Mutex
+	enc *json.Encoder
+	dmu sync.Mutex
+	dec *json.Decoder
+}
+
+func (c *jsonCodec) Encode(msg any) error {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	return c.enc.Encode(msg)
+}
+
+func (c *jsonCodec) Decode(msg any) error {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	return c.dec.Decode(msg)
+}
+
+func (c *jsonCodec) Version() int { return V0 }
+
+// Message type codes for v1 frames.
+var msgCodes = map[string]uint64{
+	MsgHello: 1, MsgNext: 2, MsgBeat: 3, MsgProgress: 4,
+	MsgResult: 5, MsgFail: 6, MsgOK: 7, MsgAssign: 8,
+	MsgWait: 9, MsgDrained: 10, MsgAbandon: 11, MsgRetry: 12,
+}
+
+var msgNames = func() map[uint64]string {
+	m := make(map[uint64]string, len(msgCodes))
+	for name, code := range msgCodes {
+		m[code] = name
+	}
+	return m
+}()
+
+// Frame kinds and field bit assignments. Request and Response each own
+// an 11-bit table; bits above these are reserved and reject on decode.
+const (
+	kindRequest  byte = 1
+	kindResponse byte = 2
+)
+
+const (
+	reqBitType = 1 << iota
+	reqBitName
+	reqBitSite
+	reqBitJobID
+	reqBitAttempt
+	reqBitCkpt
+	reqBitLog
+	reqBitErr
+	reqBitWire
+	reqBitNoDelta
+	reqBitNoComp
+	reqBitsKnown = reqBitType | reqBitName | reqBitSite | reqBitJobID |
+		reqBitAttempt | reqBitCkpt | reqBitLog | reqBitErr |
+		reqBitWire | reqBitNoDelta | reqBitNoComp
+)
+
+const (
+	respBitType = 1 << iota
+	respBitJob
+	respBitResume
+	respBitDelayMs
+	respBitSpec
+	respBitSystem
+	respBitErr
+	respBitWire
+	respBitDelta
+	respBitComp
+	respBitNeedFull
+	respBitsKnown = respBitType | respBitJob | respBitResume | respBitDelayMs |
+		respBitSpec | respBitSystem | respBitErr | respBitWire |
+		respBitDelta | respBitComp | respBitNeedFull
+)
+
+// binaryCodec is v1: one trace record per message.
+type binaryCodec struct {
+	emu      sync.Mutex
+	rw       *trace.RecordWriter
+	buf      []byte
+	dmu      sync.Mutex
+	rr       *trace.RecordReader
+	compress bool
+}
+
+func (c *binaryCodec) Version() int { return V1 }
+
+func (c *binaryCodec) Encode(msg any) error {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	var err error
+	switch m := msg.(type) {
+	case *Request:
+		c.buf, err = appendRequest(c.buf[:0], m, c.compress)
+	case *Response:
+		c.buf, err = appendResponse(c.buf[:0], m, c.compress)
+	default:
+		err = fmt.Errorf("wire: cannot encode %T", msg)
+	}
+	if err != nil {
+		return err
+	}
+	if err := c.rw.Append(c.buf); err != nil {
+		return err
+	}
+	return c.rw.Flush()
+}
+
+func (c *binaryCodec) Decode(msg any) error {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	rec, err := c.rr.Next()
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *Request:
+		return parseRequest(rec, m)
+	case *Response:
+		return parseResponse(rec, m)
+	}
+	return fmt.Errorf("wire: cannot decode into %T", msg)
+}
+
+func appendRequest(dst []byte, m *Request, compress bool) ([]byte, error) {
+	code, ok := msgCodes[m.Type]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message type %q", m.Type)
+	}
+	var bits uint64 = reqBitType
+	if m.Name != "" {
+		bits |= reqBitName
+	}
+	if m.Site != "" {
+		bits |= reqBitSite
+	}
+	if m.JobID != "" {
+		bits |= reqBitJobID
+	}
+	if m.Attempt != 0 {
+		bits |= reqBitAttempt
+	}
+	if m.Ckpt != nil {
+		bits |= reqBitCkpt
+	}
+	if m.Log != nil {
+		bits |= reqBitLog
+	}
+	if m.Err != "" {
+		bits |= reqBitErr
+	}
+	if m.Wire != 0 {
+		bits |= reqBitWire
+	}
+	if m.NoDelta {
+		bits |= reqBitNoDelta
+	}
+	if m.NoComp {
+		bits |= reqBitNoComp
+	}
+	dst = append(dst, kindRequest)
+	dst = binary.AppendUvarint(dst, bits)
+	dst = binary.AppendUvarint(dst, code)
+	dst = appendString(dst, m.Name)
+	dst = appendString(dst, m.Site)
+	dst = appendString(dst, m.JobID)
+	if m.Attempt != 0 {
+		dst = binary.AppendUvarint(dst, uint64(m.Attempt))
+	}
+	dst = appendPayload(dst, m.Ckpt)
+	var err error
+	if dst, err = appendJSONBlob(dst, m.Log, m.Log != nil, compress); err != nil {
+		return nil, err
+	}
+	dst = appendString(dst, m.Err)
+	if m.Wire != 0 {
+		dst = binary.AppendUvarint(dst, uint64(m.Wire))
+	}
+	return dst, nil
+}
+
+func parseRequest(rec []byte, m *Request) error {
+	*m = Request{}
+	d, bits, err := openFrame(rec, kindRequest, reqBitsKnown)
+	if err != nil {
+		return err
+	}
+	if m.Type, err = d.msgType(); err != nil {
+		return err
+	}
+	if bits&reqBitName != 0 {
+		m.Name, err = d.str()
+	}
+	if err == nil && bits&reqBitSite != 0 {
+		m.Site, err = d.str()
+	}
+	if err == nil && bits&reqBitJobID != 0 {
+		m.JobID, err = d.str()
+	}
+	if err == nil && bits&reqBitAttempt != 0 {
+		m.Attempt, err = d.uint()
+	}
+	if err == nil && bits&reqBitCkpt != 0 {
+		m.Ckpt, err = d.payload()
+	}
+	if err == nil && bits&reqBitLog != 0 {
+		m.Log = &trace.WorkLog{}
+		err = d.jsonBlob(m.Log)
+	}
+	if err == nil && bits&reqBitErr != 0 {
+		m.Err, err = d.str()
+	}
+	if err == nil && bits&reqBitWire != 0 {
+		m.Wire, err = d.uint()
+	}
+	m.NoDelta = bits&reqBitNoDelta != 0
+	m.NoComp = bits&reqBitNoComp != 0
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+func appendResponse(dst []byte, m *Response, compress bool) ([]byte, error) {
+	code, ok := msgCodes[m.Type]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message type %q", m.Type)
+	}
+	var bits uint64 = respBitType
+	if m.Job != nil {
+		bits |= respBitJob
+	}
+	if m.Resume != nil {
+		bits |= respBitResume
+	}
+	if m.DelayMs != 0 {
+		bits |= respBitDelayMs
+	}
+	if m.Spec != nil {
+		bits |= respBitSpec
+	}
+	if m.System != nil {
+		bits |= respBitSystem
+	}
+	if m.Err != "" {
+		bits |= respBitErr
+	}
+	if m.Wire != 0 {
+		bits |= respBitWire
+	}
+	if m.Delta {
+		bits |= respBitDelta
+	}
+	if m.Comp {
+		bits |= respBitComp
+	}
+	if m.NeedFull {
+		bits |= respBitNeedFull
+	}
+	dst = append(dst, kindResponse)
+	dst = binary.AppendUvarint(dst, bits)
+	dst = binary.AppendUvarint(dst, code)
+	var err error
+	// Job is a few dozen bytes; compressing it would only add overhead.
+	if dst, err = appendJSONBlob(dst, m.Job, m.Job != nil, false); err != nil {
+		return nil, err
+	}
+	dst = appendPayload(dst, m.Resume)
+	if m.DelayMs != 0 {
+		dst = binary.AppendUvarint(dst, uint64(m.DelayMs))
+	}
+	if dst, err = appendJSONBlob(dst, m.Spec, m.Spec != nil, compress); err != nil {
+		return nil, err
+	}
+	dst = appendPayload(dst, m.System)
+	dst = appendString(dst, m.Err)
+	if m.Wire != 0 {
+		dst = binary.AppendUvarint(dst, uint64(m.Wire))
+	}
+	return dst, nil
+}
+
+func parseResponse(rec []byte, m *Response) error {
+	*m = Response{}
+	d, bits, err := openFrame(rec, kindResponse, respBitsKnown)
+	if err != nil {
+		return err
+	}
+	if m.Type, err = d.msgType(); err != nil {
+		return err
+	}
+	if bits&respBitJob != 0 {
+		m.Job = &Job{}
+		err = d.jsonBlob(m.Job)
+	}
+	if err == nil && bits&respBitResume != 0 {
+		m.Resume, err = d.payload()
+	}
+	if err == nil && bits&respBitDelayMs != 0 {
+		m.DelayMs, err = d.uint()
+	}
+	if err == nil && bits&respBitSpec != 0 {
+		m.Spec = &campaign.Spec{}
+		err = d.jsonBlob(m.Spec)
+	}
+	if err == nil && bits&respBitSystem != 0 {
+		m.System, err = d.payload()
+	}
+	if err == nil && bits&respBitErr != 0 {
+		m.Err, err = d.str()
+	}
+	if err == nil && bits&respBitWire != 0 {
+		m.Wire, err = d.uint()
+	}
+	m.Delta = bits&respBitDelta != 0
+	m.Comp = bits&respBitComp != 0
+	m.NeedFull = bits&respBitNeedFull != 0
+	if err != nil {
+		return err
+	}
+	return d.done()
+}
+
+// appendString writes a uvarint-length-prefixed string; empty strings
+// write nothing (their bitmap bit is clear).
+func appendString(dst []byte, s string) []byte {
+	if s == "" {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendPayload writes [encoding][flags][uvarint len][data]; nil
+// payloads write nothing.
+func appendPayload(dst []byte, p *Payload) []byte {
+	if p == nil {
+		return dst
+	}
+	dst = append(dst, p.Encoding, p.Flags)
+	dst = binary.AppendUvarint(dst, uint64(len(p.Data)))
+	return append(dst, p.Data...)
+}
+
+// appendJSONBlob marshals v and writes it as a payload-framed blob,
+// compressed when the connection negotiated it and it pays.
+func appendJSONBlob(dst []byte, v any, present, compress bool) ([]byte, error) {
+	if !present {
+		return dst, nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	p := JSONPayload(raw)
+	if compress {
+		p = Compress(raw)
+	}
+	return appendPayload(dst, p), nil
+}
+
+// frameDecoder walks one record's payload with bounds-checked reads.
+type frameDecoder struct{ b []byte }
+
+// openFrame validates the kind byte and bitmap and returns a decoder
+// positioned at the first field.
+func openFrame(rec []byte, kind byte, known uint64) (*frameDecoder, uint64, error) {
+	if len(rec) < 2 {
+		return nil, 0, fmt.Errorf("wire: short frame: %w", ErrCorrupt)
+	}
+	if rec[0] != kind {
+		return nil, 0, fmt.Errorf("wire: frame kind %d, want %d: %w", rec[0], kind, ErrCorrupt)
+	}
+	bits, n := binary.Uvarint(rec[1:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("wire: bad field bitmap: %w", ErrCorrupt)
+	}
+	if bits&^known != 0 {
+		return nil, 0, fmt.Errorf("wire: unknown field bits %#x: %w", bits&^known, ErrCorrupt)
+	}
+	if bits&1 == 0 {
+		return nil, 0, fmt.Errorf("wire: frame without message type: %w", ErrCorrupt)
+	}
+	return &frameDecoder{b: rec[1+n:]}, bits, nil
+}
+
+func (d *frameDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: bad varint: %w", ErrCorrupt)
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *frameDecoder) uint() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<31 {
+		return 0, fmt.Errorf("wire: varint %d out of int range: %w", v, ErrCorrupt)
+	}
+	return int(v), nil
+}
+
+func (d *frameDecoder) msgType() (string, error) {
+	code, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	name, ok := msgNames[code]
+	if !ok {
+		return "", fmt.Errorf("wire: unknown message code %d: %w", code, ErrCorrupt)
+	}
+	return name, nil
+}
+
+func (d *frameDecoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.b)) {
+		return nil, fmt.Errorf("wire: field length %d exceeds frame: %w", n, ErrCorrupt)
+	}
+	b := d.b[:n]
+	d.b = d.b[n:]
+	return b, nil
+}
+
+func (d *frameDecoder) str() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+func (d *frameDecoder) payload() (*Payload, error) {
+	if len(d.b) < 2 {
+		return nil, fmt.Errorf("wire: short payload header: %w", ErrCorrupt)
+	}
+	enc, flags := d.b[0], d.b[1]
+	d.b = d.b[2:]
+	data, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	// Copy out of the record buffer: payloads outlive the frame (delta
+	// bases, spooled checkpoints).
+	return &Payload{Encoding: enc, Flags: flags, Data: append([]byte(nil), data...)}, nil
+}
+
+func (d *frameDecoder) jsonBlob(v any) error {
+	p, err := d.payload()
+	if err != nil {
+		return err
+	}
+	raw, err := p.Resolve(nil)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// done rejects trailing bytes — a frame must account for itself.
+func (d *frameDecoder) done() error {
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in frame: %w", len(d.b), ErrCorrupt)
+	}
+	return nil
+}

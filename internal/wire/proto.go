@@ -1,0 +1,111 @@
+package wire
+
+// The message vocabulary of the coordinator↔worker conversation. These
+// structs used to live in internal/dist; they moved here so the codec
+// layer owns the full wire contract — field set, JSON tags for v0, and
+// the binary field table for v1 — while dist aliases them under its
+// historical names. The conversation is strictly request/response,
+// worker-initiated: every worker message gets exactly one coordinator
+// message back, so framing never needs message IDs in either version.
+
+import (
+	"spice/internal/campaign"
+	"spice/internal/trace"
+)
+
+// Message types.
+const (
+	// worker → coordinator
+	MsgHello    = "hello"    // register + negotiate; reply carries the system payload
+	MsgNext     = "next"     // request a job; reply assign/wait/drained
+	MsgBeat     = "beat"     // lease heartbeat, no new checkpoint
+	MsgProgress = "progress" // heartbeat carrying a fresh checkpoint
+	MsgResult   = "result"   // job finished, log attached
+	MsgFail     = "fail"     // job failed on this worker
+
+	// coordinator → worker
+	MsgOK      = "ok"      // ack; hello's ok carries the system payload
+	MsgAssign  = "assign"  // here is a job (spec + maybe a resume checkpoint)
+	MsgWait    = "wait"    // nothing runnable right now, retry in DelayMs
+	MsgDrained = "drained" // coordinator is closing for good, disconnect
+	MsgAbandon = "abandon" // lease was revoked; stop working on the job
+	// MsgRetry answers a result the coordinator cannot durably record
+	// right now (degraded storage): the worker keeps the line in its
+	// outbox and retransmits after DelayMs. Unlike ok-with-err this is
+	// NOT an acknowledgment — the result is neither merged nor dropped,
+	// so a storage outage never turns into an acked-but-lost result.
+	MsgRetry = "retry"
+)
+
+// Request is a worker → coordinator message.
+type Request struct {
+	Type string `json:"type"`
+	Name string `json:"name,omitempty"` // hello: worker name
+	// Site is the worker's site identity on hello (spiced -site) — the
+	// grain at which the coordinator tracks health, runs circuit
+	// breakers, and places speculative hedges (never on the site already
+	// holding the lease). Empty falls back to the worker name, so every
+	// unconfigured worker is its own one-machine site.
+	Site  string `json:"site,omitempty"`
+	JobID string `json:"jobId,omitempty"` // beat/progress/result/fail
+	// Attempt echoes the lease attempt the worker was assigned, making
+	// result/fail handling idempotent by (job, attempt): a line from a
+	// lease the coordinator already retired is acked and dropped rather
+	// than applied twice. 0 (old workers) is treated as a wildcard.
+	Attempt int `json:"attempt,omitempty"`
+	// Ckpt is the smd.PullCheckpoint on progress messages — plain JSON
+	// on v0 connections, possibly compressed or delta-encoded against
+	// the last acknowledged base on v1. It stays opaque to the
+	// coordinator's scheduler; only the payload layer folds it.
+	Ckpt *Payload `json:"ckpt,omitempty"`
+	// Log is the result payload. Go's encoding/json prints float64
+	// values with enough digits to round-trip exactly, so shipping work
+	// samples as JSON preserves bit-identity.
+	Log *trace.WorkLog `json:"log,omitempty"`
+	Err string         `json:"err,omitempty"` // fail reason
+
+	// Negotiation fields, meaningful on hello only. Wire is the newest
+	// protocol version the worker speaks (absent = 0 = the legacy JSON
+	// transport, which is exactly what an old worker sends); NoDelta and
+	// NoComp opt out of incremental checkpoints and payload compression
+	// even when the negotiated version would support them.
+	Wire    int  `json:"wire,omitempty"`
+	NoDelta bool `json:"noDelta,omitempty"`
+	NoComp  bool `json:"noComp,omitempty"`
+}
+
+// Response is a coordinator → worker message.
+type Response struct {
+	Type string `json:"type"`
+	Job  *Job   `json:"job,omitempty"` // assign
+	// Resume rides on assign: the latest folded checkpoint, always a
+	// complete image (plain or compressed, never a delta — the new
+	// lease holder has no base yet).
+	Resume  *Payload `json:"resume,omitempty"`
+	DelayMs int      `json:"delayMs,omitempty"` // wait
+	// Spec rides on assign messages (campaigns change between jobs on a
+	// long-lived coordinator); System rides on the hello reply.
+	Spec   *campaign.Spec `json:"spec,omitempty"`
+	System *Payload       `json:"system,omitempty"`
+	Err    string         `json:"err,omitempty"`
+
+	// Negotiation fields on the hello reply: the granted version
+	// (absent = 0 — what an old coordinator sends) and whether delta
+	// checkpoints / payload compression are on for this connection.
+	Wire  int  `json:"wire,omitempty"`
+	Delta bool `json:"delta,omitempty"`
+	Comp  bool `json:"comp,omitempty"`
+	// NeedFull on a progress ack tells the worker its delta was encoded
+	// against a base this coordinator does not hold (restart, lost ack,
+	// adoption): drop the base and send the next checkpoint complete.
+	NeedFull bool `json:"needFull,omitempty"`
+}
+
+// Job identifies one pull assignment.
+type Job struct {
+	ID      string         `json:"id"`
+	Combo   campaign.Combo `json:"combo"`
+	Seed    uint64         `json:"seed"`
+	Index   int            `json:"index"`
+	Attempt int            `json:"attempt,omitempty"` // lease attempt to echo back
+}

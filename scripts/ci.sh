@@ -136,6 +136,30 @@ GOMAXPROCS=4 go test -run '^$' -bench 'Ablation_BatchStep/replicas=8' -benchtime
          if (al + 0 != 0) { print "FAIL: batch allocs/op " al " != 0"; exit 1 }
          print "batch gate OK: " sp "x vs sequential, " al " allocs/op" }'
 
+echo "== wire protocol gates (-race) =="
+# Versioned-transport gates. The cross-version matrix (v1 coordinator
+# with v0 workers, v0 coordinator with v1 workers, a mixed fleet) must
+# merge bit-identical to LocalRunner; a hand-rolled v1 client pins the
+# delta NeedFull healing handshake and the fold-before-spool image; and
+# delta folds must survive both worker loss and a SIGKILL-shaped
+# coordinator crash with journal recovery.
+go test -race -count=1 \
+  -run 'TestWireMatrixBitIdentical|TestWireV1ClientFoldAndNeedFull|TestDeltaFoldResumeOnWorkerLoss|TestDeltaFoldCrashRestart' \
+  -v ./internal/dist
+
+echo "== 1000-worker wire load gate (-race) =="
+# Transport acceptance: at 1000 loopback workers the v1 binary/delta
+# transport must move >=10x fewer checkpoint bytes per job than the raw
+# serialized documents — which is exactly what the v0 JSON baseline
+# cell ships 1:1. Full numbers live in BENCH_6.json.
+go test -race -run '^$' -bench 'Ablation_WireLoad' -benchtime 1x -timeout 20m . |
+  awk '{ print }
+       /v1-binary-delta/ { for (i = 1; i < NF; i++)
+         if ($(i+1) == "ckpt_reduction_x") rx = $i }
+       END {
+         if (rx + 0 < 10) { print "FAIL: checkpoint byte reduction " rx "x < 10x"; exit 1 }
+         print "wire gate OK: " rx "x checkpoint byte reduction at 1000 workers" }'
+
 echo "== bench smoke (benchtime=1x) =="
 go test -run '^$' -bench 'Ablation' -benchtime 1x -benchmem .
 
